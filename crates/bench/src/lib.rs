@@ -1,0 +1,11 @@
+//! Shared benchmark/experiment harness for regenerating the paper's
+//! evaluation (Section VI): workloads, the four test queries of Table III,
+//! and engine builders used by the Criterion benches, the `experiments`
+//! binary, and the integration tests.
+
+pub mod workload;
+
+pub use workload::{
+    build_paper_engine, paper_document, planted_views, test_queries, view_sets, xmark_queries,
+    PaperWorkload, TestQuery,
+};

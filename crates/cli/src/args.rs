@@ -1,0 +1,162 @@
+//! Minimal dependency-free argument parsing for the `xvr` binary.
+//!
+//! A command declares which option names it accepts (required single-value,
+//! optional single-value, and repeatable/boolean); everything else is the
+//! single positional argument (the query).
+
+use std::collections::HashMap;
+
+/// A usage problem (unknown flag, missing value, …).
+#[derive(Debug)]
+pub struct ArgError(pub String);
+
+/// Parsed arguments of one subcommand invocation.
+pub struct Parsed {
+    single: HashMap<String, String>,
+    multi: HashMap<String, Vec<String>>,
+    flags: Vec<String>,
+    positionals: Vec<String>,
+}
+
+impl Parsed {
+    /// Parse `argv` against the declared option names.
+    ///
+    /// * `required` / `optional`: options taking exactly one value.
+    /// * `repeated`: options taking one value, allowed multiple times.
+    /// * `bare_flags`: boolean options taking no value.
+    pub fn parse(
+        argv: &[String],
+        required: &[&str],
+        optional: &[&str],
+        repeated: &[&str],
+        bare_flags: &[&str],
+    ) -> Result<Parsed, ArgError> {
+        let mut parsed = Parsed {
+            single: HashMap::new(),
+            multi: HashMap::new(),
+            flags: Vec::new(),
+            positionals: Vec::new(),
+        };
+        let mut i = 0;
+        while i < argv.len() {
+            let token = &argv[i];
+            if let Some(name) = token.strip_prefix("--") {
+                if required.contains(&name) || optional.contains(&name) {
+                    let value = argv
+                        .get(i + 1)
+                        .ok_or_else(|| ArgError(format!("--{name} needs a value")))?;
+                    if parsed.single.insert(name.to_owned(), value.clone()).is_some() {
+                        return Err(ArgError(format!("--{name} given twice")));
+                    }
+                    i += 2;
+                } else if repeated.contains(&name) {
+                    let value = argv
+                        .get(i + 1)
+                        .ok_or_else(|| ArgError(format!("--{name} needs a value")))?;
+                    parsed
+                        .multi
+                        .entry(name.to_owned())
+                        .or_default()
+                        .push(value.clone());
+                    i += 2;
+                } else if bare_flags.contains(&name) {
+                    parsed.flags.push(name.to_owned());
+                    i += 1;
+                } else {
+                    return Err(ArgError(format!("unknown option --{name}")));
+                }
+            } else {
+                parsed.positionals.push(token.clone());
+                i += 1;
+            }
+        }
+        for name in required {
+            if !parsed.single.contains_key(*name) {
+                return Err(ArgError(format!("missing required option --{name}")));
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// The value of a required option (checked at parse time).
+    pub fn req(&self, name: &str) -> Result<&str, ArgError> {
+        self.single
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError(format!("missing required option --{name}")))
+    }
+
+    /// The value of an optional option.
+    pub fn opt(&self, name: &str) -> Option<&str> {
+        self.single.get(name).map(String::as_str)
+    }
+
+    /// All values of a repeatable option.
+    pub fn multi(&self, name: &str) -> &[String] {
+        self.multi.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether a bare flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Exactly one positional argument (the query).
+    pub fn positional(&self) -> Result<&str, ArgError> {
+        match self.positionals.as_slice() {
+            [one] => Ok(one),
+            [] => Err(ArgError("missing the query argument".into())),
+            more => Err(ArgError(format!(
+                "expected one query argument, got {} (quote the XPath)",
+                more.len()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_mixed_options() {
+        let p = Parsed::parse(
+            &argv(&[
+                "--doc", "d.xml", "--view", "/a/b", "--view", "/a/c", "--show", "//q",
+            ]),
+            &["doc"],
+            &["strategy"],
+            &["view"],
+            &["show"],
+        )
+        .unwrap();
+        assert_eq!(p.req("doc").unwrap(), "d.xml");
+        assert_eq!(p.multi("view"), &["/a/b".to_string(), "/a/c".to_string()]);
+        assert!(p.flag("show"));
+        assert!(!p.flag("view"));
+        assert_eq!(p.positional().unwrap(), "//q");
+        assert_eq!(p.opt("strategy"), None);
+    }
+
+    #[test]
+    fn rejects_unknown_and_missing() {
+        assert!(Parsed::parse(&argv(&["--nope"]), &[], &[], &[], &[]).is_err());
+        assert!(Parsed::parse(&argv(&[]), &["doc"], &[], &[], &[]).is_err());
+        assert!(Parsed::parse(&argv(&["--doc"]), &["doc"], &[], &[], &[]).is_err());
+        assert!(
+            Parsed::parse(&argv(&["--doc", "a", "--doc", "b"]), &["doc"], &[], &[], &[]).is_err()
+        );
+    }
+
+    #[test]
+    fn positional_cardinality() {
+        let none = Parsed::parse(&argv(&["--doc", "x"]), &["doc"], &[], &[], &[]).unwrap();
+        assert!(none.positional().is_err());
+        let two = Parsed::parse(&argv(&["a", "b"]), &[], &[], &[], &[]).unwrap();
+        assert!(two.positional().is_err());
+    }
+}

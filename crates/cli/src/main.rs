@@ -1,0 +1,404 @@
+//! `xvr` — command-line front end for the view-rewriting engine.
+//!
+//! ```text
+//! xvr info        --doc FILE
+//! xvr eval        --doc FILE [--engine naive|bn|bf] QUERY
+//! xvr answer      --doc FILE [(--view XPATH)...] [--views-file FILE]
+//!                 [--views-dir DIR] [--strategy hv|mv|mn|cb]
+//!                 [--budget BYTES] [--show] [--explain] QUERY
+//! xvr filter      --doc FILE [--views-file FILE] (--view XPATH)... QUERY
+//! xvr materialize --doc FILE (--view XPATH)... [--views-file FILE]
+//!                 [--budget BYTES] --out DIR
+//! xvr generate    [--scale F] [--seed N] [--out FILE]
+//! ```
+//!
+//! `--views-file` is a text file with one view XPath per line (blank lines
+//! and `#` comments ignored). Exit codes: 0 success, 1 query not
+//! answerable, 2 usage error, 3 input error.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use xvr_core::{AnswerError, Engine, EngineConfig, Strategy};
+use xvr_xml::serializer::serialize_subtree;
+use xvr_xml::{parse_document, DocStats, Document};
+
+mod args;
+
+use args::{ArgError, Parsed};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(code) => code,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n");
+            eprintln!("{}", USAGE);
+            ExitCode::from(2)
+        }
+        Err(CliError::Input(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(3)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  xvr info        --doc FILE
+  xvr eval        --doc FILE [--engine naive|bn|bf] QUERY
+  xvr answer      --doc FILE [(--view XPATH)...] [--views-file FILE]
+                  [--views-dir DIR] [--strategy hv|mv|mn|cb]
+                  [--budget BYTES] [--show] [--explain] QUERY
+  xvr filter      --doc FILE [--views-file FILE] (--view XPATH)... QUERY
+  xvr materialize --doc FILE (--view XPATH)... [--views-file FILE]
+                  [--budget BYTES] --out DIR
+  xvr append      --doc FILE --at CODE --xml XML [--out FILE]
+  xvr generate    [--scale F] [--seed N] [--out FILE]";
+
+enum CliError {
+    Usage(String),
+    Input(String),
+}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> CliError {
+        CliError::Usage(e.0)
+    }
+}
+
+fn run(argv: &[String]) -> Result<ExitCode, CliError> {
+    let Some((command, rest)) = argv.split_first() else {
+        return Err(CliError::Usage("missing command".into()));
+    };
+    match command.as_str() {
+        "info" => info(rest),
+        "eval" => eval(rest),
+        "answer" => answer(rest),
+        "filter" => filter(rest),
+        "generate" => generate(rest),
+        "materialize" => materialize(rest),
+        "append" => append(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+fn load_doc(path: &str) -> Result<Document, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Input(format!("cannot read {path}: {e}")))?;
+    parse_document(&text).map_err(|e| CliError::Input(format!("{path}: {e}")))
+}
+
+/// Views from repeated `--view` flags plus an optional `--views-file`.
+fn collect_views(parsed: &Parsed) -> Result<Vec<String>, CliError> {
+    let mut views: Vec<String> = parsed.multi("view").to_vec();
+    if let Some(file) = parsed.opt("views-file") {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| CliError::Input(format!("cannot read {file}: {e}")))?;
+        for line in text.lines() {
+            let line = line.trim();
+            if !line.is_empty() && !line.starts_with('#') {
+                views.push(line.to_owned());
+            }
+        }
+    }
+    Ok(views)
+}
+
+fn info(argv: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = Parsed::parse(argv, &["doc"], &[], &[], &[])?;
+    let doc = load_doc(parsed.req("doc")?)?;
+    let stats = DocStats::compute(&doc.tree, &doc.labels);
+    println!("nodes:            {}", stats.nodes);
+    println!("height:           {}", stats.height);
+    println!("avg depth:        {:.2}", stats.avg_depth);
+    println!("leaves:           {}", stats.leaves);
+    println!("max fanout:       {}", stats.max_fanout);
+    println!("avg fanout:       {:.2}", stats.avg_fanout);
+    println!("text nodes:       {}", stats.text_nodes);
+    println!("attributed nodes: {}", stats.attributed_nodes);
+    println!("distinct labels:  {}", stats.label_histogram.len());
+    println!("top labels:");
+    for &(label, count) in stats.label_histogram.iter().take(10) {
+        println!("  {:<20} {}", doc.labels.name(label), count);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn eval(argv: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = Parsed::parse(argv, &["doc"], &["engine"], &[], &[])?;
+    let doc = load_doc(parsed.req("doc")?)?;
+    let query_src = parsed.positional()?;
+    let mut labels = doc.labels.clone();
+    let q = xvr_pattern::parse_pattern_with(query_src, &mut labels)
+        .map_err(|e| CliError::Input(format!("query: {e}")))?;
+    let nodes = match parsed.opt("engine").unwrap_or("naive") {
+        "naive" => xvr_pattern::eval(&q, &doc.tree),
+        "bn" => {
+            let idx = xvr_xml::NodeIndex::build(&doc.tree, &doc.labels);
+            xvr_pattern::eval_bn(&q, &doc.tree, &idx)
+        }
+        "bf" => {
+            let idx = xvr_xml::PathIndex::build(&doc.tree, &doc.labels);
+            xvr_pattern::eval_bf(&q, &doc, &idx)
+        }
+        other => return Err(CliError::Usage(format!("unknown engine `{other}`"))),
+    };
+    for n in &nodes {
+        println!(
+            "{}\t{}",
+            doc.dewey.code_of(&doc.tree, *n),
+            serialize_subtree(&doc.tree, &doc.labels, *n)
+        );
+    }
+    eprintln!("{} result(s)", nodes.len());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn strategy_of(name: &str) -> Result<Strategy, CliError> {
+    Ok(match name {
+        "hv" => Strategy::Hv,
+        "mv" => Strategy::Mv,
+        "mn" => Strategy::Mn,
+        "cb" => Strategy::Cb,
+        "bn" => Strategy::Bn,
+        "bf" => Strategy::Bf,
+        other => return Err(CliError::Usage(format!("unknown strategy `{other}`"))),
+    })
+}
+
+fn answer(argv: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = Parsed::parse(
+        argv,
+        &["doc"],
+        &["strategy", "budget", "views-file", "views-dir"],
+        &["view"],
+        &["show", "explain"],
+    )?;
+    let doc = load_doc(parsed.req("doc")?)?;
+    let query_src = parsed.positional()?;
+    let views = collect_views(&parsed)?;
+    if views.is_empty() && parsed.opt("views-dir").is_none() {
+        return Err(CliError::Usage(
+            "answer needs --view, --views-file or --views-dir".into(),
+        ));
+    }
+    let budget = match parsed.opt("budget") {
+        Some(b) => b
+            .parse()
+            .map_err(|_| CliError::Usage("--budget must be an integer".into()))?,
+        None => usize::MAX,
+    };
+    let mut engine = Engine::new(
+        doc,
+        EngineConfig {
+            fragment_budget: budget,
+            ..EngineConfig::default()
+        },
+    );
+    for v in &views {
+        engine
+            .add_view_str(v)
+            .map_err(|e| CliError::Input(format!("view `{v}`: {e}")))?;
+    }
+    if let Some(dir) = parsed.opt("views-dir") {
+        let loaded = engine
+            .load_views(std::path::Path::new(dir))
+            .map_err(|e| CliError::Input(format!("loading views from {dir}: {e}")))?;
+        eprintln!("loaded {} view(s) from {dir}", loaded.len());
+    }
+    let q = engine
+        .parse(query_src)
+        .map_err(|e| CliError::Input(format!("query: {e}")))?;
+    let strategy = strategy_of(parsed.opt("strategy").unwrap_or("hv"))?;
+    if parsed.flag("explain") && !matches!(strategy, Strategy::Bn | Strategy::Bf) {
+        match engine.explain(&q, strategy) {
+            Ok(ex) => eprintln!("{ex}"),
+            Err(AnswerError::NotAnswerable) => {}
+            Err(e) => return Err(CliError::Input(e.to_string())),
+        }
+    }
+    match engine.answer(&q, strategy) {
+        Ok(a) => {
+            let doc = engine.doc();
+            for code in &a.codes {
+                if parsed.flag("show") {
+                    let shown = doc
+                        .node_by_code(code)
+                        .map(|n| serialize_subtree(&doc.tree, &doc.labels, n))
+                        .unwrap_or_default();
+                    println!("{code}\t{shown}");
+                } else {
+                    println!("{code}");
+                }
+            }
+            let mut summary = String::new();
+            let _ = write!(
+                summary,
+                "{} result(s) via {} using {} view(s)",
+                a.codes.len(),
+                a.strategy,
+                a.views_used.len()
+            );
+            if !a.views_used.is_empty() {
+                let names: Vec<String> = a
+                    .views_used
+                    .iter()
+                    .map(|&v| {
+                        engine
+                            .views()
+                            .view(v)
+                            .pattern
+                            .display(engine.labels())
+                            .to_string()
+                    })
+                    .collect();
+                let _ = write!(summary, ": {}", names.join(", "));
+            }
+            let _ = write!(
+                summary,
+                " ({}µs filter + {}µs select + {}µs rewrite)",
+                a.timings.filter_us, a.timings.selection_us, a.timings.rewrite_us
+            );
+            eprintln!("{summary}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(AnswerError::NotAnswerable) => {
+            eprintln!("not answerable from the given views");
+            Ok(ExitCode::from(1))
+        }
+        Err(e) => Err(CliError::Input(e.to_string())),
+    }
+}
+
+fn filter(argv: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = Parsed::parse(argv, &["doc"], &["views-file"], &["view"], &[])?;
+    let doc = load_doc(parsed.req("doc")?)?;
+    let query_src = parsed.positional()?;
+    let views = collect_views(&parsed)?;
+    let mut engine = Engine::new(doc, EngineConfig::default());
+    for v in &views {
+        engine
+            .add_view_str(v)
+            .map_err(|e| CliError::Input(format!("view `{v}`: {e}")))?;
+    }
+    let q = engine
+        .parse(query_src)
+        .map_err(|e| CliError::Input(format!("query: {e}")))?;
+    let outcome = engine.filter(&q);
+    println!(
+        "{} of {} views survive filtering:",
+        outcome.candidates.len(),
+        engine.views().len()
+    );
+    for &v in &outcome.candidates {
+        println!(
+            "  {}",
+            engine.views().view(v).pattern.display(engine.labels())
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn materialize(argv: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = Parsed::parse(
+        argv,
+        &["doc", "out"],
+        &["budget", "views-file"],
+        &["view"],
+        &[],
+    )?;
+    let doc = load_doc(parsed.req("doc")?)?;
+    let views = collect_views(&parsed)?;
+    if views.is_empty() {
+        return Err(CliError::Usage(
+            "materialize needs --view or --views-file".into(),
+        ));
+    }
+    let budget = match parsed.opt("budget") {
+        Some(b) => b
+            .parse()
+            .map_err(|_| CliError::Usage("--budget must be an integer".into()))?,
+        None => usize::MAX,
+    };
+    let mut engine = Engine::new(
+        doc,
+        EngineConfig {
+            fragment_budget: budget,
+            ..EngineConfig::default()
+        },
+    );
+    for v in &views {
+        let id = engine
+            .add_view_str(v)
+            .map_err(|e| CliError::Input(format!("view `{v}`: {e}")))?;
+        let mv = engine.store().get(id).unwrap();
+        eprintln!(
+            "{v}: {} fragment(s), {} bytes{}",
+            mv.fragments.len(),
+            mv.size_bytes(),
+            if mv.complete() { "" } else { " (TRUNCATED)" }
+        );
+    }
+    let out = parsed.req("out")?;
+    engine
+        .save_views(std::path::Path::new(out))
+        .map_err(|e| CliError::Input(format!("saving to {out}: {e}")))?;
+    eprintln!("saved {} view(s) to {out}", views.len());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn append(argv: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = Parsed::parse(argv, &["doc", "at", "xml"], &["out"], &[], &[])?;
+    let doc = load_doc(parsed.req("doc")?)?;
+    let code: xvr_xml::DeweyCode = parsed
+        .req("at")?
+        .parse()
+        .map_err(|e| CliError::Usage(format!("--at: {e}")))?;
+    let mut engine = Engine::new(doc, EngineConfig::default());
+    let stats = engine
+        .append_xml(&code, parsed.req("xml")?)
+        .map_err(|e| CliError::Input(e.to_string()))?;
+    eprintln!(
+        "appended under {code}: {:?} (document now {} nodes)",
+        stats.stability,
+        engine.doc().len()
+    );
+    let out = parsed.opt("out").map(str::to_owned);
+    let target = out.as_deref().unwrap_or(parsed.req("doc")?);
+    let xml = xvr_xml::serializer::serialize_pretty(&engine.doc().tree, engine.labels());
+    std::fs::write(target, xml)
+        .map_err(|e| CliError::Input(format!("cannot write {target}: {e}")))?;
+    eprintln!("wrote {target}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn generate(argv: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = Parsed::parse(argv, &[], &["scale", "seed", "out"], &[], &[])?;
+    let scale: f64 = parsed
+        .opt("scale")
+        .unwrap_or("0.001")
+        .parse()
+        .map_err(|_| CliError::Usage("--scale must be a number".into()))?;
+    let seed: u64 = parsed
+        .opt("seed")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| CliError::Usage("--seed must be an integer".into()))?;
+    let doc = xvr_xml::generator::generate(
+        &xvr_xml::generator::Config::scale(scale).with_seed(seed),
+    );
+    let xml = xvr_xml::serializer::serialize_pretty(&doc.tree, &doc.labels);
+    match parsed.opt("out") {
+        Some(path) => {
+            std::fs::write(path, xml)
+                .map_err(|e| CliError::Input(format!("cannot write {path}: {e}")))?;
+            eprintln!("wrote {} nodes to {path}", doc.len());
+        }
+        None => print!("{xml}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,203 @@
+//! End-to-end tests of the `xvr` binary.
+
+use std::process::Command;
+
+fn xvr() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xvr"))
+}
+
+fn write_doc() -> tempfile::TempPath {
+    let doc = r#"<library>
+        <shelf><book><title>A</title><author>X</author></book></shelf>
+        <shelf><book><title>B</title></book></shelf>
+    </library>"#;
+    tempfile::write(doc)
+}
+
+/// Tiny stand-in for the tempfile crate: unique files under the target
+/// temp dir, removed on drop.
+mod tempfile {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    pub struct TempPath(PathBuf);
+
+    impl TempPath {
+        pub fn path(&self) -> &std::path::Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    pub fn write(content: &str) -> TempPath {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "xvr-cli-test-{}-{}.xml",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&p, content).unwrap();
+        TempPath(p)
+    }
+}
+
+#[test]
+fn info_reports_stats() {
+    let doc = write_doc();
+    let out = xvr()
+        .args(["info", "--doc"])
+        .arg(doc.path())
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("nodes:            8"), "{stdout}");
+    assert!(stdout.contains("book"), "{stdout}");
+}
+
+#[test]
+fn eval_prints_codes_and_fragments() {
+    let doc = write_doc();
+    let out = xvr()
+        .args(["eval", "--doc"])
+        .arg(doc.path())
+        .arg("//book/title")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 2, "{stdout}");
+    assert!(stdout.contains("<title>A</title>"), "{stdout}");
+}
+
+#[test]
+fn answer_from_views_matches_eval() {
+    let doc = write_doc();
+    let out = xvr()
+        .args(["answer", "--doc"])
+        .arg(doc.path())
+        .args(["--view", "//book[author]/title", "--strategy", "hv"])
+        .arg("//book[author]/title")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 1, "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("via HV using 1 view(s)"), "{stderr}");
+}
+
+#[test]
+fn unanswerable_exits_1() {
+    let doc = write_doc();
+    // //book/title alone cannot certify the [author] predicate.
+    let out = xvr()
+        .args(["answer", "--doc"])
+        .arg(doc.path())
+        .args(["--view", "//book/title"])
+        .arg("//book[author]/title")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = xvr().args(["answer", "--doc"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = xvr().args(["bogus"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn input_errors_exit_3() {
+    let out = xvr()
+        .args(["info", "--doc", "/nonexistent/file.xml"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
+fn generate_then_query_round_trip() {
+    let out = xvr()
+        .args(["generate", "--scale", "0.0005", "--seed", "1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let xml = String::from_utf8_lossy(&out.stdout);
+    assert!(xml.starts_with("<site"), "{}", &xml[..60.min(xml.len())]);
+    let doc = tempfile::write(&xml);
+    let out = xvr()
+        .args(["eval", "--doc"])
+        .arg(doc.path())
+        .args(["--engine", "bf"])
+        .arg("//person/name")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+}
+
+#[test]
+fn materialize_then_answer_from_disk() {
+    let doc = write_doc();
+    let dir = std::env::temp_dir().join(format!("xvr-cli-views-{}", std::process::id()));
+    let out = xvr()
+        .args(["materialize", "--doc"])
+        .arg(doc.path())
+        .args(["--view", "//book[author]/title", "--view", "//shelf[book]/book", "--out"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = xvr()
+        .args(["answer", "--doc"])
+        .arg(doc.path())
+        .arg("--views-dir")
+        .arg(&dir)
+        .arg("//shelf[book]/book[author]/title")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 1, "{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn explain_prints_plan() {
+    let doc = write_doc();
+    let out = xvr()
+        .args(["answer", "--doc"])
+        .arg(doc.path())
+        .args(["--view", "//book[author]/title", "--explain"])
+        .arg("//book[author]/title")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("plan (HV)"), "{stderr}");
+    assert!(stderr.contains("(anchor)"), "{stderr}");
+}
+
+#[test]
+fn filter_lists_candidates() {
+    let doc = write_doc();
+    let out = xvr()
+        .args(["filter", "--doc"])
+        .arg(doc.path())
+        .args(["--view", "//book/title", "--view", "//shelf/x"])
+        .arg("//book[author]/title")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 of 2 views"), "{stdout}");
+}

@@ -1,0 +1,605 @@
+//! The store-and-query façade, including the paper's five evaluation
+//! strategies (Section VI): `BN`, `BF`, `MN`, `MV`, `HV`.
+//!
+//! | Strategy | Meaning |
+//! |---|---|
+//! | [`Strategy::Bn`] | evaluate on the base document, label index only |
+//! | [`Strategy::Bf`] | evaluate on the base document, full path index |
+//! | [`Strategy::Mn`] | minimum view set, **no** VFILTER (homomorphisms against every view) |
+//! | [`Strategy::Mv`] | minimum view set over VFILTER candidates |
+//! | [`Strategy::Hv`] | heuristic (Algorithm 2) over VFILTER candidates |
+//!
+//! Every answer carries per-stage timings so the benchmark harness can
+//! regenerate the paper's Figures 8, 9 and 12.
+
+use std::fmt;
+use std::time::Instant;
+
+use std::collections::HashSet;
+
+use xvr_pattern::{eval_bf, eval_bn, parse_pattern_with, PatternParseError, PLabel, TreePattern};
+use xvr_xml::{CodeStability, DeweyCode, Document, Label, LabelTable, NodeIndex, PathIndex};
+
+use crate::filter::{build_nfa, filter_views, FilterOutcome};
+use crate::leafcover::Obligations;
+use crate::materialize::MaterializedStore;
+use crate::nfa::{AcceptEntry, Nfa};
+use crate::rewrite::{rewrite, RewriteError};
+use crate::select::{select_cost_based, select_heuristic, select_minimum, Selection};
+use crate::view::{ViewId, ViewSet};
+
+/// Evaluation strategy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Strategy {
+    /// Base document with the label ("basic node") index.
+    Bn,
+    /// Base document with the full path index.
+    Bf,
+    /// Minimum view set without VFILTER.
+    Mn,
+    /// Minimum view set over VFILTER candidates.
+    Mv,
+    /// Heuristic view set over VFILTER candidates.
+    Hv,
+    /// Cost-based view set over VFILTER candidates (the cost model the
+    /// paper sketches in Section IV-B but omits: fragment bytes plus a
+    /// per-view overhead, greedily minimized per covered obligation).
+    Cb,
+}
+
+impl Strategy {
+    /// The paper's abbreviation.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Strategy::Bn => "BN",
+            Strategy::Bf => "BF",
+            Strategy::Mn => "MN",
+            Strategy::Mv => "MV",
+            Strategy::Hv => "HV",
+            Strategy::Cb => "CB",
+        }
+    }
+
+    /// The paper's five strategies, in Figure 8 order.
+    pub fn all() -> [Strategy; 5] {
+        [
+            Strategy::Bn,
+            Strategy::Bf,
+            Strategy::Mn,
+            Strategy::Mv,
+            Strategy::Hv,
+        ]
+    }
+
+    /// The paper's strategies plus the cost-based extension.
+    pub fn all_extended() -> [Strategy; 6] {
+        [
+            Strategy::Bn,
+            Strategy::Bf,
+            Strategy::Mn,
+            Strategy::Mv,
+            Strategy::Hv,
+            Strategy::Cb,
+        ]
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Wall-clock timings of the answer pipeline stages, in microseconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTimings {
+    /// VFILTER time (zero for strategies that skip it).
+    pub filter_us: u128,
+    /// View-set selection time (homomorphisms + covering).
+    pub selection_us: u128,
+    /// Refinement + join + extraction time (or base evaluation time).
+    pub rewrite_us: u128,
+}
+
+impl StageTimings {
+    /// Filter + selection: the paper's Figure 9 "lookup time".
+    pub fn lookup_us(&self) -> u128 {
+        self.filter_us + self.selection_us
+    }
+
+    /// End-to-end: the paper's Figure 8 "query processing time".
+    pub fn total_us(&self) -> u128 {
+        self.filter_us + self.selection_us + self.rewrite_us
+    }
+}
+
+/// A query answer with provenance and timings.
+#[derive(Clone, Debug)]
+pub struct Answer {
+    /// Answer-node extended Dewey codes, document order, deduplicated.
+    pub codes: Vec<DeweyCode>,
+    /// Strategy used.
+    pub strategy: Strategy,
+    /// Stage timings.
+    pub timings: StageTimings,
+    /// Distinct views used (empty for base strategies).
+    pub views_used: Vec<ViewId>,
+    /// Number of candidate views considered by selection.
+    pub candidates: usize,
+}
+
+/// Why a query could not be answered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnswerError {
+    /// No view subset covers the query (view strategies only).
+    NotAnswerable,
+    /// The rewriting stage failed (e.g. truncated materialization).
+    Rewrite(RewriteError),
+}
+
+impl fmt::Display for AnswerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnswerError::NotAnswerable => write!(f, "no view set answers the query"),
+            AnswerError::Rewrite(e) => write!(f, "rewriting failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnswerError {}
+
+/// Outcome of [`Engine::append_xml`].
+#[derive(Clone, Copy, Debug)]
+pub struct UpdateStats {
+    /// Whether existing codes (and fragments) survived.
+    pub stability: CodeStability,
+    /// Views re-materialized because the update could affect them.
+    pub views_rematerialized: usize,
+    /// Views proven unaffected (no label overlap, no wildcard).
+    pub views_skipped: usize,
+}
+
+/// Why an update failed.
+#[derive(Debug)]
+pub enum UpdateError {
+    /// The inserted XML did not parse.
+    Parse(xvr_xml::ParseError),
+    /// No node carries the given code.
+    NoSuchNode(DeweyCode),
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::Parse(e) => write!(f, "update XML: {e}"),
+            UpdateError::NoSuchNode(c) => write!(f, "no node at code {c}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// Can the view's result change when nodes with `labels` are inserted?
+/// (Conservative: any wildcard counts as overlap.)
+fn view_mentions(pattern: &TreePattern, labels: &HashSet<Label>) -> bool {
+    pattern.ids().any(|n| match pattern.label(n) {
+        PLabel::Wild => true,
+        PLabel::Lab(l) => labels.contains(&l),
+    })
+}
+
+/// Engine construction knobs.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Per-view materialization budget in bytes (the paper uses 128 KB).
+    pub fragment_budget: usize,
+    /// Cap on the exhaustive minimum-selection subset size.
+    pub max_minimum_views: usize,
+    /// Per-view overhead (in byte-equivalents) charged by the cost-based
+    /// strategy for each additional distinct view.
+    pub cost_view_overhead: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            fragment_budget: usize::MAX,
+            max_minimum_views: 4,
+            cost_view_overhead: 1024,
+        }
+    }
+}
+
+/// The full system: document, indexes, view catalog, materializations, and
+/// the VFILTER automaton (maintained incrementally as views are added).
+pub struct Engine {
+    doc: Document,
+    labels: LabelTable,
+    views: ViewSet,
+    store: MaterializedStore,
+    nfa: Nfa,
+    node_index: NodeIndex,
+    path_index: PathIndex,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Build an engine over `doc` (indexes are constructed eagerly).
+    pub fn new(doc: Document, config: EngineConfig) -> Engine {
+        let node_index = NodeIndex::build(&doc.tree, &doc.labels);
+        let path_index = PathIndex::build(&doc.tree, &doc.labels);
+        let labels = doc.labels.clone();
+        Engine {
+            doc,
+            labels,
+            views: ViewSet::new(),
+            store: MaterializedStore::new(),
+            nfa: Nfa::new(),
+            node_index,
+            path_index,
+            config,
+        }
+    }
+
+    /// The underlying document.
+    pub fn doc(&self) -> &Document {
+        &self.doc
+    }
+
+    /// The (growing) label space shared by document, views and queries.
+    pub fn labels(&self) -> &LabelTable {
+        &self.labels
+    }
+
+    /// The view catalog.
+    pub fn views(&self) -> &ViewSet {
+        &self.views
+    }
+
+    /// The materialization store.
+    pub fn store(&self) -> &MaterializedStore {
+        &self.store
+    }
+
+    /// The VFILTER automaton.
+    pub fn nfa(&self) -> &Nfa {
+        &self.nfa
+    }
+
+    /// The label index (BN baseline).
+    pub fn node_index(&self) -> &NodeIndex {
+        &self.node_index
+    }
+
+    /// The path index (BF baseline).
+    pub fn path_index(&self) -> &PathIndex {
+        &self.path_index
+    }
+
+    /// Parse a pattern in the engine's label space.
+    pub fn parse(&mut self, src: &str) -> Result<TreePattern, PatternParseError> {
+        parse_pattern_with(src, &mut self.labels)
+    }
+
+    /// Register and materialize a view; updates VFILTER incrementally.
+    pub fn add_view(&mut self, pattern: TreePattern) -> ViewId {
+        let id = self.views.add(pattern);
+        for (idx, path) in self.views.view(id).normalized_paths.iter().enumerate() {
+            self.nfa.insert(
+                path,
+                AcceptEntry {
+                    view: id,
+                    path_idx: idx as u32,
+                    path_len: path.len() as u32,
+                    attr_mask: self.views.view(id).path_attr_masks[idx],
+                },
+            );
+        }
+        self.store
+            .materialize(&self.doc, &self.views, id, self.config.fragment_budget);
+        id
+    }
+
+    /// Parse-and-register convenience.
+    pub fn add_view_str(&mut self, src: &str) -> Result<ViewId, PatternParseError> {
+        let p = self.parse(src)?;
+        Ok(self.add_view(p))
+    }
+
+    /// Rebuild the VFILTER automaton from scratch (used by size benchmarks).
+    pub fn rebuild_nfa(&mut self) {
+        self.nfa = build_nfa(&self.views);
+    }
+
+    /// Append an XML subtree under the node addressed by `parent_code`,
+    /// maintaining indexes and materialized views **incrementally**: only
+    /// views that mention a label of the inserted subtree (or a wildcard)
+    /// can change, so only those are re-materialized — unless the append
+    /// grew a child alphabet, which re-encodes the document and stales
+    /// every fragment (see [`CodeStability`]).
+    pub fn append_xml(
+        &mut self,
+        parent_code: &DeweyCode,
+        xml: &str,
+    ) -> Result<UpdateStats, UpdateError> {
+        let sub = xvr_xml::parser::parse_tree_with(xml, &mut self.labels)
+            .map_err(UpdateError::Parse)?;
+        let parent = self
+            .doc
+            .node_by_code(parent_code)
+            .ok_or_else(|| UpdateError::NoSuchNode(parent_code.clone()))?;
+        // The label table may have grown; keep the document's copy in sync
+        // so FST rebuilds see every label.
+        self.doc.labels = self.labels.clone();
+        let update_labels: HashSet<Label> = sub.iter().map(|n| sub.label(n)).collect();
+        let (_, stability) = self.doc.append_subtree(parent, &sub);
+        // Base indexes always refresh (the document changed).
+        self.node_index = NodeIndex::build(&self.doc.tree, &self.doc.labels);
+        self.path_index = PathIndex::build(&self.doc.tree, &self.doc.labels);
+        let mut stats = UpdateStats {
+            stability,
+            views_rematerialized: 0,
+            views_skipped: 0,
+        };
+        let ids: Vec<ViewId> = self.views.ids().collect();
+        for id in ids {
+            let must = stability == CodeStability::Reencoded
+                || view_mentions(&self.views.view(id).pattern, &update_labels);
+            if must {
+                self.store
+                    .materialize(&self.doc, &self.views, id, self.config.fragment_budget);
+                stats.views_rematerialized += 1;
+            } else {
+                stats.views_skipped += 1;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Persist all materialized views to `dir` (see
+    /// [`MaterializedStore::save`]).
+    pub fn save_views(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        self.store.save(&self.views, &self.labels, dir)
+    }
+
+    /// Load previously saved views from `dir`, registering them and
+    /// installing their fragments without touching the base document.
+    pub fn load_views(&mut self, dir: &std::path::Path) -> std::io::Result<Vec<ViewId>> {
+        let ids = self
+            .store
+            .load(&self.doc, &mut self.views, &mut self.labels, dir)?;
+        self.rebuild_nfa();
+        Ok(ids)
+    }
+
+    /// Run VFILTER only (Figure 12's measured operation).
+    pub fn filter(&self, q: &TreePattern) -> FilterOutcome {
+        filter_views(q, &self.views, &self.nfa)
+    }
+
+    /// Run selection only — filter (unless `Mn`) plus view-set search.
+    /// Returns the selection and the timings of both stages (Figure 9's
+    /// "lookup").
+    pub fn lookup(
+        &self,
+        q: &TreePattern,
+        strategy: Strategy,
+    ) -> (Option<Selection>, StageTimings, usize) {
+        let obligations = Obligations::of(q);
+        let mut timings = StageTimings::default();
+        let (candidates, lists): (Vec<ViewId>, Option<FilterOutcome>) = match strategy {
+            Strategy::Mn => (self.views.ids().collect(), None),
+            Strategy::Mv | Strategy::Hv | Strategy::Cb => {
+                let t0 = Instant::now();
+                let outcome = self.filter(q);
+                timings.filter_us = t0.elapsed().as_micros();
+                (outcome.candidates.clone(), Some(outcome))
+            }
+            Strategy::Bn | Strategy::Bf => panic!("lookup is a view-strategy operation"),
+        };
+        // Skip views whose materialization was truncated: they cannot
+        // support equivalent rewriting.
+        let usable: Vec<ViewId> = candidates
+            .into_iter()
+            .filter(|&v| self.store.get(v).map(|m| m.complete()).unwrap_or(false))
+            .collect();
+        let t0 = Instant::now();
+        let selection = match strategy {
+            Strategy::Mn | Strategy::Mv => select_minimum(
+                q,
+                &self.views,
+                &usable,
+                &obligations,
+                self.config.max_minimum_views,
+            ),
+            Strategy::Hv => {
+                let mut outcome = lists.expect("Hv always filters");
+                outcome.candidates = usable.clone();
+                for list in &mut outcome.lists {
+                    list.retain(|(v, _)| usable.contains(v));
+                }
+                select_heuristic(q, &self.views, &outcome, &obligations)
+            }
+            Strategy::Cb => select_cost_based(
+                q,
+                &self.views,
+                &usable,
+                &obligations,
+                &|v| self.store.get(v).map(|m| m.size_bytes()).unwrap_or(0),
+                self.config.cost_view_overhead,
+            ),
+            _ => unreachable!(),
+        };
+        timings.selection_us = t0.elapsed().as_micros();
+        (selection, timings, usable.len())
+    }
+
+    /// Produce a human-readable plan for answering `q` under a view
+    /// strategy (errors for base strategies and unanswerable queries).
+    pub fn explain(
+        &self,
+        q: &TreePattern,
+        strategy: Strategy,
+    ) -> Result<crate::explain::Explanation, AnswerError> {
+        assert!(
+            !matches!(strategy, Strategy::Bn | Strategy::Bf),
+            "explain applies to view strategies"
+        );
+        let (selection, _, candidates) = self.lookup(q, strategy);
+        let selection = selection.ok_or(AnswerError::NotAnswerable)?;
+        Ok(crate::explain::explain_selection(
+            strategy,
+            q,
+            &selection,
+            &self.views,
+            &self.store,
+            &self.labels,
+            candidates,
+        ))
+    }
+
+    /// Answer `q` under `strategy`.
+    pub fn answer(&self, q: &TreePattern, strategy: Strategy) -> Result<Answer, AnswerError> {
+        match strategy {
+            Strategy::Bn | Strategy::Bf => {
+                let t0 = Instant::now();
+                let nodes = match strategy {
+                    Strategy::Bn => eval_bn(q, &self.doc.tree, &self.node_index),
+                    _ => eval_bf(q, &self.doc, &self.path_index),
+                };
+                let rewrite_us = t0.elapsed().as_micros();
+                let mut codes: Vec<DeweyCode> = nodes
+                    .into_iter()
+                    .map(|n| self.doc.dewey.code_of(&self.doc.tree, n))
+                    .collect();
+                codes.sort();
+                Ok(Answer {
+                    codes,
+                    strategy,
+                    timings: StageTimings {
+                        rewrite_us,
+                        ..StageTimings::default()
+                    },
+                    views_used: Vec::new(),
+                    candidates: 0,
+                })
+            }
+            Strategy::Mn | Strategy::Mv | Strategy::Hv | Strategy::Cb => {
+                let (selection, mut timings, candidates) = self.lookup(q, strategy);
+                let selection = selection.ok_or(AnswerError::NotAnswerable)?;
+                let t0 = Instant::now();
+                let codes = rewrite(q, &selection, &self.views, &self.store, &self.doc.fst)
+                    .map_err(AnswerError::Rewrite)?;
+                timings.rewrite_us = t0.elapsed().as_micros();
+                Ok(Answer {
+                    codes,
+                    strategy,
+                    timings,
+                    views_used: selection.view_ids(),
+                    candidates,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xvr_xml::samples::book_document;
+
+    fn engine_with_views(view_srcs: &[&str]) -> Engine {
+        let mut e = Engine::new(book_document(), EngineConfig::default());
+        for src in view_srcs {
+            e.add_view_str(src).unwrap();
+        }
+        e
+    }
+
+    #[test]
+    fn all_strategies_agree() {
+        let mut e = engine_with_views(&["//s[t]/p", "//s[p]/f", "//s//p", "//s[.//i]"]);
+        let q = e.parse("//s[f//i][t]/p").unwrap();
+        let reference = e.answer(&q, Strategy::Bn).unwrap().codes;
+        assert_eq!(reference.len(), 5);
+        for strategy in Strategy::all_extended() {
+            let a = e.answer(&q, strategy).unwrap();
+            assert_eq!(a.codes, reference, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn view_strategies_report_views_used() {
+        let mut e = engine_with_views(&["//s[t]/p", "//s[p]/f"]);
+        let q = e.parse("//s[f//i][t]/p").unwrap();
+        let a = e.answer(&q, Strategy::Hv).unwrap();
+        assert_eq!(a.views_used.len(), 2);
+        assert!(a.candidates >= 2);
+        let b = e.answer(&q, Strategy::Bf).unwrap();
+        assert!(b.views_used.is_empty());
+    }
+
+    #[test]
+    fn not_answerable_without_views() {
+        let mut e = engine_with_views(&["//s/t"]);
+        let q = e.parse("//s[f//i][t]/p").unwrap();
+        assert_eq!(
+            e.answer(&q, Strategy::Hv).unwrap_err(),
+            AnswerError::NotAnswerable
+        );
+        // Base strategies always work.
+        assert!(e.answer(&q, Strategy::Bn).is_ok());
+    }
+
+    #[test]
+    fn truncated_views_are_skipped_in_selection() {
+        let mut e = Engine::new(
+            book_document(),
+            EngineConfig {
+                fragment_budget: 100,
+                ..EngineConfig::default()
+            },
+        );
+        e.add_view_str("//s[t]/p").unwrap();
+        let q = e.parse("//s[t]/p").unwrap();
+        // The only view is truncated → not answerable (instead of wrong).
+        assert_eq!(
+            e.answer(&q, Strategy::Hv).unwrap_err(),
+            AnswerError::NotAnswerable
+        );
+    }
+
+    #[test]
+    fn incremental_nfa_matches_rebuild() {
+        let mut e = engine_with_views(&["//s[t]/p", "//s[p]/f", "//s//p"]);
+        let q = e.parse("//s[f//i][t]/p").unwrap();
+        let before = e.filter(&q).candidates.clone();
+        e.rebuild_nfa();
+        assert_eq!(e.filter(&q).candidates, before);
+    }
+
+    #[test]
+    fn save_and_load_views_round_trip() {
+        let mut e = engine_with_views(&["//s[t]/p", "//s[p]/f"]);
+        let q = e.parse("//s[f//i][t]/p").unwrap();
+        let want = e.answer(&q, Strategy::Hv).unwrap().codes;
+        let dir = std::env::temp_dir().join(format!("xvr-engine-save-{}", std::process::id()));
+        e.save_views(&dir).unwrap();
+
+        let mut e2 = Engine::new(book_document(), EngineConfig::default());
+        let loaded = e2.load_views(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        let q2 = e2.parse("//s[f//i][t]/p").unwrap();
+        let got = e2.answer(&q2, Strategy::Hv).unwrap().codes;
+        assert_eq!(got, want);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn timings_populate() {
+        let mut e = engine_with_views(&["//s[t]/p"]);
+        let q = e.parse("//s[t]/p").unwrap();
+        let a = e.answer(&q, Strategy::Hv).unwrap();
+        assert!(a.timings.total_us() >= a.timings.lookup_us());
+    }
+}

@@ -1,0 +1,376 @@
+//! View materialization: evaluating a view over the base document once and
+//! storing the answer-node fragments with their extended Dewey codes.
+//!
+//! The paper caps each view's materialization at 128 KB (Section VI);
+//! truncated views are kept in the store but flagged — equivalent rewriting
+//! must not use them (their fragment set is incomplete), so selection skips
+//! them.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+use xvr_pattern::eval;
+use xvr_xml::{DeweyAssignment, DeweyCode, Document, FragmentSet};
+
+use crate::view::{ViewId, ViewSet};
+
+/// The paper's per-view materialization budget.
+pub const PAPER_FRAGMENT_BUDGET: usize = 128 * 1024;
+
+/// One materialized view: fragments plus per-fragment local Dewey
+/// assignments (used to translate fragment-internal nodes back to global
+/// codes during answer extraction).
+#[derive(Clone, Debug)]
+pub struct MaterializedView {
+    /// Which view this materializes.
+    pub view: ViewId,
+    /// The fragments, document-ordered by root code.
+    pub fragments: FragmentSet,
+    /// Local extended-Dewey components per fragment tree. Components of
+    /// non-root nodes equal their components in the base document (the
+    /// assignment is purely local to each parent), so a global code is the
+    /// fragment root's code extended with the local path components.
+    pub local_dewey: Vec<DeweyAssignment>,
+}
+
+impl MaterializedView {
+    /// Global code of `node` inside fragment `frag_idx`.
+    pub fn global_code(&self, frag_idx: usize, node: xvr_xml::NodeId) -> DeweyCode {
+        let frag = &self.fragments.fragments()[frag_idx];
+        let local = self.local_dewey[frag_idx].code_of(&frag.tree, node);
+        let mut comps = frag.code.components().to_vec();
+        comps.extend_from_slice(&local.components()[1..]);
+        DeweyCode(comps)
+    }
+
+    /// Index of the fragment rooted at `code`, if any.
+    pub fn fragment_by_code(&self, code: &DeweyCode) -> Option<usize> {
+        self.fragments
+            .fragments()
+            .binary_search_by(|f| f.code.cmp(code))
+            .ok()
+    }
+
+    /// Is this view usable for *equivalent* rewriting?
+    pub fn complete(&self) -> bool {
+        !self.fragments.truncated()
+    }
+
+    /// Total bytes materialized.
+    pub fn size_bytes(&self) -> usize {
+        self.fragments.total_bytes()
+    }
+}
+
+/// Store of materialized views, indexed by [`ViewId`].
+#[derive(Clone, Debug, Default)]
+pub struct MaterializedStore {
+    views: HashMap<ViewId, MaterializedView>,
+}
+
+impl MaterializedStore {
+    /// Create an empty store.
+    pub fn new() -> MaterializedStore {
+        MaterializedStore::default()
+    }
+
+    /// Materialize every view of `set` over `doc` under `byte_budget` per
+    /// view.
+    pub fn materialize_all(doc: &Document, set: &ViewSet, byte_budget: usize) -> MaterializedStore {
+        let mut store = MaterializedStore::new();
+        for view in set.iter() {
+            store.materialize(doc, set, view.id, byte_budget);
+        }
+        store
+    }
+
+    /// Materialize one view (replacing any previous materialization).
+    pub fn materialize(
+        &mut self,
+        doc: &Document,
+        set: &ViewSet,
+        id: ViewId,
+        byte_budget: usize,
+    ) -> &MaterializedView {
+        let pattern = &set.view(id).pattern;
+        let roots = eval(pattern, &doc.tree);
+        let fragments = FragmentSet::materialize(doc, &roots, byte_budget);
+        let local_dewey = fragments
+            .fragments()
+            .iter()
+            .map(|f| DeweyAssignment::assign(&f.tree, &doc.fst))
+            .collect();
+        self.views.insert(
+            id,
+            MaterializedView {
+                view: id,
+                fragments,
+                local_dewey,
+            },
+        );
+        &self.views[&id]
+    }
+
+    /// Access a materialized view.
+    pub fn get(&self, id: ViewId) -> Option<&MaterializedView> {
+        self.views.get(&id)
+    }
+
+    /// Number of materialized views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// True when nothing is materialized.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Total bytes across all views.
+    pub fn total_bytes(&self) -> usize {
+        self.views.values().map(|v| v.size_bytes()).sum()
+    }
+
+    /// Install an externally produced materialization (e.g. loaded from
+    /// disk). The fragment set must belong to the same document the engine
+    /// queries; [`load`](MaterializedStore::load) validates codes against
+    /// the document's FST.
+    pub fn install(&mut self, doc: &Document, id: ViewId, fragments: FragmentSet) {
+        let local_dewey = fragments
+            .fragments()
+            .iter()
+            .map(|f| DeweyAssignment::assign(&f.tree, &doc.fst))
+            .collect();
+        self.views.insert(
+            id,
+            MaterializedView {
+                view: id,
+                fragments,
+                local_dewey,
+            },
+        );
+    }
+
+    /// Persist all materialized views to `dir`, one file per view
+    /// (`v0000.view`, …). The format is line-oriented: a header, the view's
+    /// XPath, then one `code \t xml` line per fragment (newlines in text
+    /// content are written as character references, so each fragment stays
+    /// on one line and re-parses exactly).
+    pub fn save(
+        &self,
+        views: &ViewSet,
+        labels: &xvr_xml::LabelTable,
+        dir: &Path,
+    ) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for view in views.iter() {
+            let Some(mv) = self.get(view.id) else {
+                continue;
+            };
+            let path = dir.join(format!("v{:04}.view", view.id.index()));
+            let mut out = io::BufWriter::new(std::fs::File::create(path)?);
+            writeln!(out, "# xvr-view v1 truncated={}", mv.fragments.truncated())?;
+            writeln!(out, "{}", view.pattern.display(labels))?;
+            for frag in mv.fragments.fragments() {
+                let xml = xvr_xml::serialize(&frag.tree, labels)
+                    .replace('\r', "&#13;")
+                    .replace('\n', "&#10;");
+                writeln!(out, "{}\t{}", frag.code, xml)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Load view files from `dir`, registering each into `views` and
+    /// installing its fragments. Labels are interned into `labels` (which
+    /// must extend the document's table). Fragment codes are validated
+    /// against the document's FST.
+    pub fn load(
+        &mut self,
+        doc: &Document,
+        views: &mut ViewSet,
+        labels: &mut xvr_xml::LabelTable,
+        dir: &Path,
+    ) -> io::Result<Vec<ViewId>> {
+        let mut paths: Vec<_> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().map(|e| e == "view").unwrap_or(false))
+            .collect();
+        paths.sort();
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let mut loaded = Vec::new();
+        for path in paths {
+            let file = io::BufReader::new(std::fs::File::open(&path)?);
+            let mut lines = file.lines();
+            let header = lines
+                .next()
+                .transpose()?
+                .ok_or_else(|| bad(format!("{}: empty file", path.display())))?;
+            if !header.starts_with("# xvr-view v1") {
+                return Err(bad(format!("{}: not an xvr view file", path.display())));
+            }
+            let truncated = header.contains("truncated=true");
+            let xpath = lines
+                .next()
+                .transpose()?
+                .ok_or_else(|| bad(format!("{}: missing view pattern", path.display())))?;
+            let pattern = xvr_pattern::parse_pattern_with(&xpath, labels)
+                .map_err(|e| bad(format!("{}: {e}", path.display())))?;
+            let mut codes = Vec::new();
+            let mut trees = Vec::new();
+            for line in lines {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let (code_str, xml) = line
+                    .split_once('\t')
+                    .ok_or_else(|| bad(format!("{}: malformed fragment line", path.display())))?;
+                let code: DeweyCode = code_str
+                    .parse()
+                    .map_err(|e| bad(format!("{}: bad code {code_str}: {e}", path.display())))?;
+                // Validate provenance: the code must decode under the
+                // document's FST and end at the fragment root's label.
+                let decoded = doc
+                    .fst
+                    .decode(code.components())
+                    .ok_or_else(|| bad(format!("{}: code {code} does not decode", path.display())))?;
+                let tree = xvr_xml::parser::parse_tree_with(xml, labels)
+                    .map_err(|e| bad(format!("{}: fragment XML: {e}", path.display())))?;
+                if *decoded.last().unwrap() != tree.label(tree.root()) {
+                    return Err(bad(format!(
+                        "{}: code {code} decodes to a different label than the fragment root",
+                        path.display()
+                    )));
+                }
+                codes.push(code);
+                trees.push(tree);
+            }
+            let fragments = FragmentSet::from_parts(codes, trees, &doc.labels, truncated);
+            let id = views.add(pattern);
+            self.install(doc, id, fragments);
+            loaded.push(id);
+        }
+        Ok(loaded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xvr_pattern::parse_pattern_with;
+    use xvr_xml::samples::book_document;
+
+    #[test]
+    fn materializes_example_5_1_views() {
+        let doc = book_document();
+        let mut labels = doc.labels.clone();
+        let mut set = ViewSet::new();
+        let v1 = set.add(parse_pattern_with("//s[t]/p", &mut labels).unwrap());
+        let v2 = set.add(parse_pattern_with("//s[p]/f", &mut labels).unwrap());
+        let store = MaterializedStore::materialize_all(&doc, &set, usize::MAX);
+        assert_eq!(store.get(v1).unwrap().fragments.len(), 8);
+        assert_eq!(store.get(v2).unwrap().fragments.len(), 3);
+        assert!(store.get(v1).unwrap().complete());
+    }
+
+    #[test]
+    fn global_codes_round_trip() {
+        let doc = book_document();
+        let mut labels = doc.labels.clone();
+        let mut set = ViewSet::new();
+        // Materialize sections: fragments have inner structure.
+        let v = set.add(parse_pattern_with("/b/s", &mut labels).unwrap());
+        let store = MaterializedStore::materialize_all(&doc, &set, usize::MAX);
+        let mv = store.get(v).unwrap();
+        // Every fragment-internal node's global code must decode to its
+        // label path within the original document.
+        for (i, frag) in mv.fragments.fragments().iter().enumerate() {
+            for n in frag.tree.iter() {
+                let g = mv.global_code(i, n);
+                let decoded = doc.fst.decode(g.components()).unwrap();
+                let local_path = frag.tree.label_path(n);
+                assert_eq!(&decoded[decoded.len() - local_path.len()..], &local_path[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_flags_incomplete() {
+        let doc = book_document();
+        let mut labels = doc.labels.clone();
+        let mut set = ViewSet::new();
+        let v = set.add(parse_pattern_with("//s", &mut labels).unwrap());
+        let store = MaterializedStore::materialize_all(&doc, &set, 100);
+        assert!(!store.get(v).unwrap().complete());
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let doc = book_document();
+        let mut labels = doc.labels.clone();
+        let mut set = ViewSet::new();
+        let v1 = set.add(parse_pattern_with("//s[t]/p", &mut labels).unwrap());
+        let v2 = set.add(parse_pattern_with("//s[p]/f", &mut labels).unwrap());
+        let store = MaterializedStore::materialize_all(&doc, &set, usize::MAX);
+        let dir = std::env::temp_dir().join(format!("xvr-store-test-{}", std::process::id()));
+        store.save(&set, &labels, &dir).unwrap();
+
+        let mut labels2 = doc.labels.clone();
+        let mut set2 = ViewSet::new();
+        let mut store2 = MaterializedStore::new();
+        let loaded = store2.load(&doc, &mut set2, &mut labels2, &dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        for (orig, new) in [(v1, loaded[0]), (v2, loaded[1])] {
+            let a = store.get(orig).unwrap();
+            let b = store2.get(new).unwrap();
+            assert_eq!(a.fragments.len(), b.fragments.len());
+            let codes_a: Vec<String> = a.fragments.codes().map(|c| c.to_string()).collect();
+            let codes_b: Vec<String> = b.fragments.codes().map(|c| c.to_string()).collect();
+            assert_eq!(codes_a, codes_b);
+            for (fa, fb) in a
+                .fragments
+                .fragments()
+                .iter()
+                .zip(b.fragments.fragments().iter())
+            {
+                assert_eq!(fa.tree.len(), fb.tree.len());
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_corrupt_codes() {
+        let doc = book_document();
+        let dir = std::env::temp_dir().join(format!("xvr-store-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("v0000.view"),
+            "# xvr-view v1 truncated=false\n//s/p\n0.0\t<p/>\n",
+        )
+        .unwrap();
+        // Code 0.0 decodes to b/t, not a p — provenance check must fail.
+        let mut labels = doc.labels.clone();
+        let mut set = ViewSet::new();
+        let mut store = MaterializedStore::new();
+        let err = store.load(&doc, &mut set, &mut labels, &dir).unwrap_err();
+        assert!(err.to_string().contains("different label"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fragment_by_code() {
+        let doc = book_document();
+        let mut labels = doc.labels.clone();
+        let mut set = ViewSet::new();
+        let v = set.add(parse_pattern_with("//p", &mut labels).unwrap());
+        let store = MaterializedStore::materialize_all(&doc, &set, usize::MAX);
+        let mv = store.get(v).unwrap();
+        for (i, frag) in mv.fragments.fragments().iter().enumerate() {
+            assert_eq!(mv.fragment_by_code(&frag.code), Some(i));
+        }
+        assert_eq!(mv.fragment_by_code(&DeweyCode(vec![9, 9, 9])), None);
+    }
+}

@@ -1,0 +1,396 @@
+//! Equivalent rewriting using multiple views (Section V of the paper).
+//!
+//! Given a [`Selection`] — `(view, m)` units covering every obligation of
+//! the query, with a designated anchor — the rewriter produces the query's
+//! exact answer **without touching the base document**, in three stages
+//! mirroring the paper's pipeline:
+//!
+//! 1. **Refinement** ("pushing selection"): for each unit, the compensating
+//!    pattern — the full query subtree rooted at `m` — is evaluated inside
+//!    each materialized fragment, anchored at the fragment root. Fragments
+//!    failing their compensating predicates are dropped before the join.
+//! 2. **Holistic join on encodings**: the *skeleton* of the query (the
+//!    union of the chains `root → m_i`) is matched against the **prefix
+//!    tree** of the surviving fragment codes. Every prefix of an extended
+//!    Dewey code decodes to a concrete ancestor label via the FST, so the
+//!    prefix tree is an exact fragment of the base document's structure —
+//!    joining there is the paper's "join using the encoding scheme". Unit
+//!    positions `m_i` are restricted to that unit's surviving codes.
+//! 3. **Extraction**: the query's answer bindings are read out of the
+//!    anchor unit's fragments (the answer node lies at-or-below the
+//!    anchor's `m`), translated back to global codes.
+//!
+//! Together with the soundness of the leaf-cover rule (see
+//! [`crate::leafcover`]) this yields an *equivalent* rewriting: the output
+//! equals direct evaluation of the query on the base document — the
+//! property the integration suite checks end-to-end.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use xvr_pattern::{eval_anchored, eval_restricted, Axis, PNodeId, TreePattern};
+use xvr_xml::{DeweyCode, Fst, NodeId, XmlTree};
+
+use crate::materialize::MaterializedStore;
+use crate::select::Selection;
+use crate::view::ViewSet;
+
+/// Rewriting failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RewriteError {
+    /// A selected view has no materialization in the store.
+    NotMaterialized(crate::view::ViewId),
+    /// A selected view's materialization was truncated by the byte budget,
+    /// so equivalent rewriting is impossible.
+    IncompleteMaterialization(crate::view::ViewId),
+    /// A fragment code could not be decoded under the document FST
+    /// (fragments belong to a different document).
+    UndecodableCode(DeweyCode),
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::NotMaterialized(v) => write!(f, "view {v:?} is not materialized"),
+            RewriteError::IncompleteMaterialization(v) => {
+                write!(f, "view {v:?} was truncated by the byte budget")
+            }
+            RewriteError::UndecodableCode(c) => write!(f, "code {c} does not decode under FST"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+/// Rewrite `q` using the selected views; returns the answer codes in
+/// document order.
+pub fn rewrite(
+    q: &TreePattern,
+    selection: &Selection,
+    views: &ViewSet,
+    store: &MaterializedStore,
+    fst: &Fst,
+) -> Result<Vec<DeweyCode>, RewriteError> {
+    let _ = views; // selection already carries everything pattern-level
+    // Stage 1: refine each unit's fragments with its compensating pattern.
+    let mut refined: Vec<Vec<DeweyCode>> = Vec::with_capacity(selection.units.len());
+    // Anchor extraction cache: fragment root code → answer codes inside.
+    let mut anchor_answers: HashMap<DeweyCode, Vec<DeweyCode>> = HashMap::new();
+    for (i, unit) in selection.units.iter().enumerate() {
+        let mv = store
+            .get(unit.view)
+            .ok_or(RewriteError::NotMaterialized(unit.view))?;
+        if !mv.complete() {
+            return Err(RewriteError::IncompleteMaterialization(unit.view));
+        }
+        let compensating = q.subtree_pattern(unit.cover.m, Axis::Descendant);
+        let mut codes = Vec::new();
+        for (fi, frag) in mv.fragments.fragments().iter().enumerate() {
+            if i == selection.anchor {
+                // Extraction doubles as refinement for the anchor.
+                let answers = eval_anchored(&compensating, &frag.tree, frag.tree.root());
+                if answers.is_empty() {
+                    continue;
+                }
+                let globals: Vec<DeweyCode> =
+                    answers.into_iter().map(|n| mv.global_code(fi, n)).collect();
+                anchor_answers.insert(frag.code.clone(), globals);
+                codes.push(frag.code.clone());
+            } else if xvr_pattern::matches_anchored(&compensating, &frag.tree, frag.tree.root())
+            {
+                codes.push(frag.code.clone());
+            }
+        }
+        codes.sort();
+        refined.push(codes);
+    }
+
+    // Stage 2: join over the code prefix tree.
+    let skeleton = Skeleton::build(q, selection);
+    let prefix_tree = PrefixTree::build(refined.iter().flatten(), fst)?;
+    if prefix_tree.tree.is_empty() {
+        return Ok(Vec::new());
+    }
+    let restrictions = skeleton.restrictions(selection, &refined);
+    let admissible = |s: PNodeId, x: NodeId| -> bool {
+        match restrictions.get(&s) {
+            None => true,
+            Some(lists) => {
+                let code = &prefix_tree.codes[x.index()];
+                lists
+                    .iter()
+                    .all(|&list| list.binary_search(code).is_ok())
+            }
+        }
+    };
+    let anchors = eval_restricted(&skeleton.pattern, &prefix_tree.tree, &admissible);
+
+    // Stage 3: extract from the anchor's fragments.
+    let mut out: Vec<DeweyCode> = Vec::new();
+    for a in anchors {
+        let code = &prefix_tree.codes[a.index()];
+        if let Some(answers) = anchor_answers.get(code) {
+            out.extend(answers.iter().cloned());
+        }
+    }
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+/// The query skeleton: the union of the chains `root → m_i`, as a pattern
+/// whose answer node is the anchor's `m`. Attribute predicates are *not*
+/// copied — codes carry no attributes; attribute obligations are discharged
+/// by the leaf-cover rule (fragment content or view guarantee).
+struct Skeleton {
+    pattern: TreePattern,
+    /// Skeleton node of each query node included.
+    q_to_s: HashMap<PNodeId, PNodeId>,
+}
+
+impl Skeleton {
+    fn build(q: &TreePattern, selection: &Selection) -> Skeleton {
+        // Collect the prefix-closed set of query nodes on any root→m chain.
+        let mut include: Vec<bool> = vec![false; q.len()];
+        for unit in &selection.units {
+            for n in q.root_path(unit.cover.m) {
+                include[n.index()] = true;
+            }
+        }
+        let mut pattern = TreePattern::with_root(q.axis(q.root()), q.label(q.root()));
+        let mut q_to_s: HashMap<PNodeId, PNodeId> = HashMap::new();
+        q_to_s.insert(q.root(), pattern.root());
+        // Query ids are parent-before-child.
+        for n in q.ids().skip(1) {
+            if !include[n.index()] {
+                continue;
+            }
+            let parent_s = q_to_s[&q.parent(n).expect("non-root")];
+            let s = pattern.add_child(parent_s, q.axis(n), q.label(n));
+            q_to_s.insert(n, s);
+        }
+        let anchor_m = selection.units[selection.anchor].cover.m;
+        pattern.set_answer(q_to_s[&anchor_m]);
+        Skeleton { pattern, q_to_s }
+    }
+
+    /// Per-skeleton-node code restrictions: each unit pins its `m` to its
+    /// refined code list; several units on the same node all apply.
+    fn restrictions<'a>(
+        &self,
+        selection: &Selection,
+        refined: &'a [Vec<DeweyCode>],
+    ) -> HashMap<PNodeId, Vec<&'a [DeweyCode]>> {
+        let mut map: HashMap<PNodeId, Vec<&'a [DeweyCode]>> = HashMap::new();
+        for (unit, codes) in selection.units.iter().zip(refined.iter()) {
+            let s = self.q_to_s[&unit.cover.m];
+            map.entry(s).or_default().push(codes.as_slice());
+        }
+        map
+    }
+}
+
+/// The prefix-closure of a set of extended Dewey codes, materialized as a
+/// labelled tree via the FST. An exact structural fragment of the base
+/// document: node = code prefix, label = FST decode, edges = real
+/// parent/child relations.
+struct PrefixTree {
+    tree: XmlTree,
+    /// Code of each tree node (dense by node index).
+    codes: Vec<DeweyCode>,
+}
+
+impl PrefixTree {
+    fn build<'a, I: Iterator<Item = &'a DeweyCode>>(
+        codes: I,
+        fst: &Fst,
+    ) -> Result<PrefixTree, RewriteError> {
+        let mut tree = XmlTree::new();
+        let mut node_codes: Vec<DeweyCode> = Vec::new();
+        let mut by_prefix: HashMap<Vec<u32>, NodeId> = HashMap::new();
+        for code in codes {
+            let comps = code.components();
+            if comps.is_empty() {
+                return Err(RewriteError::UndecodableCode(code.clone()));
+            }
+            // Root prefix.
+            if tree.is_empty() {
+                let r = tree.add_root(fst.root_label());
+                by_prefix.insert(comps[..1].to_vec(), r);
+                node_codes.push(DeweyCode(comps[..1].to_vec()));
+            }
+            let mut cur = *by_prefix
+                .get(&comps[..1])
+                .ok_or_else(|| RewriteError::UndecodableCode(code.clone()))?;
+            for k in 2..=comps.len() {
+                let prefix = &comps[..k];
+                cur = match by_prefix.get(prefix) {
+                    Some(&n) => n,
+                    None => {
+                        let parent_label = tree.label(cur);
+                        let label = fst
+                            .step(parent_label, comps[k - 1])
+                            .ok_or_else(|| RewriteError::UndecodableCode(code.clone()))?;
+                        let n = tree.add_child(cur, label);
+                        by_prefix.insert(prefix.to_vec(), n);
+                        node_codes.push(DeweyCode(prefix.to_vec()));
+                        n
+                    }
+                };
+            }
+        }
+        Ok(PrefixTree {
+            tree,
+            codes: node_codes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{build_nfa, filter_views};
+    use crate::leafcover::Obligations;
+    use crate::materialize::MaterializedStore;
+    use crate::select::{select_heuristic, select_minimum};
+    use crate::view::ViewSet;
+    use xvr_pattern::{eval, parse_pattern_with};
+    use xvr_xml::samples::book_document;
+    use xvr_xml::Document;
+
+    fn direct_codes(doc: &Document, q: &TreePattern) -> Vec<String> {
+        eval(q, &doc.tree)
+            .into_iter()
+            .map(|n| doc.dewey.code_of(&doc.tree, n).to_string())
+            .collect()
+    }
+
+    /// Full pipeline on the book document: filter → select → rewrite.
+    fn answer_with_views(
+        doc: &Document,
+        view_srcs: &[&str],
+        qsrc: &str,
+        heuristic: bool,
+    ) -> Option<Vec<String>> {
+        let mut labels = doc.labels.clone();
+        let mut views = ViewSet::new();
+        for src in view_srcs {
+            views.add(parse_pattern_with(src, &mut labels).unwrap());
+        }
+        let q = parse_pattern_with(qsrc, &mut labels).unwrap();
+        let nfa = build_nfa(&views);
+        let filter = filter_views(&q, &views, &nfa);
+        let ob = Obligations::of(&q);
+        let selection = if heuristic {
+            select_heuristic(&q, &views, &filter, &ob)?
+        } else {
+            select_minimum(&q, &views, &filter.candidates, &ob, 4)?
+        };
+        let store = MaterializedStore::materialize_all(doc, &views, usize::MAX);
+        let codes = rewrite(&q, &selection, &views, &store, &doc.fst).unwrap();
+        Some(codes.into_iter().map(|c| c.to_string()).collect())
+    }
+
+    #[test]
+    fn example_5_1_end_to_end() {
+        // V1 = s[t]/p, V2 = s[p]/f answer Q_e = s[f//i][t]/p, yielding
+        // {p3, p4, p5, p6, p7}.
+        let doc = book_document();
+        let got = answer_with_views(
+            &doc,
+            &["//s[t]/p", "//s[p]/f"],
+            "//s[f//i][t]/p",
+            true,
+        )
+        .expect("answerable");
+        let want = direct_codes(&doc, &{
+            let mut labels = doc.labels.clone();
+            parse_pattern_with("//s[f//i][t]/p", &mut labels).unwrap()
+        });
+        assert_eq!(got, want);
+        assert_eq!(got.len(), 5);
+    }
+
+    #[test]
+    fn single_view_rewriting() {
+        let doc = book_document();
+        for qsrc in ["//s[t]/p", "//s/p", "//f/i", "/b//p"] {
+            let got = answer_with_views(&doc, &[qsrc], qsrc, true).expect("self-answerable");
+            let mut labels = doc.labels.clone();
+            let q = parse_pattern_with(qsrc, &mut labels).unwrap();
+            assert_eq!(got, direct_codes(&doc, &q), "{qsrc}");
+        }
+    }
+
+    #[test]
+    fn minimum_and_heuristic_agree_on_answers() {
+        let doc = book_document();
+        let views = ["//s[t]/p", "//s[p]/f", "//s//p", "//s[.//i]"];
+        for qsrc in ["//s[f//i][t]/p", "//s[t]/p"] {
+            let h = answer_with_views(&doc, &views, qsrc, true);
+            let m = answer_with_views(&doc, &views, qsrc, false);
+            assert_eq!(h, m, "{qsrc}");
+            let mut labels = doc.labels.clone();
+            let q = parse_pattern_with(qsrc, &mut labels).unwrap();
+            assert_eq!(h.unwrap(), direct_codes(&doc, &q), "{qsrc}");
+        }
+    }
+
+    #[test]
+    fn empty_result_when_predicates_fail() {
+        let doc = book_document();
+        // Sections with an author child do not exist.
+        let got = answer_with_views(&doc, &["//s[a]/p", "//s[t]/p"], "//s[a]/p", true);
+        if let Some(codes) = got {
+            assert!(codes.is_empty());
+        }
+    }
+
+    #[test]
+    fn anchored_answer_below_view_root() {
+        // Anchor view returns sections; query answer is a paragraph below.
+        let doc = book_document();
+        let got = answer_with_views(&doc, &["//s[t]", "//s[p]/f"], "//s[f//i][t]/p", true)
+            .expect("answerable");
+        let mut labels = doc.labels.clone();
+        let q = parse_pattern_with("//s[f//i][t]/p", &mut labels).unwrap();
+        assert_eq!(got, direct_codes(&doc, &q));
+    }
+
+    #[test]
+    fn rewrite_errors_on_truncated_view() {
+        let doc = book_document();
+        let mut labels = doc.labels.clone();
+        let mut views = ViewSet::new();
+        let q = parse_pattern_with("//s[t]/p", &mut labels).unwrap();
+        views.add(q.clone());
+        let nfa = build_nfa(&views);
+        let filter = filter_views(&q, &views, &nfa);
+        let ob = Obligations::of(&q);
+        let selection = select_heuristic(&q, &views, &filter, &ob).unwrap();
+        let store = MaterializedStore::materialize_all(&doc, &views, 60);
+        let err = rewrite(&q, &selection, &views, &store, &doc.fst).unwrap_err();
+        assert!(matches!(err, RewriteError::IncompleteMaterialization(_)));
+    }
+
+    #[test]
+    fn prefix_tree_is_structural_fragment() {
+        let doc = book_document();
+        let codes: Vec<DeweyCode> = vec![
+            DeweyCode(vec![0, 8, 6, 1]),
+            DeweyCode(vec![0, 8, 6, 3]),
+            DeweyCode(vec![0, 11]),
+        ];
+        let pt = PrefixTree::build(codes.iter(), &doc.fst).unwrap();
+        // Prefix closure: 0 / 0.8 / 0.8.6 / 0.8.6.1 / 0.8.6.3 / 0.11.
+        assert_eq!(pt.tree.len(), 6);
+        // Labels decode correctly: node 0.8.6 is labelled `s`.
+        let s = doc.labels.get("s").unwrap();
+        let idx = pt
+            .codes
+            .iter()
+            .position(|c| c.components() == [0, 8, 6])
+            .unwrap();
+        assert_eq!(pt.tree.label(xvr_xml::NodeId(idx as u32)), s);
+    }
+}

@@ -1,0 +1,183 @@
+//! Tree-pattern decomposition `D(Q)` (Section III-A of the paper).
+//!
+//! `D(Q)` is the set of *distinct* root-to-leaf path patterns of `Q`.
+//! Proposition 3.1 makes this the basis of filtering: if `Q ⊑ Q'` then every
+//! path of `D(Q')` contains some path of `D(Q)`.
+
+use crate::pattern::{PNodeId, TreePattern};
+use crate::paths::{PathPattern, Step};
+
+/// The decomposition of a tree pattern, with leaf provenance.
+#[derive(Clone, Debug)]
+pub struct Decomposition {
+    /// Distinct root-to-leaf path patterns, in first-leaf order.
+    pub paths: Vec<PathPattern>,
+    /// For each leaf of the pattern (in [`TreePattern::leaves`] order), the
+    /// index into `paths` of its root path.
+    pub leaf_paths: Vec<(PNodeId, usize)>,
+    /// Per path: a 64-bit Bloom signature (bit = `name.index() mod 64`) of
+    /// the attribute names *provided* along it — the union over all leaves
+    /// sharing the spelling. Query-side input to the attribute-aware
+    /// VFILTER extension.
+    pub attr_masks: Vec<u64>,
+    /// Per path: the signature of attribute names *required* by every leaf
+    /// sharing the spelling (intersection over duplicates — the sound
+    /// view-side necessary condition: a view path can only contain a query
+    /// path whose provided signature covers this).
+    pub attr_required_masks: Vec<u64>,
+}
+
+impl Decomposition {
+    /// `|D(Q)|`.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True when the decomposition is empty (never, for valid patterns).
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Path index of a given leaf node, if it is a leaf.
+    pub fn path_of_leaf(&self, leaf: PNodeId) -> Option<usize> {
+        self.leaf_paths
+            .iter()
+            .find(|(n, _)| *n == leaf)
+            .map(|(_, i)| *i)
+    }
+}
+
+/// Compute `D(Q)`.
+pub fn decompose(q: &TreePattern) -> Decomposition {
+    let mut paths: Vec<PathPattern> = Vec::new();
+    let mut leaf_paths = Vec::new();
+    let mut attr_masks: Vec<u64> = Vec::new();
+    let mut attr_required_masks: Vec<u64> = Vec::new();
+    for leaf in q.leaves() {
+        let chain = q.root_path(leaf);
+        let steps: Vec<Step> = chain
+            .iter()
+            .map(|&n| Step {
+                axis: q.axis(n),
+                label: q.label(n),
+            })
+            .collect();
+        let mask = chain
+            .iter()
+            .flat_map(|&n| q.node(n).attrs.iter())
+            .fold(0u64, |m, pred| m | 1u64 << (pred.name.index() % 64));
+        let path = PathPattern::new(steps);
+        let idx = match paths.iter().position(|p| *p == path) {
+            Some(i) => i,
+            None => {
+                paths.push(path);
+                attr_masks.push(mask);
+                attr_required_masks.push(mask);
+                paths.len() - 1
+            }
+        };
+        // Duplicate spellings may differ in attributes: the *provided*
+        // signature is their union (generous for the query side), the
+        // *required* signature their intersection (sound for the view
+        // side).
+        attr_masks[idx] |= mask;
+        attr_required_masks[idx] &= mask;
+        leaf_paths.push((leaf, idx));
+    }
+    Decomposition {
+        paths,
+        leaf_paths,
+        attr_masks,
+        attr_required_masks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_pattern_with;
+    use xvr_xml::LabelTable;
+
+    fn decomp(src: &str) -> (Decomposition, LabelTable) {
+        let mut labels = LabelTable::new();
+        let q = parse_pattern_with(src, &mut labels).unwrap();
+        (decompose(&q), labels)
+    }
+
+    #[test]
+    fn paper_example_q_e() {
+        // D(b[//f//*]//*) from Sec. III-A: the example Q_e = b[*//f//*]//*
+        // has D(Q_e) = {b//*, b//*/f//*} — we use the spelled-out variant.
+        let (d, labels) = decomp("/b[.//*/f//*]//*");
+        let shown: Vec<String> = d
+            .paths
+            .iter()
+            .map(|p| p.display(&labels).to_string())
+            .collect();
+        assert_eq!(shown, vec!["/b//*/f//*", "/b//*"]);
+    }
+
+    #[test]
+    fn duplicate_paths_collapse() {
+        // Both branches yield the same path pattern.
+        let (d, _) = decomp("/a[b/c][b/c]/d");
+        assert_eq!(d.len(), 2); // a/b/c (deduped) and a/d
+        assert_eq!(d.leaf_paths.len(), 3);
+    }
+
+    #[test]
+    fn single_path_pattern() {
+        let (d, labels) = decomp("/a/b//c");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.paths[0].display(&labels).to_string(), "/a/b//c");
+    }
+
+    #[test]
+    fn table_ii_style_views() {
+        // V1 = s[t]/p decomposes into s/t and s/p.
+        let (d, labels) = decomp("/s[t]/p");
+        let shown: Vec<String> = d
+            .paths
+            .iter()
+            .map(|p| p.display(&labels).to_string())
+            .collect();
+        assert_eq!(shown, vec!["/s/t", "/s/p"]);
+    }
+
+    #[test]
+    fn attr_masks_union_and_intersection() {
+        let mut labels = LabelTable::new();
+        // Two leaves share the spelling a/b; one requires @x, one nothing.
+        let q = parse_pattern_with(r#"/a[b[@x]][b]/c[@y]"#, &mut labels).unwrap();
+        let d = decompose(&q);
+        // Paths: a/b (deduped) and a/c.
+        assert_eq!(d.len(), 2);
+        let x = labels.get("x").unwrap();
+        let y = labels.get("y").unwrap();
+        let bit = |l: xvr_xml::Label| 1u64 << (l.index() % 64);
+        let ab = d
+            .paths
+            .iter()
+            .position(|p| p.len() == 2 && p.display(&labels).to_string() == "/a/b")
+            .unwrap();
+        let ac = 1 - ab;
+        assert_eq!(d.attr_masks[ab], bit(x), "provided: union");
+        assert_eq!(d.attr_required_masks[ab], 0, "required: intersection");
+        assert_eq!(d.attr_masks[ac], bit(y));
+        assert_eq!(d.attr_required_masks[ac], bit(y));
+    }
+
+    #[test]
+    fn leaf_provenance() {
+        let mut labels = LabelTable::new();
+        let q = parse_pattern_with("/s[f//i][t]/p", &mut labels).unwrap();
+        let d = decompose(&q);
+        assert_eq!(d.len(), 3);
+        for leaf in q.leaves() {
+            let idx = d.path_of_leaf(leaf).unwrap();
+            assert_eq!(d.paths[idx].last_label(), q.label(leaf));
+        }
+        // Non-leaf nodes have no path.
+        assert_eq!(d.path_of_leaf(q.root()), None);
+    }
+}

@@ -1,0 +1,390 @@
+//! Tree-pattern evaluation over documents.
+//!
+//! [`eval`] is the reference engine: a bottom-up match-set computation in
+//! `O(|P| · |T|)`, followed by a top-down pass along the trunk to extract
+//! answer-node bindings. [`eval_bn`] is the same algorithm seeded from the
+//! label index — the paper's `BN` ("basic node index") baseline. The
+//! path-index-assisted `BF` engine lives in [`crate::holistic`].
+
+use xvr_xml::{NodeIndex, NodeId, XmlTree};
+
+use crate::pattern::{Axis, PLabel, PNodeId, TreePattern};
+
+/// Evaluate `pattern` over `tree`, returning answer-node bindings in
+/// document order.
+pub fn eval(pattern: &TreePattern, tree: &XmlTree) -> Vec<NodeId> {
+    eval_inner(pattern, tree, None)
+}
+
+/// Evaluate using a label index to seed candidate sets (`BN` baseline).
+pub fn eval_bn(pattern: &TreePattern, tree: &XmlTree, index: &NodeIndex) -> Vec<NodeId> {
+    eval_inner(pattern, tree, Some(index))
+}
+
+/// Evaluate with the pattern root pinned to `root_binding` (the root's own
+/// axis is ignored). Used to run compensating queries *inside* materialized
+/// fragments, where the fragment root plays the part of the pattern root.
+pub fn eval_anchored(pattern: &TreePattern, tree: &XmlTree, root_binding: NodeId) -> Vec<NodeId> {
+    if tree.is_empty() {
+        return Vec::new();
+    }
+    let d = match_sets(pattern, tree, None);
+    if !d[pattern.root().index()][root_binding.index()] {
+        return Vec::new();
+    }
+    let mut allowed = vec![false; tree.len()];
+    allowed[root_binding.index()] = true;
+    refine_trunk(pattern, tree, &d, allowed)
+}
+
+/// Boolean form of [`eval_anchored`]: does the pattern match with its root
+/// bound to `root_binding`?
+pub fn matches_anchored(pattern: &TreePattern, tree: &XmlTree, root_binding: NodeId) -> bool {
+    !tree.is_empty() && {
+        let d = match_sets(pattern, tree, None);
+        d[pattern.root().index()][root_binding.index()]
+    }
+}
+
+/// Boolean evaluation: does the pattern match the tree at all?
+pub fn matches_boolean(pattern: &TreePattern, tree: &XmlTree) -> bool {
+    if tree.is_empty() {
+        return false;
+    }
+    let d = match_sets(pattern, tree, None);
+    let found = root_bindings(pattern, tree, &d).next().is_some();
+    found
+}
+
+/// Evaluate with an extra per-(pattern node, tree node) admissibility
+/// predicate ANDed into the match sets. Used by the rewriter to restrict
+/// view answer positions to materialized fragment roots when joining over
+/// the code prefix tree.
+pub fn eval_restricted(
+    pattern: &TreePattern,
+    tree: &XmlTree,
+    admissible: &dyn Fn(PNodeId, NodeId) -> bool,
+) -> Vec<NodeId> {
+    if tree.is_empty() {
+        return Vec::new();
+    }
+    let d = match_sets_filtered(pattern, tree, admissible);
+    let mut allowed = vec![false; tree.len()];
+    for x in root_bindings(pattern, tree, &d) {
+        allowed[x.index()] = true;
+    }
+    refine_trunk(pattern, tree, &d, allowed)
+}
+
+/// `match_sets` with an admissibility predicate.
+fn match_sets_filtered(
+    pattern: &TreePattern,
+    tree: &XmlTree,
+    admissible: &dyn Fn(PNodeId, NodeId) -> bool,
+) -> Vec<Vec<bool>> {
+    let mut d: Vec<Vec<bool>> = vec![Vec::new(); pattern.len()];
+    for &pn in &pattern.postorder() {
+        let mut set = vec![false; tree.len()];
+        let mut desc_flags: Vec<(PNodeId, Vec<bool>)> = Vec::new();
+        for &pc in pattern.children(pn) {
+            if pattern.axis(pc) == Axis::Descendant {
+                desc_flags.push((pc, has_descendant_in(tree, &d[pc.index()])));
+            }
+        }
+        'cand: for x in tree.iter() {
+            if !pattern.label(pn).matches(tree.label(x)) || !admissible(pn, x) {
+                continue;
+            }
+            for pred in &pattern.node(pn).attrs {
+                let ok = match &pred.value {
+                    None => tree.attr(x, pred.name).is_some(),
+                    Some(v) => tree.attr(x, pred.name) == Some(v.as_str()),
+                };
+                if !ok {
+                    continue 'cand;
+                }
+            }
+            for &pc in pattern.children(pn) {
+                let ok = match pattern.axis(pc) {
+                    Axis::Child => tree.children(x).iter().any(|&y| d[pc.index()][y.index()]),
+                    Axis::Descendant => desc_flags
+                        .iter()
+                        .find(|(id, _)| *id == pc)
+                        .map(|(_, flags)| flags[x.index()])
+                        .unwrap_or(false),
+                };
+                if !ok {
+                    continue 'cand;
+                }
+            }
+            set[x.index()] = true;
+        }
+        d[pn.index()] = set;
+    }
+    d
+}
+
+/// Match sets for every pattern node: `d[pn][x]` = the subtree of `pattern`
+/// rooted at `pn` embeds with `pn ↦ x`.
+fn match_sets(pattern: &TreePattern, tree: &XmlTree, index: Option<&NodeIndex>) -> Vec<Vec<bool>> {
+    let nt = tree.len();
+    let mut d: Vec<Vec<bool>> = vec![Vec::new(); pattern.len()];
+    for &pn in &pattern.postorder() {
+        let mut set = vec![false; nt];
+        // Precompute "has proper descendant matching pc" arrays for the
+        // descendant-axis children of pn.
+        let mut desc_flags: Vec<(PNodeId, Vec<bool>)> = Vec::new();
+        for &pc in pattern.children(pn) {
+            if pattern.axis(pc) == Axis::Descendant {
+                desc_flags.push((pc, has_descendant_in(tree, &d[pc.index()])));
+            }
+        }
+        let candidates: Box<dyn Iterator<Item = NodeId>> =
+            match (index, pattern.label(pn)) {
+                (Some(idx), PLabel::Lab(l)) => Box::new(idx.nodes(l).iter().copied()),
+                _ => Box::new(tree.iter()),
+            };
+        'cand: for x in candidates {
+            if !pattern.label(pn).matches(tree.label(x)) {
+                continue;
+            }
+            for pred in &pattern.node(pn).attrs {
+                let ok = match &pred.value {
+                    None => tree.attr(x, pred.name).is_some(),
+                    Some(v) => tree.attr(x, pred.name) == Some(v.as_str()),
+                };
+                if !ok {
+                    continue 'cand;
+                }
+            }
+            for &pc in pattern.children(pn) {
+                let ok = match pattern.axis(pc) {
+                    Axis::Child => tree.children(x).iter().any(|&y| d[pc.index()][y.index()]),
+                    Axis::Descendant => desc_flags
+                        .iter()
+                        .find(|(id, _)| *id == pc)
+                        .map(|(_, flags)| flags[x.index()])
+                        .unwrap_or(false),
+                };
+                if !ok {
+                    continue 'cand;
+                }
+            }
+            set[x.index()] = true;
+        }
+        d[pn.index()] = set;
+    }
+    d
+}
+
+/// `out[x]` = some proper descendant `y` of `x` has `set[y]`.
+fn has_descendant_in(tree: &XmlTree, set: &[bool]) -> Vec<bool> {
+    let mut out = vec![false; tree.len()];
+    // Post-order via reversed pre-order (children have larger arena ids than
+    // parents is NOT guaranteed in general trees built by hand, so walk
+    // explicitly).
+    let mut order: Vec<NodeId> = tree.iter().collect();
+    order.reverse();
+    for x in order {
+        for &c in tree.children(x) {
+            if set[c.index()] || out[c.index()] {
+                out[x.index()] = true;
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Tree nodes where the whole pattern matches with the root bound there.
+fn root_bindings<'a>(
+    pattern: &'a TreePattern,
+    tree: &'a XmlTree,
+    d: &'a [Vec<bool>],
+) -> impl Iterator<Item = NodeId> + 'a {
+    let root_set = &d[pattern.root().index()];
+    let anchored = pattern.axis(pattern.root()) == Axis::Child;
+    tree.iter()
+        .filter(move |x| root_set[x.index()] && (!anchored || *x == tree.root()))
+}
+
+fn eval_inner(pattern: &TreePattern, tree: &XmlTree, index: Option<&NodeIndex>) -> Vec<NodeId> {
+    if tree.is_empty() {
+        return Vec::new();
+    }
+    let d = match_sets(pattern, tree, index);
+    let mut allowed = vec![false; tree.len()];
+    for x in root_bindings(pattern, tree, &d) {
+        allowed[x.index()] = true;
+    }
+    refine_trunk(pattern, tree, &d, allowed)
+}
+
+/// Top-down refinement along the trunk only: branch conditions are already
+/// folded into the match sets. `allowed` holds the admissible root bindings.
+fn refine_trunk(
+    pattern: &TreePattern,
+    tree: &XmlTree,
+    d: &[Vec<bool>],
+    mut allowed: Vec<bool>,
+) -> Vec<NodeId> {
+    let trunk = pattern.trunk();
+    for win in trunk.windows(2) {
+        let (_prev, next) = (win[0], win[1]);
+        let mut next_allowed = vec![false; tree.len()];
+        match pattern.axis(next) {
+            Axis::Child => {
+                for x in tree.iter() {
+                    if d[next.index()][x.index()] {
+                        if let Some(p) = tree.parent(x) {
+                            if allowed[p.index()] {
+                                next_allowed[x.index()] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            Axis::Descendant => {
+                // under[x] = some proper ancestor of x is allowed.
+                let mut under = vec![false; tree.len()];
+                for x in tree.iter() {
+                    if let Some(p) = tree.parent(x) {
+                        under[x.index()] = allowed[p.index()] || under[p.index()];
+                    }
+                }
+                for x in tree.iter() {
+                    if d[next.index()][x.index()] && under[x.index()] {
+                        next_allowed[x.index()] = true;
+                    }
+                }
+            }
+        }
+        allowed = next_allowed;
+    }
+    tree.iter().filter(|x| allowed[x.index()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_pattern_with;
+    use xvr_xml::samples::book_document;
+    use xvr_xml::Document;
+
+    fn run(doc: &Document, src: &str) -> Vec<String> {
+        let mut labels = doc.labels.clone();
+        let p = parse_pattern_with(src, &mut labels).unwrap();
+        eval(&p, &doc.tree)
+            .into_iter()
+            .map(|n| doc.dewey.code_of(&doc.tree, n).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn simple_child_paths() {
+        let doc = book_document();
+        assert_eq!(run(&doc, "/b").len(), 1);
+        assert_eq!(run(&doc, "/b/t").len(), 1);
+        assert_eq!(run(&doc, "/b/a").len(), 3);
+        assert_eq!(run(&doc, "/b/s").len(), 2);
+    }
+
+    #[test]
+    fn descendants_and_wildcards() {
+        let doc = book_document();
+        assert_eq!(run(&doc, "//p").len(), 8);
+        assert_eq!(run(&doc, "//s//p").len(), 8);
+        assert_eq!(run(&doc, "//s/s/p").len(), 6);
+        assert_eq!(run(&doc, "/b/*").len(), 6);
+        assert_eq!(run(&doc, "//f/i").len(), 3);
+        assert_eq!(run(&doc, "//*/i").len(), 3);
+    }
+
+    #[test]
+    fn branch_predicates() {
+        let doc = book_document();
+        // s nodes with a figure child: s3 (0.8.6), s4 (0.11), s5 (0.11.6).
+        assert_eq!(run(&doc, "//s[f]").len(), 3);
+        // V1 = s[t]/p: all 8 paragraphs (every section has a title).
+        assert_eq!(run(&doc, "//s[t]/p").len(), 8);
+        // V2 = s[p]/f: figures whose section has a paragraph: all 3.
+        assert_eq!(run(&doc, "//s[p]/f").len(), 3);
+    }
+
+    #[test]
+    fn example_5_1_query() {
+        let doc = book_document();
+        // Q_e = s[f//i][t]/p → {p3, p4, p5, p6, p7}.
+        let mut got = run(&doc, "//s[f//i][t]/p");
+        got.sort();
+        assert_eq!(got.len(), 5);
+        // p3 = 0.8.6.1 and p4 = 0.8.6.5 are in section 0.8.6.
+        assert!(got.contains(&"0.8.6.1".to_string()));
+        assert!(got.contains(&"0.8.6.5".to_string()));
+    }
+
+    #[test]
+    fn root_anchoring() {
+        let doc = book_document();
+        assert_eq!(run(&doc, "/s").len(), 0); // document element is b
+        assert_eq!(run(&doc, "//s").len(), 6);
+        assert_eq!(run(&doc, "/*").len(), 1);
+        assert_eq!(run(&doc, "//*").len(), 34);
+    }
+
+    #[test]
+    fn answer_node_mid_pattern() {
+        let doc = book_document();
+        // Sections that contain (somewhere) an image: s1, s3, s4, s5.
+        assert_eq!(run(&doc, "//s[.//i]").len(), 4);
+    }
+
+    #[test]
+    fn bn_matches_naive() {
+        let doc = book_document();
+        let idx = NodeIndex::build(&doc.tree, &doc.labels);
+        let mut labels = doc.labels.clone();
+        for src in [
+            "//s[t]/p",
+            "//s[f//i][t]/p",
+            "/b//f",
+            "//s/s",
+            "//*[i]",
+            "/b[a]/t",
+        ] {
+            let p = parse_pattern_with(src, &mut labels).unwrap();
+            assert_eq!(eval(&p, &doc.tree), eval_bn(&p, &doc.tree, &idx), "{src}");
+        }
+    }
+
+    #[test]
+    fn boolean_matching() {
+        let doc = book_document();
+        let mut labels = doc.labels.clone();
+        let yes = parse_pattern_with("/b[a]/t", &mut labels).unwrap();
+        assert!(matches_boolean(&yes, &doc.tree));
+        let no = parse_pattern_with("/b/i", &mut labels).unwrap();
+        assert!(!matches_boolean(&no, &doc.tree));
+    }
+
+    #[test]
+    fn attr_predicates_filter() {
+        let doc = xvr_xml::parse_document(r#"<a><b id="1"/><b id="2"/><b/></a>"#).unwrap();
+        let mut labels = doc.labels.clone();
+        let p1 = parse_pattern_with("/a/b[@id]", &mut labels).unwrap();
+        assert_eq!(eval(&p1, &doc.tree).len(), 2);
+        let p2 = parse_pattern_with(r#"/a/b[@id="2"]"#, &mut labels).unwrap();
+        assert_eq!(eval(&p2, &doc.tree).len(), 1);
+    }
+
+    #[test]
+    fn results_in_document_order() {
+        let doc = book_document();
+        let mut labels = doc.labels.clone();
+        let p = parse_pattern_with("//p", &mut labels).unwrap();
+        let results = eval(&p, &doc.tree);
+        for w in results.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

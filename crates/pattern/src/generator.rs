@@ -1,0 +1,353 @@
+//! YFilter-style random query/view generator.
+//!
+//! The paper's workloads come from the YFilter query generator, driven by
+//! `max_depth`, `prob_wild`, `prob_edge` (descendant-axis probability),
+//! `num_pred` and `num_nestedpath`, plus a post-filter keeping only
+//! *positive* queries (non-empty result on the test document). This module
+//! reimplements that knob set against an arbitrary document schema: the
+//! generator walks the document's [`Fst`] child alphabets so that generated
+//! patterns are schema-consistent (and therefore frequently positive).
+//!
+//! Every generated pattern tracks a concrete *backbone* label per node even
+//! when the node is rendered as `*`, which keeps branch generation
+//! schema-aware below wildcards.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xvr_xml::{Document, Fst, Label};
+
+use crate::eval::eval;
+use crate::pattern::{Axis, PLabel, PNodeId, TreePattern};
+
+/// Generation knobs (names follow the paper / YFilter).
+#[derive(Clone, Debug)]
+pub struct QueryConfig {
+    /// Maximum trunk depth (number of steps on the main path).
+    pub max_depth: usize,
+    /// Probability a step is rendered as `*`.
+    pub prob_wild: f64,
+    /// Probability a step uses the `//` axis (YFilter's `prob_edge`).
+    pub prob_desc: f64,
+    /// Number of branch predicates to attach.
+    pub num_pred: usize,
+    /// Maximum steps per branch predicate (YFilter's nested-path length).
+    pub nested_path_len: usize,
+    /// Probability of attaching an attribute-existence predicate to an
+    /// eligible node (Section VI generates none; the attribute-aware
+    /// VFILTER ablation turns this up).
+    pub prob_attr: f64,
+    /// The attribute name used by generated predicates.
+    pub attr_name: Option<Label>,
+    /// Backbone labels eligible for attribute predicates.
+    pub attr_labels: Vec<Label>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl QueryConfig {
+    /// The paper's Section VI-A workload: `max_depth=4`,
+    /// `prob_wild=prob_edge=0.2`, one predicate, nested path length 1.
+    pub fn paper_query_workload(seed: u64) -> QueryConfig {
+        QueryConfig {
+            max_depth: 4,
+            prob_wild: 0.2,
+            prob_desc: 0.2,
+            num_pred: 1,
+            nested_path_len: 1,
+            prob_attr: 0.0,
+            attr_name: None,
+            attr_labels: Vec::new(),
+            seed,
+        }
+    }
+
+    /// The paper's Section VI-B view sets: `max_depth=4`,
+    /// `prob_wild=prob_edge=0.2`, `num_nestedpath=2`.
+    pub fn paper_view_workload(seed: u64) -> QueryConfig {
+        QueryConfig {
+            max_depth: 4,
+            prob_wild: 0.2,
+            prob_desc: 0.2,
+            num_pred: 2,
+            nested_path_len: 2,
+            prob_attr: 0.0,
+            attr_name: None,
+            attr_labels: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Enable attribute predicates: attach `[@name]` with probability
+    /// `prob` to generated nodes whose backbone label is in `labels`.
+    pub fn with_attrs(mut self, prob: f64, name: Label, labels: Vec<Label>) -> QueryConfig {
+        self.prob_attr = prob;
+        self.attr_name = Some(name);
+        self.attr_labels = labels;
+        self
+    }
+}
+
+/// Random pattern generator over a document schema.
+pub struct QueryGenerator<'a> {
+    fst: &'a Fst,
+    config: QueryConfig,
+    rng: StdRng,
+}
+
+impl<'a> QueryGenerator<'a> {
+    /// Create a generator for the schema of `fst`.
+    pub fn new(fst: &'a Fst, config: QueryConfig) -> QueryGenerator<'a> {
+        let rng = StdRng::seed_from_u64(config.seed);
+        QueryGenerator { fst, config, rng }
+    }
+
+    /// Generate one random (schema-consistent) pattern.
+    pub fn generate(&mut self) -> TreePattern {
+        let depth = self.rng.gen_range(2..=self.config.max_depth.max(2));
+        // Backbone: concrete labels even for wildcard-rendered steps.
+        let mut backbone: Vec<Label> = Vec::with_capacity(depth);
+        let root_axis = if self.rng.gen_bool(self.config.prob_desc) {
+            Axis::Descendant
+        } else {
+            Axis::Child
+        };
+        let first = match root_axis {
+            Axis::Child => self.fst.root_label(),
+            Axis::Descendant => self.random_reachable(self.fst.root_label(), 3),
+        };
+        backbone.push(first);
+        let mut pattern = TreePattern::with_root(root_axis, self.render(first));
+        let root = pattern.root();
+        self.maybe_attr(&mut pattern, root, first);
+        let mut cur_node = root;
+        let mut cur_label = first;
+        for _ in 1..depth {
+            let (axis, label) = self.step_from(cur_label);
+            let Some(label) = label else { break };
+            cur_node = pattern.add_child(cur_node, axis, self.render(label));
+            self.maybe_attr(&mut pattern, cur_node, label);
+            cur_label = label;
+            backbone.push(label);
+        }
+        pattern.set_answer(cur_node);
+        // Attach branch predicates at random trunk positions.
+        let trunk: Vec<(PNodeId, Label)> = pattern
+            .trunk()
+            .into_iter()
+            .zip(backbone.iter().copied())
+            .collect();
+        for _ in 0..self.config.num_pred {
+            let &(anchor, anchor_label) = &trunk[self.rng.gen_range(0..trunk.len())];
+            let len = self.rng.gen_range(1..=self.config.nested_path_len.max(1));
+            let mut cur = anchor;
+            let mut cl = anchor_label;
+            for _ in 0..len {
+                let (axis, label) = self.step_from(cl);
+                let Some(label) = label else { break };
+                cur = pattern.add_child(cur, axis, self.render(label));
+                self.maybe_attr(&mut pattern, cur, label);
+                cl = label;
+            }
+        }
+        pattern
+    }
+
+    /// Attach an attribute-existence predicate when configured and the
+    /// backbone label is eligible.
+    fn maybe_attr(&mut self, pattern: &mut TreePattern, node: PNodeId, backbone: Label) {
+        let Some(name) = self.config.attr_name else {
+            return;
+        };
+        if self.config.prob_attr > 0.0
+            && self.config.attr_labels.contains(&backbone)
+            && self.rng.gen_bool(self.config.prob_attr)
+        {
+            pattern.add_attr_pred(
+                node,
+                crate::pattern::AttrPred { name, value: None },
+            );
+        }
+    }
+
+    /// Generate a pattern with a non-empty result over `doc`, retrying up to
+    /// `max_tries` times (the paper's "positive queries").
+    pub fn generate_positive(&mut self, doc: &Document, max_tries: usize) -> Option<TreePattern> {
+        for _ in 0..max_tries {
+            let p = self.generate();
+            if !eval(&p, &doc.tree).is_empty() {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// One downward step from schema label `from`: picks the axis, then a
+    /// concrete label (a direct child for `/`, a short random descent for
+    /// `//`). `None` when `from` is a schema leaf.
+    fn step_from(&mut self, from: Label) -> (Axis, Option<Label>) {
+        if self.fst.fanout(from) == 0 {
+            return (Axis::Child, None);
+        }
+        if self.rng.gen_bool(self.config.prob_desc) {
+            let label = self.random_descent(from, 3);
+            (Axis::Descendant, label)
+        } else {
+            (Axis::Child, Some(self.random_child(from)))
+        }
+    }
+
+    fn render(&mut self, label: Label) -> PLabel {
+        if self.rng.gen_bool(self.config.prob_wild) {
+            PLabel::Wild
+        } else {
+            PLabel::Lab(label)
+        }
+    }
+
+    fn random_child(&mut self, from: Label) -> Label {
+        let alphabet = self.fst.child_alphabet(from);
+        alphabet[self.rng.gen_range(0..alphabet.len())]
+    }
+
+    /// Land on a label `1..=max_hops` schema steps below `from`.
+    fn random_descent(&mut self, from: Label, max_hops: usize) -> Option<Label> {
+        if self.fst.fanout(from) == 0 {
+            return None;
+        }
+        let hops = self.rng.gen_range(1..=max_hops);
+        let mut cur = from;
+        let mut last = None;
+        for _ in 0..hops {
+            if self.fst.fanout(cur) == 0 {
+                break;
+            }
+            cur = self.random_child(cur);
+            last = Some(cur);
+        }
+        last
+    }
+
+    /// A label reachable from `from` within `max_hops` steps (inclusive of
+    /// `from` itself for `//`-anchored roots, which may bind anywhere).
+    fn random_reachable(&mut self, from: Label, max_hops: usize) -> Label {
+        if self.rng.gen_bool(0.2) || self.fst.fanout(from) == 0 {
+            return from;
+        }
+        self.random_descent(from, max_hops).unwrap_or(from)
+    }
+}
+
+/// Generate `n` *distinct* patterns over the schema of `fst` (deduplicated
+/// by rendered form, no positivity filter) — the workload of the paper's
+/// Section VI-B view sets.
+pub fn distinct_patterns(
+    fst: &xvr_xml::Fst,
+    labels: &xvr_xml::LabelTable,
+    config: QueryConfig,
+    n: usize,
+) -> Vec<TreePattern> {
+    let mut gen = QueryGenerator::new(fst, config);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(n);
+    let mut dry = 0usize;
+    while out.len() < n && dry < 10_000 {
+        let p = gen.generate();
+        if seen.insert(p.display(labels).to_string()) {
+            out.push(p);
+            dry = 0;
+        } else {
+            dry += 1;
+        }
+    }
+    out
+}
+
+/// Generate `n` *distinct* positive patterns over `doc` (deduplicated by
+/// rendered form).
+pub fn distinct_positive_patterns(
+    doc: &Document,
+    config: QueryConfig,
+    n: usize,
+) -> Vec<TreePattern> {
+    let mut gen = QueryGenerator::new(&doc.fst, config);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(n);
+    let mut dry_tries = 0usize;
+    while out.len() < n && dry_tries < 200 {
+        let Some(p) = gen.generate_positive(doc, 50) else {
+            dry_tries += 1;
+            continue;
+        };
+        let key = p.display(&doc.labels).to_string();
+        if seen.insert(key) {
+            out.push(p);
+            dry_tries = 0;
+        } else {
+            dry_tries += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xvr_xml::generator::{generate, Config};
+
+    #[test]
+    fn deterministic() {
+        let doc = generate(&Config::tiny(1));
+        let mk = || {
+            let mut g = QueryGenerator::new(&doc.fst, QueryConfig::paper_query_workload(9));
+            (0..20)
+                .map(|_| g.generate().display(&doc.labels).to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let doc = generate(&Config::tiny(2));
+        let mut cfg = QueryConfig::paper_query_workload(5);
+        cfg.max_depth = 3;
+        cfg.num_pred = 0;
+        let mut g = QueryGenerator::new(&doc.fst, cfg);
+        for _ in 0..50 {
+            let p = g.generate();
+            assert!(p.height() <= 3);
+        }
+    }
+
+    #[test]
+    fn positive_queries_are_positive() {
+        let doc = generate(&Config::tiny(3));
+        let mut g = QueryGenerator::new(&doc.fst, QueryConfig::paper_query_workload(11));
+        for _ in 0..20 {
+            let p = g.generate_positive(&doc, 100).expect("should find one");
+            assert!(!eval(&p, &doc.tree).is_empty());
+        }
+    }
+
+    #[test]
+    fn distinct_patterns_are_distinct() {
+        let doc = generate(&Config::tiny(4));
+        let ps = distinct_positive_patterns(&doc, QueryConfig::paper_view_workload(13), 50);
+        assert!(ps.len() >= 30, "got {}", ps.len());
+        let mut seen = std::collections::HashSet::new();
+        for p in &ps {
+            assert!(seen.insert(p.display(&doc.labels).to_string()));
+        }
+    }
+
+    #[test]
+    fn predicates_are_attached() {
+        let doc = generate(&Config::tiny(6));
+        let mut cfg = QueryConfig::paper_view_workload(17);
+        cfg.prob_wild = 0.0;
+        let mut g = QueryGenerator::new(&doc.fst, cfg);
+        let branching = (0..50).filter(|_| !g.generate().is_path()).count();
+        assert!(branching > 20, "only {branching} branching patterns");
+    }
+}

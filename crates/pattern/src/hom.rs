@@ -1,0 +1,307 @@
+//! Homomorphisms between tree patterns (Section II of the paper).
+//!
+//! A homomorphism `h : P → Q` witnesses `Q ⊑ P`: it maps every node of `P`
+//! onto a node of `Q` such that labels are preserved (`*` in `P` maps to
+//! anything), `/`-edges of `P` map onto `/`-edges of `Q`, and `//`-edges of
+//! `P` map onto strictly descending paths in `Q`. Attribute predicates of a
+//! `P` node must be implied by those of its image.
+//!
+//! The existence test is the classic `O(|P|·|Q|)` bottom-up dynamic program;
+//! [`homomorphisms`] additionally enumerates the actual mappings, which the
+//! leaf-cover machinery in `xvr-core` needs.
+
+use crate::pattern::{Axis, PNodeId, TreePattern};
+
+/// A concrete homomorphism: image in `Q` of every `P` node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hom {
+    map: Vec<PNodeId>,
+}
+
+impl Hom {
+    /// Image of `p` under the mapping.
+    pub fn image(&self, p: PNodeId) -> PNodeId {
+        self.map[p.index()]
+    }
+
+    /// The raw map, indexed by `P`-node id.
+    pub fn as_slice(&self) -> &[PNodeId] {
+        &self.map
+    }
+}
+
+/// Feasibility table: `can[p][q]` = subtree of `P` rooted at `p` can map
+/// with `p ↦ q`.
+fn feasibility(p: &TreePattern, q: &TreePattern) -> Vec<Vec<bool>> {
+    let np = p.len();
+    let nq = q.len();
+    let mut can = vec![vec![false; nq]; np];
+    // Descendant sets of q nodes, as bitsets over q ids.
+    let q_desc = descendant_table(q);
+    for &pn in &p.postorder() {
+        for qn in q.ids() {
+            can[pn.index()][qn.index()] = node_feasible(p, q, pn, qn, &can, &q_desc);
+        }
+    }
+    can
+}
+
+fn node_feasible(
+    p: &TreePattern,
+    q: &TreePattern,
+    pn: PNodeId,
+    qn: PNodeId,
+    can: &[Vec<bool>],
+    q_desc: &[Vec<PNodeId>],
+) -> bool {
+    if !p.label(pn).subsumes(q.label(qn)) {
+        return false;
+    }
+    // Every attribute predicate of pn must be implied by some of qn's.
+    for pa in &p.node(pn).attrs {
+        if !q.node(qn).attrs.iter().any(|qa| qa.implies(pa)) {
+            return false;
+        }
+    }
+    for &pc in p.children(pn) {
+        let ok = match p.axis(pc) {
+            Axis::Child => q
+                .children(qn)
+                .iter()
+                .any(|&qc| q.axis(qc) == Axis::Child && can[pc.index()][qc.index()]),
+            Axis::Descendant => q_desc[qn.index()]
+                .iter()
+                .any(|&qd| can[pc.index()][qd.index()]),
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// For each q node, the list of its proper descendants.
+fn descendant_table(q: &TreePattern) -> Vec<Vec<PNodeId>> {
+    let mut table: Vec<Vec<PNodeId>> = vec![Vec::new(); q.len()];
+    for n in q.ids() {
+        let mut cur = q.parent(n);
+        while let Some(a) = cur {
+            table[a.index()].push(n);
+            cur = q.parent(a);
+        }
+    }
+    table
+}
+
+/// Valid images for `P`'s root: any node when `P` is `//`-anchored;
+/// only `Q`'s root (which must itself be `/`-anchored) when `/`-anchored.
+fn root_candidates(p: &TreePattern, q: &TreePattern) -> Vec<PNodeId> {
+    match p.axis(p.root()) {
+        Axis::Descendant => q.ids().collect(),
+        Axis::Child => {
+            if q.axis(q.root()) == Axis::Child {
+                vec![q.root()]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+}
+
+/// Does a homomorphism `P → Q` exist?
+pub fn exists_hom(p: &TreePattern, q: &TreePattern) -> bool {
+    let can = feasibility(p, q);
+    root_candidates(p, q)
+        .into_iter()
+        .any(|qr| can[p.root().index()][qr.index()])
+}
+
+/// Enumerate homomorphisms `P → Q`, up to `cap` mappings.
+pub fn homomorphisms_capped(p: &TreePattern, q: &TreePattern, cap: usize) -> Vec<Hom> {
+    let can = feasibility(p, q);
+    let q_desc = descendant_table(q);
+    let mut out = Vec::new();
+    let mut map = vec![PNodeId(0); p.len()];
+    // P nodes in creation order are parent-before-child.
+    let order: Vec<PNodeId> = p.ids().collect();
+    for qr in root_candidates(p, q) {
+        if !can[p.root().index()][qr.index()] {
+            continue;
+        }
+        map[p.root().index()] = qr;
+        assign(p, q, &order, 1, &mut map, &can, &q_desc, cap, &mut out);
+        if out.len() >= cap {
+            break;
+        }
+    }
+    out
+}
+
+/// Enumerate homomorphisms `P → Q` (capped at a generous default).
+pub fn homomorphisms(p: &TreePattern, q: &TreePattern) -> Vec<Hom> {
+    homomorphisms_capped(p, q, 4096)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn assign(
+    p: &TreePattern,
+    q: &TreePattern,
+    order: &[PNodeId],
+    idx: usize,
+    map: &mut Vec<PNodeId>,
+    can: &[Vec<bool>],
+    q_desc: &[Vec<PNodeId>],
+    cap: usize,
+    out: &mut Vec<Hom>,
+) {
+    if out.len() >= cap {
+        return;
+    }
+    if idx == order.len() {
+        out.push(Hom { map: map.clone() });
+        return;
+    }
+    let pn = order[idx];
+    let parent_image = map[p.parent(pn).expect("non-root in order").index()];
+    let candidates: Vec<PNodeId> = match p.axis(pn) {
+        Axis::Child => q
+            .children(parent_image)
+            .iter()
+            .copied()
+            .filter(|&qc| q.axis(qc) == Axis::Child)
+            .collect(),
+        Axis::Descendant => q_desc[parent_image.index()].clone(),
+    };
+    for qc in candidates {
+        if can[pn.index()][qc.index()] {
+            map[pn.index()] = qc;
+            assign(p, q, order, idx + 1, map, can, q_desc, cap, out);
+            if out.len() >= cap {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_pattern_with;
+    use xvr_xml::LabelTable;
+
+    fn two(a: &str, b: &str) -> (TreePattern, TreePattern, LabelTable) {
+        let mut labels = LabelTable::new();
+        let pa = parse_pattern_with(a, &mut labels).unwrap();
+        let pb = parse_pattern_with(b, &mut labels).unwrap();
+        (pa, pb, labels)
+    }
+
+    #[test]
+    fn identity_hom_exists() {
+        for src in ["/a", "/a[b]/c", "//a//*[b/c]/d"] {
+            let (p, q, _) = two(src, src);
+            assert!(exists_hom(&p, &q), "{src}");
+        }
+    }
+
+    #[test]
+    fn paper_intro_example() {
+        // a[./b/d]/c is contained in a[./b]/c: hom from the latter to the
+        // former exists.
+        let (view, query, _) = two("/a[b]/c", "/a[b/d]/c");
+        assert!(exists_hom(&view, &query));
+        assert!(!exists_hom(&query, &view));
+    }
+
+    #[test]
+    fn wildcard_maps_to_anything() {
+        let (p, q, _) = two("//*[*]", "/a[b][c]/d");
+        assert!(exists_hom(&p, &q));
+    }
+
+    #[test]
+    fn concrete_does_not_map_to_wildcard() {
+        let (p, q, _) = two("/a", "/*");
+        assert!(!exists_hom(&p, &q));
+        let (p2, q2, _) = two("/*", "/a");
+        assert!(exists_hom(&p2, &q2));
+    }
+
+    #[test]
+    fn child_edge_requires_child_edge() {
+        let (p, q, _) = two("/a/b", "/a//b");
+        assert!(!exists_hom(&p, &q));
+        let (p2, q2, _) = two("/a//b", "/a/b");
+        assert!(exists_hom(&p2, &q2));
+    }
+
+    #[test]
+    fn root_anchor_semantics() {
+        let (p, q, _) = two("//b", "/a/b");
+        assert!(exists_hom(&p, &q)); // //b maps onto the inner b
+        let (p2, q2, _) = two("/b", "/a/b");
+        assert!(!exists_hom(&p2, &q2));
+        let (p3, q3, _) = two("/a", "//a");
+        assert!(!exists_hom(&p3, &q3)); // /-anchored cannot map into //-anchored root
+        let (p4, q4, _) = two("//a", "/a");
+        assert!(exists_hom(&p4, &q4));
+    }
+
+    #[test]
+    fn enumeration_finds_all_mappings() {
+        // //b over /a[b]/c[b] — wait, need multiple images for one node:
+        let (p, q, _) = two("//b", "/a[b]/b");
+        let homs = homomorphisms(&p, &q);
+        assert_eq!(homs.len(), 2);
+        let images: std::collections::HashSet<_> =
+            homs.iter().map(|h| h.image(p.root())).collect();
+        assert_eq!(images.len(), 2);
+    }
+
+    #[test]
+    fn enumeration_respects_cap() {
+        let (p, q, _) = two("//*", "/a[b][c]/d");
+        assert_eq!(homomorphisms_capped(&p, &q, 2).len(), 2);
+        assert_eq!(homomorphisms(&p, &q).len(), 4);
+    }
+
+    #[test]
+    fn branch_images_are_independent() {
+        let (p, q, _) = two("//a[.//x][.//y]", "/a[b/x][c/y]");
+        let homs = homomorphisms(&p, &q);
+        assert_eq!(homs.len(), 1);
+        assert!(exists_hom(&p, &q));
+        let (p2, q2, _) = two("//a[.//x][.//y]", "/a[b/x]");
+        assert!(!exists_hom(&p2, &q2));
+    }
+
+    #[test]
+    fn attr_preds_must_be_implied() {
+        let (p, q, _) = two("/a[@id]", r#"/a[@id="7"]"#);
+        assert!(exists_hom(&p, &q));
+        let (p2, q2, _) = two(r#"/a[@id="7"]"#, "/a[@id]");
+        assert!(!exists_hom(&p2, &q2));
+        let (p3, q3, _) = two(r#"/a[@id="7"]"#, r#"/a[@id="8"]"#);
+        assert!(!exists_hom(&p3, &q3));
+    }
+
+    #[test]
+    fn hom_images_satisfy_edges() {
+        let (p, q, _) = two("//s[.//i]/p", "/s[s[f/i]/p]/p");
+        for h in homomorphisms(&p, &q) {
+            for n in p.ids().skip(1) {
+                let img = h.image(n);
+                let parent_img = h.image(p.parent(n).unwrap());
+                match p.axis(n) {
+                    Axis::Child => {
+                        assert_eq!(q.parent(img), Some(parent_img));
+                        assert_eq!(q.axis(img), Axis::Child);
+                    }
+                    Axis::Descendant => {
+                        assert!(q.is_ancestor_or_self(parent_img, img) && img != parent_img);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Tree-pattern minimization (Section II of the paper assumes all patterns
+//! are minimized before anything else runs).
+//!
+//! The classical approach: repeatedly remove a redundant branch — a subtree
+//! whose deletion leaves an equivalent pattern — until a fixpoint. A branch
+//! `s` hanging off node `n` is redundant iff the pattern without `s` is
+//! still contained in the original, which (pattern-without-branch always
+//! contains the original) reduces to one homomorphism test.
+//!
+//! With homomorphism-based containment this is sound: we only delete when a
+//! homomorphism proves equivalence, so the result is always equivalent to
+//! the input. It may occasionally keep a branch a complete test could
+//! remove; the paper explicitly accepts that trade-off.
+
+use crate::containment::contains;
+use crate::pattern::{PNodeId, TreePattern};
+
+/// Minimize `p` by redundant-branch elimination. The answer node and its
+/// ancestors (the trunk) are never removed.
+pub fn minimize(p: &TreePattern) -> TreePattern {
+    let mut cur = p.clone();
+    loop {
+        let Some(drop) = find_redundant_branch(&cur) else {
+            return cur;
+        };
+        cur = cur.without_subtree(drop);
+    }
+}
+
+/// Find a droppable branch root: a non-trunk child whose removal keeps the
+/// pattern equivalent.
+fn find_redundant_branch(p: &TreePattern) -> Option<PNodeId> {
+    let trunk = p.trunk();
+    for n in p.ids() {
+        for &c in p.children(n) {
+            if trunk.contains(&c) {
+                continue;
+            }
+            let candidate = p.without_subtree(c);
+            // candidate ⊒ p always holds (fewer constraints); the branch is
+            // redundant iff candidate ⊑ p, witnessed by hom p → candidate.
+            if contains(p, &candidate) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::equivalent_complete;
+    use crate::parse::parse_pattern_with;
+    use xvr_xml::LabelTable;
+
+    fn min_str(src: &str) -> String {
+        let mut labels = LabelTable::new();
+        let p = parse_pattern_with(src, &mut labels).unwrap();
+        minimize(&p).display(&labels).to_string()
+    }
+
+    #[test]
+    fn duplicate_branch_removed() {
+        assert_eq!(min_str("/a[b][b]/c"), "/a[b]/c");
+    }
+
+    #[test]
+    fn subsumed_branch_removed() {
+        // A node with b/d has a b child, so [b] is redundant next to [b/d].
+        assert_eq!(min_str("/a[b][b/d]/c"), "/a[b/d]/c");
+        // [.//b] implied by [b].
+        assert_eq!(min_str("/a[.//b][b]/c"), "/a[b]/c");
+    }
+
+    #[test]
+    fn wildcard_branch_subsumed() {
+        // [*] is implied by any element branch.
+        assert_eq!(min_str("/a[*][b]/c"), "/a[b]/c");
+    }
+
+    #[test]
+    fn non_redundant_branches_kept() {
+        for src in ["/a[b][c]/d", "/a[b/c][b/d]/e", "/s[f//i][t]/p"] {
+            let mut labels = LabelTable::new();
+            let p = parse_pattern_with(src, &mut labels).unwrap();
+            assert_eq!(minimize(&p).len(), p.len(), "{src}");
+        }
+    }
+
+    #[test]
+    fn trunk_is_never_removed() {
+        // The trunk b/c looks subsumed by the branch [b/c] but carries the
+        // answer node.
+        let out = min_str("/a[b/c]/b/c");
+        assert!(out.ends_with("/b/c"), "{out}");
+    }
+
+    #[test]
+    fn minimization_preserves_equivalence() {
+        let sources = [
+            "/a[b][b]/c",
+            "/a[b][b/d]/c",
+            "/a[*][b]/c",
+            "//s[.//p][p]/f",
+            "/a[.//b][.//b/c]/d",
+        ];
+        for src in sources {
+            let mut labels = LabelTable::new();
+            let p = parse_pattern_with(src, &mut labels).unwrap();
+            let m = minimize(&p);
+            assert!(
+                equivalent_complete(&p, &m, &labels),
+                "{src} vs {}",
+                m.display(&labels)
+            );
+        }
+    }
+
+    #[test]
+    fn nested_redundancy() {
+        // Inner duplicate branches.
+        assert_eq!(min_str("/a[b[c][c]]/d"), "/a[b/c]/d");
+    }
+
+    #[test]
+    fn idempotent() {
+        for src in ["/a[b][b]/c", "/s[f//i][t]/p", "//a//*"] {
+            let mut labels = LabelTable::new();
+            let p = parse_pattern_with(src, &mut labels).unwrap();
+            let once = minimize(&p);
+            let twice = minimize(&once);
+            assert!(once.structurally_equal(&twice), "{src}");
+        }
+    }
+}

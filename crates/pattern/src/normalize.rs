@@ -1,0 +1,173 @@
+//! Path-pattern normalization (Section III-C of the paper, strengthened).
+//!
+//! Patterns like `s/*//t` and `s//*/t` are equivalent; VFILTER's
+//! homomorphism-style matching would miss one spelling unless both the
+//! automaton's paths and the query's paths are brought into a normal form
+//! first. The paper normalizes by pushing a single `//` to the *front* of
+//! every wildcard run. We strengthen this to the **all-descendant form**,
+//! which is also what makes the homomorphism test *complete* on paths
+//! (property-tested against the canonical-model decision procedure):
+//!
+//! * Within a maximal run of `*` steps, the span consists of the edges
+//!   entering each `*` plus the edge entering the following labelled step.
+//!   A run constrains only a *minimum* distance, so if the span contains at
+//!   least one `//`, every span edge can equivalently be `//`
+//!   (`s/*//t ≡ s//*/t ≡ s//*//t`). The all-`//` spelling is the
+//!   homomorphism-maximal one: it lets wildcards bind the implicit
+//!   intermediate nodes of the other pattern's `//` gaps
+//!   (e.g. `/a//a ⊑ //*/a` holds, but only the `//*//a` spelling admits a
+//!   homomorphism witnessing it).
+//! * A *trailing* wildcard run (ending the pattern) constrains only a
+//!   minimum depth even when all its edges are `/` (`/a/* ≡ /a//*`: a node
+//!   at depth ≥ k exists iff one at exactly k does), so trailing runs
+//!   always normalize to all-`//` (this also resolves `/* ≡ //*`).
+//!
+//! Proposition 3.2 — equivalent path patterns have identical normal forms —
+//! holds for this normal form too, and is property-tested.
+
+use crate::pattern::{Axis, PLabel};
+use crate::paths::{PathPattern, Step};
+
+/// Normalize a path pattern. Idempotent; returns an equivalent pattern.
+pub fn normalize(p: &PathPattern) -> PathPattern {
+    let mut steps: Vec<Step> = p.steps().to_vec();
+    let n = steps.len();
+    let mut i = 0;
+    while i < n {
+        if steps[i].label != PLabel::Wild {
+            i += 1;
+            continue;
+        }
+        // Maximal run of wildcard steps [i, j).
+        let mut j = i;
+        while j < n && steps[j].label == PLabel::Wild {
+            j += 1;
+        }
+        let trailing = j == n;
+        // The run's edge span: the edges entering steps i..j, plus the edge
+        // entering the following labelled step (if any).
+        let span_end = if trailing { j } else { j + 1 };
+        let has_descendant = steps[i..span_end]
+            .iter()
+            .any(|s| s.axis == Axis::Descendant);
+        if has_descendant || trailing {
+            for s in &mut steps[i..span_end] {
+                s.axis = Axis::Descendant;
+            }
+        }
+        i = j;
+    }
+    PathPattern::new(steps)
+}
+
+/// True when `p` is already in normal form.
+pub fn is_normalized(p: &PathPattern) -> bool {
+    normalize(p) == *p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_pattern_with;
+    use crate::pattern::TreePattern;
+    use xvr_xml::LabelTable;
+
+    fn path(src: &str, labels: &mut LabelTable) -> PathPattern {
+        let t = parse_pattern_with(src, labels).unwrap();
+        PathPattern::try_from(&t).unwrap()
+    }
+
+    fn norm(src: &str) -> String {
+        let mut labels = LabelTable::new();
+        let p = path(src, &mut labels);
+        normalize(&p).display(&labels).to_string()
+    }
+
+    #[test]
+    fn paper_example_3_2() {
+        // The paper spells N(s/*//t) = s//*/t; our all-descendant form is
+        // the equivalent s//*//t (see the module docs for why).
+        assert_eq!(norm("/s/*//t"), "/s//*//t");
+        assert_eq!(norm("/s//*/t"), "/s//*//t");
+    }
+
+    #[test]
+    fn already_normalized_is_fixed_point() {
+        for src in ["/s//*//t", "/a/b/c", "//a/*/b", "/a", "//*", "/a//*"] {
+            let mut labels = LabelTable::new();
+            let p = path(src, &mut labels);
+            assert!(is_normalized(&normalize(&p)), "{src}");
+            assert_eq!(normalize(&normalize(&p)), normalize(&p), "{src}");
+        }
+    }
+
+    #[test]
+    fn inner_child_only_run_is_untouched() {
+        // A non-trailing run with no descendant edge constrains exact
+        // distances and must stay put.
+        assert_eq!(norm("/a/*/*/b"), "/a/*/*/b");
+        assert_eq!(norm("/a/b/c"), "/a/b/c");
+    }
+
+    #[test]
+    fn descendant_run_becomes_all_descendant() {
+        assert_eq!(norm("/a/*//*//b"), "/a//*//*//b");
+        assert_eq!(norm("/a//*/*/b"), "/a//*//*//b");
+        assert_eq!(norm("/a//*//*//b"), "/a//*//*//b");
+    }
+
+    #[test]
+    fn leading_wildcard_run() {
+        assert_eq!(norm("/*//a"), "//*//a");
+        assert_eq!(norm("//*/a"), "//*//a");
+        assert_eq!(norm("/*/a"), "/*/a"); // exact depth: untouched
+    }
+
+    #[test]
+    fn trailing_wildcard_run_is_always_descendant() {
+        assert_eq!(norm("/a/*"), "/a//*");
+        assert_eq!(norm("/a//*"), "/a//*");
+        assert_eq!(norm("/a/*/*"), "/a//*//*");
+        assert_eq!(norm("/*"), "//*");
+        assert_eq!(norm("//*"), "//*");
+    }
+
+    #[test]
+    fn runs_are_independent() {
+        assert_eq!(norm("/a/*//b/*//c"), "/a//*//b//*//c");
+        assert_eq!(norm("/a/*/b/*//c"), "/a/*/b//*//c");
+    }
+
+    #[test]
+    fn descendant_on_labels_is_preserved() {
+        // `//` not adjacent to a wildcard run is untouched.
+        assert_eq!(norm("/a//b//c"), "/a//b//c");
+    }
+
+    #[test]
+    fn normalized_patterns_stay_equivalent() {
+        use crate::paths::path_contains;
+        let mut labels = LabelTable::new();
+        for src in ["/s/*//t", "/a/*//*//b", "/*//a", "/a/*//b/*//c", "/a/*", "/*"] {
+            let p = path(src, &mut labels);
+            let n = normalize(&p);
+            assert!(path_contains(&p, &n), "{src}");
+            assert!(path_contains(&n, &p), "{src}");
+        }
+    }
+
+    #[test]
+    fn tree_pattern_round_trip_preserved() {
+        let mut labels = LabelTable::new();
+        let p = path("/s/*//t", &mut labels);
+        let n = normalize(&p);
+        let t = TreePattern::from(&n);
+        assert_eq!(
+            PathPattern::try_from(&t)
+                .unwrap()
+                .display(&labels)
+                .to_string(),
+            "/s//*//t"
+        );
+    }
+}

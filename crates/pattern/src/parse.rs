@@ -1,0 +1,328 @@
+//! Parser for the paper's XPath fragment: `/`, `//`, `*`, branches `[...]`,
+//! and the attribute-predicate extension `[@a]` / `[@a="v"]`.
+//!
+//! Queries are absolute: a missing leading axis is read as `/` (the paper
+//! writes `b[a]/t` for `/b[a]/t`). Inside predicates, paths are relative to
+//! the current node: `[b/c]` starts with a child step, `[.//b]` (or the
+//! shorthand `[//b]`) with a descendant step.
+//!
+//! The answer node is the last step of the outermost path, matching XPath
+//! semantics.
+
+use std::fmt;
+
+use xvr_xml::LabelTable;
+
+use crate::pattern::{AttrPred, Axis, PLabel, PNodeId, TreePattern};
+
+/// Parse failure with byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatternParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for PatternParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for PatternParseError {}
+
+/// Parse `input` into a [`TreePattern`], interning labels into `labels`.
+pub fn parse_pattern_with(
+    input: &str,
+    labels: &mut LabelTable,
+) -> Result<TreePattern, PatternParseError> {
+    let mut p = PParser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        labels,
+    };
+    let pattern = p.pattern()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(pattern)
+}
+
+/// Parse with a fresh label table (mainly for tests).
+pub fn parse_pattern(input: &str) -> Result<(TreePattern, LabelTable), PatternParseError> {
+    let mut labels = LabelTable::new();
+    let p = parse_pattern_with(input, &mut labels)?;
+    Ok((p, labels))
+}
+
+struct PParser<'a, 'l> {
+    bytes: &'a [u8],
+    pos: usize,
+    labels: &'l mut LabelTable,
+}
+
+impl PParser<'_, '_> {
+    fn err(&self, message: &str) -> PatternParseError {
+        PatternParseError {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Leading axis of an absolute path; absent = `/`.
+    fn leading_axis(&mut self) -> Axis {
+        if self.eat("//") {
+            Axis::Descendant
+        } else {
+            let _ = self.eat("/");
+            Axis::Child
+        }
+    }
+
+    fn axis(&mut self) -> Option<Axis> {
+        if self.eat("//") {
+            Some(Axis::Descendant)
+        } else if self.eat("/") {
+            Some(Axis::Child)
+        } else {
+            None
+        }
+    }
+
+    fn label(&mut self) -> Result<PLabel, PatternParseError> {
+        self.skip_ws();
+        if self.eat("*") {
+            return Ok(PLabel::Wild);
+        }
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.' && self.pos > start)
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected element name or '*'"));
+        }
+        let name = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        Ok(PLabel::Lab(self.labels.intern(name)))
+    }
+
+    fn pattern(&mut self) -> Result<TreePattern, PatternParseError> {
+        self.skip_ws();
+        let axis = self.leading_axis();
+        let label = self.label()?;
+        let mut pattern = TreePattern::with_root(axis, label);
+        let root = pattern.root();
+        self.predicates(&mut pattern, root)?;
+        let mut cur = root;
+        while let Some(a) = self.next_step_axis()? {
+            let l = self.label()?;
+            cur = pattern.add_child(cur, a, l);
+            self.predicates(&mut pattern, cur)?;
+        }
+        pattern.set_answer(cur);
+        Ok(pattern)
+    }
+
+    /// Axis of a continuation step, if the input continues with one.
+    fn next_step_axis(&mut self) -> Result<Option<Axis>, PatternParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'/') => Ok(self.axis()),
+            _ => Ok(None),
+        }
+    }
+
+    fn predicates(
+        &mut self,
+        pattern: &mut TreePattern,
+        node: PNodeId,
+    ) -> Result<(), PatternParseError> {
+        loop {
+            self.skip_ws();
+            if !self.eat("[") {
+                return Ok(());
+            }
+            self.skip_ws();
+            if self.eat("@") {
+                self.attr_pred(pattern, node)?;
+            } else {
+                self.rel_path(pattern, node)?;
+            }
+            self.skip_ws();
+            if !self.eat("]") {
+                return Err(self.err("expected ']'"));
+            }
+        }
+    }
+
+    fn attr_pred(
+        &mut self,
+        pattern: &mut TreePattern,
+        node: PNodeId,
+    ) -> Result<(), PatternParseError> {
+        let name = match self.label()? {
+            PLabel::Lab(l) => l,
+            PLabel::Wild => return Err(self.err("attribute name cannot be '*'")),
+        };
+        self.skip_ws();
+        let value = if self.eat("=") {
+            self.skip_ws();
+            let quote = match self.peek() {
+                Some(q @ (b'"' | b'\'')) => {
+                    self.pos += 1;
+                    q
+                }
+                _ => return Err(self.err("expected quoted attribute value")),
+            };
+            let start = self.pos;
+            while !matches!(self.peek(), Some(q) if q == quote) {
+                if self.peek().is_none() {
+                    return Err(self.err("unterminated attribute value"));
+                }
+                self.pos += 1;
+            }
+            let v = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| self.err("invalid UTF-8 in attribute value"))?
+                .to_owned();
+            self.pos += 1;
+            Some(v)
+        } else {
+            None
+        };
+        pattern.add_attr_pred(node, AttrPred { name, value });
+        Ok(())
+    }
+
+    /// A relative path inside `[...]`: `b/c`, `.//b`, `//b`, `./b`.
+    fn rel_path(
+        &mut self,
+        pattern: &mut TreePattern,
+        node: PNodeId,
+    ) -> Result<(), PatternParseError> {
+        self.skip_ws();
+        let _ = self.eat("."); // `.//b` and `./b` forms
+        let axis = if self.eat("//") {
+            Axis::Descendant
+        } else {
+            let _ = self.eat("/");
+            Axis::Child
+        };
+        let label = self.label()?;
+        let mut cur = pattern.add_child(node, axis, label);
+        self.predicates(pattern, cur)?;
+        while let Some(a) = self.next_step_axis()? {
+            let l = self.label()?;
+            cur = pattern.add_child(cur, a, l);
+            self.predicates(pattern, cur)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(src: &str) -> String {
+        let (p, t) = parse_pattern(src).unwrap();
+        p.display(&t).to_string()
+    }
+
+    #[test]
+    fn simple_path() {
+        assert_eq!(round_trip("/a/b//c"), "/a/b//c");
+        assert_eq!(round_trip("a/b"), "/a/b");
+        assert_eq!(round_trip("//a"), "//a");
+    }
+
+    #[test]
+    fn paper_examples_parse() {
+        // Table I views and Section text examples.
+        assert_eq!(round_trip("s[t]/p"), "/s[t]/p");
+        assert_eq!(round_trip("s[p]//f"), "/s[p]//f");
+        assert_eq!(round_trip("s[f//i][t]/p"), "/s[f//i][t]/p");
+        assert_eq!(round_trip("b//*/f//*"), "/b//*/f//*");
+    }
+
+    #[test]
+    fn answer_is_last_trunk_step() {
+        let (p, t) = parse_pattern("/a[b]/c/d").unwrap();
+        let d = t.get("d").unwrap();
+        assert_eq!(p.label(p.answer()), PLabel::Lab(d));
+    }
+
+    #[test]
+    fn nested_predicates() {
+        let (p, t) = parse_pattern("/a[b[c]/d]//e").unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.display(&t).to_string(), "/a[b[c][d]]//e");
+    }
+
+    #[test]
+    fn dotted_descendant_branch() {
+        let (p, t) = parse_pattern("/a[.//b]/c").unwrap();
+        assert_eq!(p.display(&t).to_string(), "/a[.//b]/c");
+        let (q, t2) = parse_pattern("/a[//b]/c").unwrap();
+        assert_eq!(q.display(&t2).to_string(), "/a[.//b]/c");
+    }
+
+    #[test]
+    fn wildcards() {
+        let (p, _) = parse_pattern("/*/a[*]").unwrap();
+        assert_eq!(p.label(p.root()), PLabel::Wild);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn attribute_predicates() {
+        let (p, t) = parse_pattern(r#"/a[@id]/b[@k="v"]"#).unwrap();
+        let id = t.get("id").unwrap();
+        let root = p.root();
+        assert_eq!(p.node(root).attrs.len(), 1);
+        assert_eq!(p.node(root).attrs[0].name, id);
+        assert!(p.node(root).attrs[0].value.is_none());
+        let b = p.answer();
+        assert_eq!(p.node(b).attrs[0].value.as_deref(), Some("v"));
+        assert_eq!(p.display(&t).to_string(), r#"/a[@id]/b[@k="v"]"#);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_pattern("/a[").is_err());
+        assert!(parse_pattern("/a]").is_err());
+        assert!(parse_pattern("").is_err());
+        assert!(parse_pattern("/a[@*]").is_err());
+        assert!(parse_pattern("/a[@x=v]").is_err());
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        assert_eq!(round_trip(" /a [ b ] / c "), "/a[b]/c");
+    }
+
+    #[test]
+    fn branch_chains_render_as_paths() {
+        assert_eq!(round_trip("/a[b/c//d]"), "/a[b/c//d]");
+    }
+}

@@ -1,0 +1,393 @@
+//! Path patterns: branch-free patterns, the unit VFILTER operates on.
+//!
+//! A [`PathPattern`] is a sequence of [`Step`]s; each step's axis is the axis
+//! of the edge *entering* it (the first step's axis is the anchor relative to
+//! the virtual document root). This module provides:
+//!
+//! * conversion to the paper's string form `STR(P)` ([`PathPattern::symbols`]),
+//! * matching a path pattern against a concrete label sequence
+//!   ([`PathPattern::matches_labels`]) — used by `BF` evaluation and by the
+//!   Dewey-join chain checks of the rewriter,
+//! * **containment** between path patterns ([`path_contains`]), complete
+//!   after normalization (Theorem 3.1 together with Section III-C).
+
+use std::fmt;
+
+use xvr_xml::{Label, LabelTable};
+
+use crate::normalize::normalize;
+use crate::pattern::{Axis, PLabel, TreePattern};
+
+/// One step of a path pattern.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Step {
+    /// Axis of the edge entering this step.
+    pub axis: Axis,
+    /// Step label.
+    pub label: PLabel,
+}
+
+/// A branch-free pattern as a step sequence (root-anchored).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PathPattern {
+    steps: Vec<Step>,
+}
+
+/// One symbol of the paper's `STR(P)` transformation: `/` is omitted, `//`
+/// becomes `#`, labels and `*` stand for themselves.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PathSymbol {
+    /// A concrete label.
+    Lab(Label),
+    /// The wildcard `*`.
+    Star,
+    /// `#`, standing for a `//`-axis.
+    Hash,
+}
+
+impl PathPattern {
+    /// Build from steps. Panics on an empty step list.
+    pub fn new(steps: Vec<Step>) -> PathPattern {
+        assert!(!steps.is_empty(), "path pattern needs at least one step");
+        PathPattern { steps }
+    }
+
+    /// The steps, root-anchored.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Number of steps (the paper's "length": the number of labels).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Paths are never empty; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Last step's label.
+    pub fn last_label(&self) -> PLabel {
+        self.steps.last().unwrap().label
+    }
+
+    /// `STR(P)`: the symbol string read by VFILTER. `/l` contributes `l`,
+    /// `//l` contributes `# l`, `*` stands for itself.
+    pub fn symbols(&self) -> Vec<PathSymbol> {
+        let mut out = Vec::with_capacity(self.steps.len() * 2);
+        for s in &self.steps {
+            if s.axis == Axis::Descendant {
+                out.push(PathSymbol::Hash);
+            }
+            out.push(match s.label {
+                PLabel::Wild => PathSymbol::Star,
+                PLabel::Lab(l) => PathSymbol::Lab(l),
+            });
+        }
+        out
+    }
+
+    /// Does this pattern match the concrete root-anchored label sequence
+    /// `labels` (i.e. would a node with this root label-path satisfy the
+    /// pattern as a boolean condition on its own path)?
+    ///
+    /// The match must consume the whole sequence: the last step binds to the
+    /// last label.
+    pub fn matches_labels(&self, labels: &[Label]) -> bool {
+        self.matches_suffix_of(labels, 0)
+    }
+
+    fn matches_suffix_of(&self, labels: &[Label], anchor: usize) -> bool {
+        // f[i][j] — steps[i..] can match labels[j..] with steps[i] at j,
+        // computed backwards. We need exact consumption: the final step maps
+        // to the final label.
+        let n = self.steps.len();
+        let m = labels.len();
+        if m < n {
+            return false;
+        }
+        // can_end[i][j]: steps[i..] matches labels with steps[i] placed at j
+        // and steps[n-1] placed at m-1.
+        let mut next: Vec<bool> = vec![false; m + 1];
+        let mut cur: Vec<bool> = vec![false; m + 1];
+        // Base: i == n handled implicitly by requiring last step at m-1.
+        for i in (0..n).rev() {
+            let step = self.steps[i];
+            for j in 0..m {
+                let label_ok = step.label.matches(labels[j]);
+                let ok = if i == n - 1 {
+                    label_ok && j == m - 1
+                } else {
+                    // Successor step i+1 goes at j+1 (child) or any > j (desc).
+                    label_ok
+                        && match self.steps[i + 1].axis {
+                            Axis::Child => next[j + 1],
+                            Axis::Descendant => ((j + 1)..m).any(|k| next[k]),
+                        }
+                };
+                cur[j] = ok;
+            }
+            cur[m] = false;
+            std::mem::swap(&mut next, &mut cur);
+        }
+        // Anchor the first step.
+        match self.steps[0].axis {
+            Axis::Child => next.get(anchor).copied().unwrap_or(false),
+            Axis::Descendant => (anchor..m).any(|j| next[j]),
+        }
+    }
+
+    /// Render in XPath syntax.
+    pub fn display<'a>(&'a self, labels: &'a LabelTable) -> PathDisplay<'a> {
+        PathDisplay { path: self, labels }
+    }
+}
+
+/// Display adapter for [`PathPattern`].
+pub struct PathDisplay<'a> {
+    path: &'a PathPattern,
+    labels: &'a LabelTable,
+}
+
+impl fmt::Display for PathDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in self.path.steps() {
+            write!(f, "{}", s.axis.as_str())?;
+            match s.label {
+                PLabel::Wild => write!(f, "*")?,
+                PLabel::Lab(l) => write!(f, "{}", self.labels.name(l))?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<&PathPattern> for TreePattern {
+    /// Convert to a (linear) tree pattern; the answer node is the last step.
+    fn from(p: &PathPattern) -> TreePattern {
+        let first = p.steps()[0];
+        let mut t = TreePattern::with_root(first.axis, first.label);
+        let mut cur = t.root();
+        for s in &p.steps()[1..] {
+            cur = t.add_child(cur, s.axis, s.label);
+        }
+        t.set_answer(cur);
+        t
+    }
+}
+
+impl TryFrom<&TreePattern> for PathPattern {
+    type Error = ();
+
+    /// Convert a branch-free tree pattern back into a path pattern.
+    fn try_from(t: &TreePattern) -> Result<PathPattern, ()> {
+        if !t.is_path() {
+            return Err(());
+        }
+        let mut steps = Vec::with_capacity(t.len());
+        let mut cur = Some(t.root());
+        while let Some(n) = cur {
+            steps.push(Step {
+                axis: t.axis(n),
+                label: t.label(n),
+            });
+            cur = t.children(n).first().copied();
+        }
+        Ok(PathPattern::new(steps))
+    }
+}
+
+/// Boolean containment of path patterns: is `sub ⊑ sup`?
+///
+/// Both sides are normalized first (Section III-C), after which a
+/// homomorphism test — here a dynamic program — is complete for path
+/// patterns (Theorem 3.1). "Boolean" means `sup` may bind above `sub`'s
+/// leaf: `/a/b ⊑ /a` holds, because any database with a match for `/a/b`
+/// has one for `/a`.
+pub fn path_contains(sup: &PathPattern, sub: &PathPattern) -> bool {
+    let sup = normalize(sup);
+    let sub = normalize(sub);
+    hom_exists(sup.steps(), sub.steps())
+}
+
+/// Like [`path_contains`] but requiring `sup`'s leaf to map onto `sub`'s
+/// leaf — the notion used when the *answer node* must be preserved.
+pub fn path_contains_anchored(sup: &PathPattern, sub: &PathPattern) -> bool {
+    let sup = normalize(sup);
+    let sub = normalize(sub);
+    hom_exists_anchored(sup.steps(), sub.steps())
+}
+
+fn label_ok(sup: PLabel, sub: PLabel) -> bool {
+    sup.subsumes(sub)
+}
+
+/// Is there a homomorphism from `sup` (viewed as constraints) into `sub`?
+fn hom_exists(sup: &[Step], sub: &[Step]) -> bool {
+    hom_dp(sup, sub, false)
+}
+
+fn hom_exists_anchored(sup: &[Step], sub: &[Step]) -> bool {
+    hom_dp(sup, sub, true)
+}
+
+fn hom_dp(sup: &[Step], sub: &[Step], anchored: bool) -> bool {
+    let n = sup.len();
+    let m = sub.len();
+    // f[i][j]: sup[i..] maps with sup[i] ↦ sub[j].
+    // Build backwards.
+    let mut f = vec![vec![false; m]; n];
+    for i in (0..n).rev() {
+        for j in 0..m {
+            if !label_ok(sup[i].label, sub[j].label) {
+                continue;
+            }
+            f[i][j] = if i == n - 1 {
+                // Last sup step: free (boolean) or must hit sub's leaf.
+                !anchored || j == m - 1
+            } else {
+                match sup[i + 1].axis {
+                    // sup child edge must map onto a sub child edge.
+                    Axis::Child => j + 1 < m && sub[j + 1].axis == Axis::Child && f[i + 1][j + 1],
+                    // sup descendant edge maps onto any strictly lower node.
+                    Axis::Descendant => ((j + 1)..m).any(|k| f[i + 1][k]),
+                }
+            };
+        }
+    }
+    // Root anchoring: sup's first step.
+    match sup[0].axis {
+        Axis::Child => sub[0].axis == Axis::Child && f[0][0],
+        Axis::Descendant => (0..m).any(|j| f[0][j]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_pattern_with;
+    use xvr_xml::LabelTable;
+
+    fn path(src: &str, labels: &mut LabelTable) -> PathPattern {
+        let t = parse_pattern_with(src, labels).unwrap();
+        PathPattern::try_from(&t).expect("input must be a path")
+    }
+
+    #[test]
+    fn str_transformation_examples() {
+        // STR(/b//*/f) from the paper: "b # * f".
+        let mut t = LabelTable::new();
+        let p = path("/b//*/f", &mut t);
+        let b = t.get("b").unwrap();
+        let f = t.get("f").unwrap();
+        assert_eq!(
+            p.symbols(),
+            vec![
+                PathSymbol::Lab(b),
+                PathSymbol::Hash,
+                PathSymbol::Star,
+                PathSymbol::Lab(f)
+            ]
+        );
+    }
+
+    #[test]
+    fn containment_basics() {
+        let mut t = LabelTable::new();
+        let cases = [
+            // (sup, sub, contained?)
+            ("/a", "/a/b", true),    // prefix containment (boolean)
+            ("/a/b", "/a", false),
+            ("//b", "/a/b", true),
+            ("/a/b", "//b", false),
+            ("//b/c", "//b/c/d", true),  // paper Sec. I example
+            ("//b/c", "//b//d//c", false),
+            ("//b/c", "//a//b//c", false),
+            ("/*", "/a", true),
+            ("/a", "/*", false),
+            ("//a//c", "/a/b/c", true),
+            ("/a/c", "/a/b/c", false),
+        ];
+        for (sup, sub, want) in cases {
+            let ps = path(sup, &mut t);
+            let pb = path(sub, &mut t);
+            assert_eq!(path_contains(&ps, &pb), want, "{sub} ⊑ {sup}");
+        }
+    }
+
+    #[test]
+    fn containment_needs_normalization() {
+        // s/*//t ≡ s//*/t (Example 3.2/3.3): containment must hold both
+        // ways even though a naive homomorphism misses one direction.
+        let mut t = LabelTable::new();
+        let a = path("/s/*//t", &mut t);
+        let b = path("/s//*/t", &mut t);
+        assert!(path_contains(&a, &b));
+        assert!(path_contains(&b, &a));
+    }
+
+    #[test]
+    fn anchored_containment_requires_leaf_mapping() {
+        let mut t = LabelTable::new();
+        let sup = path("/a", &mut t);
+        let sub = path("/a/b", &mut t);
+        assert!(path_contains(&sup, &sub));
+        assert!(!path_contains_anchored(&sup, &sub));
+        let sup2 = path("//b", &mut t);
+        assert!(path_contains_anchored(&sup2, &sub));
+    }
+
+    #[test]
+    fn matches_labels_basic() {
+        let mut t = LabelTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        let c = t.intern("c");
+        let p = path("/a//c", &mut t);
+        assert!(p.matches_labels(&[a, b, c]));
+        assert!(p.matches_labels(&[a, c]));
+        assert!(!p.matches_labels(&[a, b]));
+        assert!(!p.matches_labels(&[b, c]));
+        let q = path("//b/*", &mut t);
+        assert!(q.matches_labels(&[a, b, c]));
+        assert!(!q.matches_labels(&[a, b]));
+        let r = path("/a/*/c", &mut t);
+        assert!(r.matches_labels(&[a, b, c]));
+        assert!(!r.matches_labels(&[a, c]));
+    }
+
+    #[test]
+    fn matches_requires_full_consumption() {
+        let mut t = LabelTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        let p = path("/a", &mut t);
+        assert!(p.matches_labels(&[a]));
+        assert!(!p.matches_labels(&[a, b]));
+    }
+
+    #[test]
+    fn tree_round_trip() {
+        let mut t = LabelTable::new();
+        let p = path("/a//*/c", &mut t);
+        let tree = TreePattern::from(&p);
+        assert!(tree.is_path());
+        let back = PathPattern::try_from(&tree).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn branching_tree_is_not_a_path() {
+        let mut t = LabelTable::new();
+        let tree = parse_pattern_with("/a[b]/c", &mut t).unwrap();
+        assert!(PathPattern::try_from(&tree).is_err());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let mut t = LabelTable::new();
+        let p = path("/a//*/c", &mut t);
+        assert_eq!(p.display(&t).to_string(), "/a//*/c");
+    }
+}

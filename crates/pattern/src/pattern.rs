@@ -1,0 +1,655 @@
+//! The tree-pattern data model (Section II of the paper).
+//!
+//! A tree pattern is an unordered tree whose nodes carry a label over
+//! `L ∪ {*}` and whose edges carry an axis from `{/, //}`. One node is the
+//! **answer node** `RET(P)`; it always lies on a root-to-leaf path called the
+//! *trunk*. The pattern root itself has an axis relative to the (virtual)
+//! document root: `/a` anchors at the document element, `//a` matches an `a`
+//! anywhere.
+
+use std::fmt;
+
+use xvr_xml::{Label, LabelTable};
+
+/// Edge axis.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Axis {
+    /// `/` — parent/child.
+    Child,
+    /// `//` — proper ancestor/descendant.
+    Descendant,
+}
+
+impl Axis {
+    /// The XPath spelling (`"/"` or `"//"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Axis::Child => "/",
+            Axis::Descendant => "//",
+        }
+    }
+}
+
+/// Node label: a concrete label or the wildcard `*`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PLabel {
+    /// `*` — matches any element label.
+    Wild,
+    /// A concrete element label.
+    Lab(Label),
+}
+
+impl PLabel {
+    /// Does a pattern node with this label match element label `l`?
+    #[inline]
+    pub fn matches(self, l: Label) -> bool {
+        match self {
+            PLabel::Wild => true,
+            PLabel::Lab(p) => p == l,
+        }
+    }
+
+    /// Does this (view-side) label *guarantee* `other` (query-side)?
+    ///
+    /// Homomorphism direction: a pattern node labelled `self` may map onto a
+    /// node labelled `other` iff `self` is `*` or the labels are equal.
+    #[inline]
+    pub fn subsumes(self, other: PLabel) -> bool {
+        match (self, other) {
+            (PLabel::Wild, _) => true,
+            (PLabel::Lab(a), PLabel::Lab(b)) => a == b,
+            (PLabel::Lab(_), PLabel::Wild) => false,
+        }
+    }
+
+    /// The concrete label, if any.
+    pub fn label(self) -> Option<Label> {
+        match self {
+            PLabel::Wild => None,
+            PLabel::Lab(l) => Some(l),
+        }
+    }
+}
+
+/// An attribute predicate on a pattern node (the paper's "comparison
+/// predicates" extension): existence `[@a]` or equality `[@a="v"]`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct AttrPred {
+    /// Attribute name.
+    pub name: Label,
+    /// Required value; `None` = existence only.
+    pub value: Option<String>,
+}
+
+impl AttrPred {
+    /// Does a node satisfying `self` necessarily satisfy `other`?
+    /// (`@a="v"` implies `@a`; `@a` does not imply `@a="v"`.)
+    pub fn implies(&self, other: &AttrPred) -> bool {
+        self.name == other.name
+            && match (&self.value, &other.value) {
+                (_, None) => true,
+                (Some(a), Some(b)) => a == b,
+                (None, Some(_)) => false,
+            }
+    }
+}
+
+/// Index of a node inside a [`TreePattern`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PNodeId(pub u32);
+
+impl PNodeId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One pattern node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PNode {
+    /// Node label over `L ∪ {*}`.
+    pub label: PLabel,
+    /// Parent node; `None` for the pattern root.
+    pub parent: Option<PNodeId>,
+    /// Axis of the edge *entering* this node. For the root this is the axis
+    /// relative to the virtual document root (`/a` vs `//a`).
+    pub axis: Axis,
+    /// Children (branches + trunk continuation), in insertion order.
+    pub children: Vec<PNodeId>,
+    /// Attribute predicates that must hold on the matched element.
+    pub attrs: Vec<AttrPred>,
+}
+
+/// A tree pattern with a designated answer node.
+#[derive(Clone, Debug)]
+pub struct TreePattern {
+    nodes: Vec<PNode>,
+    answer: PNodeId,
+}
+
+impl TreePattern {
+    /// Start building a pattern whose root enters via `axis` with `label`.
+    ///
+    /// The root is the initial answer node; override with
+    /// [`TreePattern::set_answer`].
+    pub fn with_root(axis: Axis, label: PLabel) -> TreePattern {
+        TreePattern {
+            nodes: vec![PNode {
+                label,
+                parent: None,
+                axis,
+                children: Vec::new(),
+                attrs: Vec::new(),
+            }],
+            answer: PNodeId(0),
+        }
+    }
+
+    /// Append a child node under `parent`.
+    pub fn add_child(&mut self, parent: PNodeId, axis: Axis, label: PLabel) -> PNodeId {
+        let id = PNodeId(self.nodes.len() as u32);
+        self.nodes.push(PNode {
+            label,
+            parent: Some(parent),
+            axis,
+            children: Vec::new(),
+            attrs: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Attach an attribute predicate to `node`.
+    pub fn add_attr_pred(&mut self, node: PNodeId, pred: AttrPred) {
+        self.nodes[node.index()].attrs.push(pred);
+    }
+
+    /// Designate `node` as the answer node `RET(P)`.
+    pub fn set_answer(&mut self, node: PNodeId) {
+        assert!(node.index() < self.nodes.len());
+        self.answer = node;
+    }
+
+    /// The pattern root.
+    pub fn root(&self) -> PNodeId {
+        PNodeId(0)
+    }
+
+    /// The answer node `RET(P)`.
+    pub fn answer(&self) -> PNodeId {
+        self.answer
+    }
+
+    /// Number of pattern nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Patterns always have at least a root; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Immutable node access.
+    #[inline]
+    pub fn node(&self, id: PNodeId) -> &PNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Label of `id`.
+    #[inline]
+    pub fn label(&self, id: PNodeId) -> PLabel {
+        self.node(id).label
+    }
+
+    /// Axis of the edge entering `id`.
+    #[inline]
+    pub fn axis(&self, id: PNodeId) -> Axis {
+        self.node(id).axis
+    }
+
+    /// Parent of `id`.
+    #[inline]
+    pub fn parent(&self, id: PNodeId) -> Option<PNodeId> {
+        self.node(id).parent
+    }
+
+    /// Children of `id`.
+    #[inline]
+    pub fn children(&self, id: PNodeId) -> &[PNodeId] {
+        &self.node(id).children
+    }
+
+    /// All node ids in creation order (root first).
+    pub fn ids(&self) -> impl Iterator<Item = PNodeId> {
+        (0..self.nodes.len() as u32).map(PNodeId)
+    }
+
+    /// All leaf nodes (`LEAF(P)` in the paper).
+    pub fn leaves(&self) -> Vec<PNodeId> {
+        self.ids()
+            .filter(|&n| self.children(n).is_empty())
+            .collect()
+    }
+
+    /// Nodes in post-order (children before parents).
+    pub fn postorder(&self) -> Vec<PNodeId> {
+        let mut order = Vec::with_capacity(self.len());
+        let mut stack = vec![(self.root(), false)];
+        while let Some((n, expanded)) = stack.pop() {
+            if expanded {
+                order.push(n);
+            } else {
+                stack.push((n, true));
+                for &c in self.children(n) {
+                    stack.push((c, false));
+                }
+            }
+        }
+        order
+    }
+
+    /// The trunk: node ids from the root down to the answer node.
+    pub fn trunk(&self) -> Vec<PNodeId> {
+        let mut path = vec![self.answer];
+        let mut cur = self.answer;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// True iff `anc` equals `desc` or lies on `desc`'s root path.
+    pub fn is_ancestor_or_self(&self, anc: PNodeId, desc: PNodeId) -> bool {
+        let mut cur = Some(desc);
+        while let Some(n) = cur {
+            if n == anc {
+                return true;
+            }
+            cur = self.parent(n);
+        }
+        false
+    }
+
+    /// Node ids from the root down to `node` (inclusive).
+    pub fn root_path(&self, node: PNodeId) -> Vec<PNodeId> {
+        let mut path = vec![node];
+        let mut cur = node;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Depth of `node` (root = 0).
+    pub fn depth(&self, node: PNodeId) -> usize {
+        self.root_path(node).len() - 1
+    }
+
+    /// Maximum node depth + 1, i.e. the pattern's step count on its longest
+    /// root-to-leaf path (the `max_depth` knob of the query generator).
+    pub fn height(&self) -> usize {
+        self.ids().map(|n| self.depth(n)).max().unwrap_or(0) + 1
+    }
+
+    /// True when the pattern is a path (no branching).
+    pub fn is_path(&self) -> bool {
+        self.ids().all(|n| self.children(n).len() <= 1)
+    }
+
+    /// Rebuild the pattern without the subtree rooted at `drop`, keeping the
+    /// answer node (which must not be inside the dropped subtree).
+    ///
+    /// Used by minimization.
+    pub fn without_subtree(&self, drop: PNodeId) -> TreePattern {
+        assert!(
+            !self.is_ancestor_or_self(drop, self.answer),
+            "cannot drop the answer node"
+        );
+        assert!(drop != self.root(), "cannot drop the root");
+        let mut out = TreePattern::with_root(self.axis(self.root()), self.label(self.root()));
+        out.nodes[0].attrs = self.node(self.root()).attrs.clone();
+        let mut map = vec![None; self.len()];
+        map[self.root().index()] = Some(out.root());
+        // Walk in creation order; parents precede children in `nodes`.
+        for id in self.ids().skip(1) {
+            if id == drop {
+                continue;
+            }
+            let n = self.node(id);
+            let parent = match map[n.parent.unwrap().index()] {
+                Some(p) => p,
+                None => continue, // inside the dropped subtree
+            };
+            let new_id = out.add_child(parent, n.axis, n.label);
+            out.nodes[new_id.index()].attrs = n.attrs.clone();
+            map[id.index()] = Some(new_id);
+        }
+        out.set_answer(map[self.answer.index()].expect("answer preserved"));
+        out
+    }
+
+    /// Extract the sub-pattern rooted at `node` as a standalone pattern.
+    ///
+    /// The new root keeps `root_axis` as its entering axis. If `answer`
+    /// lies inside the subtree it stays the answer; otherwise the new root
+    /// becomes the answer.
+    pub fn subtree_pattern(&self, node: PNodeId, root_axis: Axis) -> TreePattern {
+        let mut out = TreePattern::with_root(root_axis, self.label(node));
+        out.nodes[0].attrs = self.node(node).attrs.clone();
+        let mut map = vec![None; self.len()];
+        map[node.index()] = Some(out.root());
+        let mut stack: Vec<PNodeId> = self.children(node).iter().rev().copied().collect();
+        while let Some(id) = stack.pop() {
+            let n = self.node(id);
+            let parent = map[n.parent.unwrap().index()].unwrap();
+            let new_id = out.add_child(parent, n.axis, n.label);
+            out.nodes[new_id.index()].attrs = n.attrs.clone();
+            map[id.index()] = Some(new_id);
+            for &c in n.children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        if let Some(a) = map[self.answer.index()] {
+            out.set_answer(a);
+        }
+        out
+    }
+
+    /// Render as an XPath expression (parseable by [`crate::parse`]).
+    pub fn display<'a>(&'a self, labels: &'a LabelTable) -> PatternDisplay<'a> {
+        PatternDisplay {
+            pattern: self,
+            labels,
+        }
+    }
+
+    /// Structural equality up to child order (labels, axes, attrs, answer).
+    ///
+    /// This is *syntactic* identity, not pattern equivalence; use
+    /// [`crate::containment::equivalent`] for the semantic notion.
+    pub fn structurally_equal(&self, other: &TreePattern) -> bool {
+        fn node_eq(a: &TreePattern, an: PNodeId, b: &TreePattern, bn: PNodeId) -> bool {
+            let (na, nb) = (a.node(an), b.node(bn));
+            if na.label != nb.label || na.axis != nb.axis || na.attrs != nb.attrs {
+                return false;
+            }
+            if na.children.len() != nb.children.len() {
+                return false;
+            }
+            // Unordered children: greedy bipartite match (patterns are tiny).
+            let mut used = vec![false; nb.children.len()];
+            'outer: for &ca in &na.children {
+                for (i, &cb) in nb.children.iter().enumerate() {
+                    if !used[i] && node_eq(a, ca, b, cb) {
+                        // Answer-node position must agree along the match.
+                        let a_has = a.is_ancestor_or_self(ca, a.answer());
+                        let b_has = b.is_ancestor_or_self(cb, b.answer());
+                        if a_has == b_has {
+                            used[i] = true;
+                            continue 'outer;
+                        }
+                    }
+                }
+                return false;
+            }
+            true
+        }
+        self.len() == other.len() && node_eq(self, self.root(), other, other.root())
+    }
+}
+
+/// Display adapter produced by [`TreePattern::display`].
+pub struct PatternDisplay<'a> {
+    pattern: &'a TreePattern,
+    labels: &'a LabelTable,
+}
+
+impl fmt::Display for PatternDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = self.pattern;
+        let trunk = p.trunk();
+        for (i, &n) in trunk.iter().enumerate() {
+            write!(f, "{}", p.axis(n).as_str())?;
+            self.write_label(f, n)?;
+            self.write_attrs(f, n)?;
+            // Branches: every child not on the trunk.
+            let next_on_trunk = trunk.get(i + 1).copied();
+            for &c in p.children(n) {
+                if Some(c) != next_on_trunk {
+                    write!(f, "[")?;
+                    self.write_branch(f, c)?;
+                    write!(f, "]")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl PatternDisplay<'_> {
+    fn write_label(&self, f: &mut fmt::Formatter<'_>, n: PNodeId) -> fmt::Result {
+        match self.pattern.label(n) {
+            PLabel::Wild => write!(f, "*"),
+            PLabel::Lab(l) => write!(f, "{}", self.labels.name(l)),
+        }
+    }
+
+    fn write_attrs(&self, f: &mut fmt::Formatter<'_>, n: PNodeId) -> fmt::Result {
+        for a in &self.pattern.node(n).attrs {
+            match &a.value {
+                None => write!(f, "[@{}]", self.labels.name(a.name))?,
+                Some(v) => write!(f, "[@{}=\"{}\"]", self.labels.name(a.name), v)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Branch rendering: inside `[...]` the leading axis is `.`-relative.
+    fn write_branch(&self, f: &mut fmt::Formatter<'_>, n: PNodeId) -> fmt::Result {
+        let p = self.pattern;
+        if p.axis(n) == Axis::Descendant {
+            write!(f, ".//")?;
+        }
+        self.write_branch_inner(f, n)
+    }
+
+    fn write_branch_inner(&self, f: &mut fmt::Formatter<'_>, n: PNodeId) -> fmt::Result {
+        let p = self.pattern;
+        self.write_label(f, n)?;
+        self.write_attrs(f, n)?;
+        let children = p.children(n);
+        if children.len() == 1 {
+            let c = children[0];
+            write!(f, "{}", p.axis(c).as_str())?;
+            self.write_branch_inner(f, c)
+        } else {
+            for &c in children {
+                write!(f, "[")?;
+                self.write_branch(f, c)?;
+                write!(f, "]")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xvr_xml::LabelTable;
+
+    fn labs() -> (LabelTable, Label, Label, Label) {
+        let mut t = LabelTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        let c = t.intern("c");
+        (t, a, b, c)
+    }
+
+    #[test]
+    fn build_and_inspect() {
+        let (_, a, b, c) = labs();
+        let mut p = TreePattern::with_root(Axis::Child, PLabel::Lab(a));
+        let nb = p.add_child(p.root(), Axis::Child, PLabel::Lab(b));
+        let nc = p.add_child(p.root(), Axis::Descendant, PLabel::Lab(c));
+        p.set_answer(nc);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.children(p.root()), &[nb, nc]);
+        assert_eq!(p.trunk(), vec![p.root(), nc]);
+        assert_eq!(p.leaves(), vec![nb, nc]);
+        assert!(p.is_ancestor_or_self(p.root(), nb));
+        assert!(!p.is_ancestor_or_self(nb, nc));
+    }
+
+    #[test]
+    fn display_paper_style() {
+        let (t, a, b, c) = labs();
+        // a[b]/c with answer c → "/a[b]/c".
+        let mut p = TreePattern::with_root(Axis::Child, PLabel::Lab(a));
+        p.add_child(p.root(), Axis::Child, PLabel::Lab(b));
+        let nc = p.add_child(p.root(), Axis::Child, PLabel::Lab(c));
+        p.set_answer(nc);
+        assert_eq!(p.display(&t).to_string(), "/a[b]/c");
+    }
+
+    #[test]
+    fn display_nested_branch() {
+        let (t, a, b, c) = labs();
+        // a[b//c]//* answer *.
+        let mut p = TreePattern::with_root(Axis::Descendant, PLabel::Lab(a));
+        let nb = p.add_child(p.root(), Axis::Child, PLabel::Lab(b));
+        p.add_child(nb, Axis::Descendant, PLabel::Lab(c));
+        let w = p.add_child(p.root(), Axis::Descendant, PLabel::Wild);
+        p.set_answer(w);
+        assert_eq!(p.display(&t).to_string(), "//a[b//c]//*");
+    }
+
+    #[test]
+    fn display_descendant_branch_uses_dot() {
+        let (t, a, b, _) = labs();
+        let mut p = TreePattern::with_root(Axis::Child, PLabel::Lab(a));
+        let nb = p.add_child(p.root(), Axis::Descendant, PLabel::Lab(b));
+        let _ = nb;
+        assert_eq!(p.display(&t).to_string(), "/a[.//b]");
+    }
+
+    #[test]
+    fn without_subtree_drops_branch() {
+        let (_, a, b, c) = labs();
+        let mut p = TreePattern::with_root(Axis::Child, PLabel::Lab(a));
+        let nb = p.add_child(p.root(), Axis::Child, PLabel::Lab(b));
+        let nc = p.add_child(p.root(), Axis::Child, PLabel::Lab(c));
+        p.set_answer(nc);
+        let q = p.without_subtree(nb);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.label(q.answer()), PLabel::Lab(c));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot drop the answer node")]
+    fn without_subtree_protects_answer() {
+        let (_, a, b, _) = labs();
+        let mut p = TreePattern::with_root(Axis::Child, PLabel::Lab(a));
+        let nb = p.add_child(p.root(), Axis::Child, PLabel::Lab(b));
+        p.set_answer(nb);
+        let _ = p.without_subtree(nb);
+    }
+
+    #[test]
+    fn subtree_pattern_keeps_answer_inside() {
+        let (t, a, b, c) = labs();
+        let mut p = TreePattern::with_root(Axis::Child, PLabel::Lab(a));
+        let nb = p.add_child(p.root(), Axis::Descendant, PLabel::Lab(b));
+        let nc = p.add_child(nb, Axis::Child, PLabel::Lab(c));
+        p.set_answer(nc);
+        let sub = p.subtree_pattern(nb, Axis::Descendant);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.display(&t).to_string(), "//b/c");
+        assert_eq!(sub.label(sub.answer()), PLabel::Lab(c));
+    }
+
+    #[test]
+    fn structural_equality_ignores_child_order() {
+        let (_, a, b, c) = labs();
+        let mut p = TreePattern::with_root(Axis::Child, PLabel::Lab(a));
+        p.add_child(p.root(), Axis::Child, PLabel::Lab(b));
+        p.add_child(p.root(), Axis::Child, PLabel::Lab(c));
+        let mut q = TreePattern::with_root(Axis::Child, PLabel::Lab(a));
+        q.add_child(q.root(), Axis::Child, PLabel::Lab(c));
+        q.add_child(q.root(), Axis::Child, PLabel::Lab(b));
+        assert!(p.structurally_equal(&q));
+        let mut r = TreePattern::with_root(Axis::Child, PLabel::Lab(a));
+        r.add_child(r.root(), Axis::Descendant, PLabel::Lab(b));
+        r.add_child(r.root(), Axis::Child, PLabel::Lab(c));
+        assert!(!p.structurally_equal(&r));
+    }
+
+    #[test]
+    fn structural_equality_tracks_answer() {
+        let (_, a, b, _) = labs();
+        let mut p = TreePattern::with_root(Axis::Child, PLabel::Lab(a));
+        let pb = p.add_child(p.root(), Axis::Child, PLabel::Lab(b));
+        p.set_answer(pb);
+        let mut q = TreePattern::with_root(Axis::Child, PLabel::Lab(a));
+        q.add_child(q.root(), Axis::Child, PLabel::Lab(b));
+        // q's answer is its root.
+        assert!(!p.structurally_equal(&q));
+    }
+
+    #[test]
+    fn postorder_children_first() {
+        let (_, a, b, c) = labs();
+        let mut p = TreePattern::with_root(Axis::Child, PLabel::Lab(a));
+        let nb = p.add_child(p.root(), Axis::Child, PLabel::Lab(b));
+        let nc = p.add_child(nb, Axis::Child, PLabel::Lab(c));
+        let order = p.postorder();
+        let pos = |x: PNodeId| order.iter().position(|&n| n == x).unwrap();
+        assert!(pos(nc) < pos(nb));
+        assert!(pos(nb) < pos(p.root()));
+    }
+
+    #[test]
+    fn plabel_subsumption() {
+        let (_, a, b, _) = labs();
+        assert!(PLabel::Wild.subsumes(PLabel::Lab(a)));
+        assert!(PLabel::Wild.subsumes(PLabel::Wild));
+        assert!(PLabel::Lab(a).subsumes(PLabel::Lab(a)));
+        assert!(!PLabel::Lab(a).subsumes(PLabel::Lab(b)));
+        assert!(!PLabel::Lab(a).subsumes(PLabel::Wild));
+    }
+
+    #[test]
+    fn attr_pred_implication() {
+        let (_, a, _, _) = labs();
+        let exists = AttrPred {
+            name: a,
+            value: None,
+        };
+        let eq = AttrPred {
+            name: a,
+            value: Some("v".into()),
+        };
+        assert!(eq.implies(&exists));
+        assert!(!exists.implies(&eq));
+        assert!(eq.implies(&eq));
+    }
+
+    #[test]
+    fn height_and_is_path() {
+        let (_, a, b, c) = labs();
+        let mut p = TreePattern::with_root(Axis::Child, PLabel::Lab(a));
+        let nb = p.add_child(p.root(), Axis::Child, PLabel::Lab(b));
+        assert!(p.is_path());
+        assert_eq!(p.height(), 2);
+        p.add_child(nb, Axis::Child, PLabel::Lab(c));
+        p.add_child(p.root(), Axis::Child, PLabel::Lab(c));
+        assert!(!p.is_path());
+        assert_eq!(p.height(), 3);
+    }
+}

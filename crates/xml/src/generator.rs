@@ -1,0 +1,411 @@
+//! Deterministic XMark-like document generator.
+//!
+//! The paper's evaluation runs on a 56.2 MB document produced by the XMark
+//! benchmark generator (an Internet-auction site). XMark itself is not
+//! redistributable here, so this module generates a document with the same
+//! element vocabulary and the same structural character — six regional item
+//! lists, people with nested profiles, open/closed auctions with bidder
+//! streams, a recursive `parlist`/`listitem` description structure, and a
+//! category graph — parameterized by a scale factor and fully determined by
+//! a seed.
+//!
+//! Only the *shape* matters for the experiments (element-label skew, depth,
+//! fanout, recursion); no attempt is made to mimic XMark's value
+//! distributions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::label::{Label, LabelTable};
+use crate::tree::{Document, NodeId, XmlTree};
+
+/// Generation parameters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of `person` elements.
+    pub people: usize,
+    /// Total number of `item` elements, spread over the six regions.
+    pub items: usize,
+    /// Number of `open_auction` elements.
+    pub open_auctions: usize,
+    /// Number of `closed_auction` elements.
+    pub closed_auctions: usize,
+    /// Number of `category` elements.
+    pub categories: usize,
+    /// RNG seed; two runs with equal configs produce identical documents.
+    pub seed: u64,
+}
+
+impl Config {
+    /// XMark-like proportions at scale factor `sf` (XMark's sf = 1.0 is a
+    /// ~100 MB document; the paper used roughly sf ≈ 0.5).
+    pub fn scale(sf: f64) -> Config {
+        let n = |base: f64| ((base * sf).round() as usize).max(1);
+        Config {
+            people: n(25_500.0),
+            items: n(21_750.0),
+            open_auctions: n(12_000.0),
+            closed_auctions: n(9_750.0),
+            categories: n(1_000.0),
+            seed: 0x5eed,
+        }
+    }
+
+    /// A small configuration handy for unit tests (~2k nodes).
+    pub fn tiny(seed: u64) -> Config {
+        Config {
+            people: 30,
+            items: 40,
+            open_auctions: 25,
+            closed_auctions: 15,
+            categories: 8,
+            seed,
+        }
+    }
+
+    /// Set the seed, builder-style.
+    pub fn with_seed(mut self, seed: u64) -> Config {
+        self.seed = seed;
+        self
+    }
+}
+
+const WORDS: &[&str] = &[
+    "auction", "bid", "rare", "vintage", "mint", "boxed", "signed", "classic", "limited",
+    "edition", "antique", "modern", "restored", "original", "pristine", "collector",
+];
+
+const REGIONS: &[&str] = &["africa", "asia", "australia", "europe", "namerica", "samerica"];
+
+struct Gen<'a> {
+    tree: XmlTree,
+    rng: StdRng,
+    labels: &'a mut LabelTable,
+}
+
+impl Gen<'_> {
+    fn l(&mut self, name: &str) -> Label {
+        self.labels.intern(name)
+    }
+
+    fn el(&mut self, parent: NodeId, name: &str) -> NodeId {
+        let l = self.l(name);
+        self.tree.add_child(parent, l)
+    }
+
+    fn text_el(&mut self, parent: NodeId, name: &str) -> NodeId {
+        let n = self.el(parent, name);
+        let words = self.rng.gen_range(1..4);
+        let mut t = String::new();
+        for i in 0..words {
+            if i > 0 {
+                t.push(' ');
+            }
+            t.push_str(WORDS[self.rng.gen_range(0..WORDS.len())]);
+        }
+        self.tree.set_text(n, t);
+        n
+    }
+
+    /// `description` is the recursive part of the XMark schema: either a
+    /// flat `text` or a `parlist` of `listitem`s, each again text or parlist.
+    fn description(&mut self, parent: NodeId, depth: usize) {
+        let d = self.el(parent, "description");
+        self.par_content(d, depth);
+    }
+
+    fn par_content(&mut self, parent: NodeId, depth: usize) {
+        if depth == 0 || self.rng.gen_bool(0.6) {
+            self.text_el(parent, "text");
+        } else {
+            let pl = self.el(parent, "parlist");
+            let items = self.rng.gen_range(1..4);
+            for _ in 0..items {
+                let li = self.el(pl, "listitem");
+                self.par_content(li, depth - 1);
+            }
+        }
+    }
+
+    fn person(&mut self, parent: NodeId, idx: usize) {
+        let p = self.el(parent, "person");
+        let idl = self.l("id");
+        self.tree.add_attr(p, idl, format!("person{idx}"));
+        self.text_el(p, "name");
+        self.text_el(p, "emailaddress");
+        if self.rng.gen_bool(0.5) {
+            self.text_el(p, "phone");
+        }
+        if self.rng.gen_bool(0.6) {
+            let addr = self.el(p, "address");
+            self.text_el(addr, "street");
+            self.text_el(addr, "city");
+            self.text_el(addr, "country");
+            self.text_el(addr, "zipcode");
+        }
+        if self.rng.gen_bool(0.4) {
+            self.text_el(p, "homepage");
+        }
+        if self.rng.gen_bool(0.7) {
+            let prof = self.el(p, "profile");
+            let interests = self.rng.gen_range(0..4);
+            for _ in 0..interests {
+                let i = self.el(prof, "interest");
+                let cat = self.l("category");
+                let c = self.rng.gen_range(0..64);
+                self.tree.add_attr(i, cat, format!("category{c}"));
+            }
+            if self.rng.gen_bool(0.5) {
+                self.text_el(prof, "education");
+            }
+            self.text_el(prof, "gender");
+            self.text_el(prof, "business");
+            self.text_el(prof, "age");
+            if self.rng.gen_bool(0.3) {
+                self.text_el(prof, "creditcard");
+            }
+        }
+        if self.rng.gen_bool(0.4) {
+            let w = self.el(p, "watches");
+            let n = self.rng.gen_range(1..4);
+            for _ in 0..n {
+                self.el(w, "watch");
+            }
+        }
+    }
+
+    fn item(&mut self, parent: NodeId, idx: usize) {
+        let it = self.el(parent, "item");
+        let idl = self.l("id");
+        self.tree.add_attr(it, idl, format!("item{idx}"));
+        self.text_el(it, "location");
+        self.text_el(it, "quantity");
+        self.text_el(it, "name");
+        self.text_el(it, "payment");
+        self.description(it, 3);
+        self.text_el(it, "shipping");
+        let cats = self.rng.gen_range(1..3);
+        for _ in 0..cats {
+            self.el(it, "incategory");
+        }
+        if self.rng.gen_bool(0.4) {
+            let mb = self.el(it, "mailbox");
+            let mails = self.rng.gen_range(1..3);
+            for _ in 0..mails {
+                let m = self.el(mb, "mail");
+                self.text_el(m, "from");
+                self.text_el(m, "to");
+                self.text_el(m, "date");
+                self.text_el(m, "text");
+            }
+        }
+    }
+
+    fn open_auction(&mut self, parent: NodeId, idx: usize) {
+        let a = self.el(parent, "open_auction");
+        let idl = self.l("id");
+        self.tree.add_attr(a, idl, format!("open_auction{idx}"));
+        self.text_el(a, "initial");
+        if self.rng.gen_bool(0.5) {
+            self.text_el(a, "reserve");
+        }
+        let bidders = self.rng.gen_range(0..5);
+        for _ in 0..bidders {
+            let b = self.el(a, "bidder");
+            self.text_el(b, "date");
+            self.text_el(b, "time");
+            self.text_el(b, "increase");
+        }
+        self.text_el(a, "current");
+        self.el(a, "itemref");
+        self.el(a, "seller");
+        let ann = self.el(a, "annotation");
+        self.el(ann, "author");
+        self.description(ann, 2);
+        if self.rng.gen_bool(0.5) {
+            self.text_el(ann, "happiness");
+        }
+        self.text_el(a, "quantity");
+        self.text_el(a, "type");
+        let iv = self.el(a, "interval");
+        self.text_el(iv, "start");
+        self.text_el(iv, "end");
+    }
+
+    fn closed_auction(&mut self, parent: NodeId, idx: usize) {
+        let a = self.el(parent, "closed_auction");
+        let idl = self.l("id");
+        self.tree.add_attr(a, idl, format!("closed_auction{idx}"));
+        self.el(a, "seller");
+        self.el(a, "buyer");
+        self.el(a, "itemref");
+        self.text_el(a, "price");
+        self.text_el(a, "date");
+        self.text_el(a, "quantity");
+        self.text_el(a, "type");
+        let ann = self.el(a, "annotation");
+        self.el(ann, "author");
+        self.description(ann, 2);
+    }
+
+    fn category(&mut self, parent: NodeId, idx: usize) {
+        let c = self.el(parent, "category");
+        let idl = self.l("id");
+        self.tree.add_attr(c, idl, format!("category{idx}"));
+        self.text_el(c, "name");
+        self.description(c, 2);
+    }
+}
+
+/// Generate a document under `config`, interning labels into `labels`.
+pub fn generate_with(config: &Config, labels: &mut LabelTable) -> Document {
+    let mut g = Gen {
+        tree: XmlTree::new(),
+        rng: StdRng::seed_from_u64(config.seed),
+        labels,
+    };
+    let site_label = g.l("site");
+    let site = g.tree.add_root(site_label);
+
+    let regions = g.el(site, "regions");
+    let region_nodes: Vec<NodeId> = REGIONS.iter().map(|r| g.el(regions, r)).collect();
+    for i in 0..config.items {
+        // Skewed region assignment, like XMark's uneven region sizes.
+        let r = match g.rng.gen_range(0..10) {
+            0..=3 => 3,            // europe
+            4..=6 => 4,            // namerica
+            7 => 1,                // asia
+            8 => 0,                // africa
+            _ => {
+                if g.rng.gen_bool(0.5) {
+                    2
+                } else {
+                    5
+                }
+            }
+        };
+        g.item(region_nodes[r], i);
+    }
+
+    let cats = g.el(site, "categories");
+    for i in 0..config.categories {
+        g.category(cats, i);
+    }
+
+    let catgraph = g.el(site, "catgraph");
+    for _ in 0..config.categories.saturating_sub(1) {
+        g.el(catgraph, "edge");
+    }
+
+    let people = g.el(site, "people");
+    for i in 0..config.people {
+        g.person(people, i);
+    }
+
+    let open = g.el(site, "open_auctions");
+    for i in 0..config.open_auctions {
+        g.open_auction(open, i);
+    }
+
+    let closed = g.el(site, "closed_auctions");
+    for i in 0..config.closed_auctions {
+        g.closed_auction(closed, i);
+    }
+
+    let tree = g.tree;
+    // `labels` continues to live with the caller; clone the current state
+    // into the document so it is self-contained.
+    Document::from_tree(labels.clone(), tree)
+}
+
+/// Generate a document with a fresh label table.
+pub fn generate(config: &Config) -> Document {
+    let mut labels = LabelTable::new();
+    generate_with(config, &mut labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let a = generate(&Config::tiny(7));
+        let b = generate(&Config::tiny(7));
+        assert_eq!(a.len(), b.len());
+        let codes_a: Vec<String> = a
+            .tree
+            .iter()
+            .take(200)
+            .map(|n| a.dewey.code_of(&a.tree, n).to_string())
+            .collect();
+        let codes_b: Vec<String> = b
+            .tree
+            .iter()
+            .take(200)
+            .map(|n| b.dewey.code_of(&b.tree, n).to_string())
+            .collect();
+        assert_eq!(codes_a, codes_b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&Config::tiny(1));
+        let b = generate(&Config::tiny(2));
+        let sig = |d: &Document| -> Vec<String> {
+            d.tree
+                .iter()
+                .take(500)
+                .map(|n| d.dewey.code_of(&d.tree, n).to_string())
+                .collect()
+        };
+        assert_ne!(sig(&a), sig(&b));
+    }
+
+    #[test]
+    fn has_expected_top_level_shape() {
+        let doc = generate(&Config::tiny(3));
+        let names: Vec<&str> = doc
+            .tree
+            .children(doc.tree.root())
+            .iter()
+            .map(|&c| doc.labels.name(doc.tree.label(c)))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "regions",
+                "categories",
+                "catgraph",
+                "people",
+                "open_auctions",
+                "closed_auctions"
+            ]
+        );
+    }
+
+    #[test]
+    fn recursion_produces_depth() {
+        let doc = generate(&Config::tiny(5));
+        assert!(doc.tree.height() >= 6, "height {}", doc.tree.height());
+    }
+
+    #[test]
+    fn dewey_codes_decode_everywhere() {
+        let doc = generate(&Config::tiny(11));
+        for n in doc.tree.iter() {
+            let code = doc.dewey.code_of(&doc.tree, n);
+            assert_eq!(
+                doc.fst.decode(code.components()).unwrap(),
+                doc.tree.label_path(n)
+            );
+        }
+    }
+
+    #[test]
+    fn scale_grows_linearly_ish() {
+        let small = generate(&Config::scale(0.001));
+        let larger = generate(&Config::scale(0.002));
+        assert!(larger.len() > small.len());
+    }
+}

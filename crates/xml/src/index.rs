@@ -1,0 +1,243 @@
+//! Element and path indexes — the substrate behind the paper's `BN`
+//! ("basic node index") and `BF` ("full index") evaluation baselines.
+//!
+//! * [`NodeIndex`] maps each label to its nodes in document order. This is
+//!   the only access path `BN` evaluation gets.
+//! * [`PathIndex`] additionally maps every distinct root-to-node *label-path*
+//!   to its nodes, and each label to the set of paths ending in it. This is
+//!   the stand-in for Berkeley DB XML's full index: much faster lookups at a
+//!   multiple of the storage cost, which is exactly the trade-off Figure 8
+//!   of the paper reports (150 MB vs 635 MB for the 56 MB document).
+
+use std::collections::HashMap;
+
+use crate::label::{Label, LabelTable};
+use crate::tree::{NodeId, XmlTree};
+
+/// Label → nodes (document order).
+#[derive(Clone, Debug)]
+pub struct NodeIndex {
+    by_label: Vec<Vec<NodeId>>,
+}
+
+impl NodeIndex {
+    /// Build the index with one pre-order scan.
+    pub fn build(tree: &XmlTree, labels: &LabelTable) -> NodeIndex {
+        let mut by_label = vec![Vec::new(); labels.len()];
+        for n in tree.iter() {
+            by_label[tree.label(n).index()].push(n);
+        }
+        NodeIndex { by_label }
+    }
+
+    /// All nodes labelled `l`, in document order.
+    pub fn nodes(&self, l: Label) -> &[NodeId] {
+        self.by_label
+            .get(l.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Number of nodes carrying label `l`.
+    pub fn count(&self, l: Label) -> usize {
+        self.nodes(l).len()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_size(&self) -> usize {
+        self.by_label
+            .iter()
+            .map(|v| v.len() * 4 + 24)
+            .sum::<usize>()
+    }
+}
+
+/// Interned id of a root-to-node label-path.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PathId(u32);
+
+/// Label-path → nodes, plus label → paths-ending-in-label.
+#[derive(Clone, Debug)]
+pub struct PathIndex {
+    paths: Vec<Vec<Label>>,
+    by_path: HashMap<Vec<Label>, PathId>,
+    nodes_by_path: Vec<Vec<NodeId>>,
+    /// For each label, the ids of all paths whose last step is that label.
+    paths_by_tail: Vec<Vec<PathId>>,
+    /// Path id of each node (dense, document order).
+    node_path: Vec<PathId>,
+}
+
+impl PathIndex {
+    /// Build the index with one pre-order scan.
+    pub fn build(tree: &XmlTree, labels: &LabelTable) -> PathIndex {
+        let mut idx = PathIndex {
+            paths: Vec::new(),
+            by_path: HashMap::new(),
+            nodes_by_path: Vec::new(),
+            paths_by_tail: vec![Vec::new(); labels.len()],
+            node_path: vec![PathId(0); tree.len()],
+        };
+        if tree.is_empty() {
+            return idx;
+        }
+        // Depth-first with an explicit stack of (node, parent's path id).
+        let mut stack: Vec<(NodeId, Option<PathId>)> = vec![(tree.root(), None)];
+        let mut scratch: Vec<Label> = Vec::new();
+        while let Some((node, parent_path)) = stack.pop() {
+            scratch.clear();
+            if let Some(pp) = parent_path {
+                scratch.extend_from_slice(&idx.paths[pp.0 as usize]);
+            }
+            scratch.push(tree.label(node));
+            let pid = match idx.by_path.get(scratch.as_slice()) {
+                Some(&pid) => pid,
+                None => {
+                    let pid = PathId(idx.paths.len() as u32);
+                    idx.by_path.insert(scratch.clone(), pid);
+                    idx.paths.push(scratch.clone());
+                    idx.nodes_by_path.push(Vec::new());
+                    idx.paths_by_tail[tree.label(node).index()].push(pid);
+                    pid
+                }
+            };
+            idx.nodes_by_path[pid.0 as usize].push(node);
+            idx.node_path[node.index()] = pid;
+            for &c in tree.children(node).iter().rev() {
+                stack.push((c, Some(pid)));
+            }
+        }
+        // The DFS above visits in document order per path already (stack is
+        // LIFO with reversed children), so node lists are sorted.
+        idx
+    }
+
+    /// Number of distinct label-paths.
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// The label sequence of `pid`.
+    pub fn path(&self, pid: PathId) -> &[Label] {
+        &self.paths[pid.0 as usize]
+    }
+
+    /// Nodes whose root path is exactly `path`.
+    pub fn nodes_on_path(&self, path: &[Label]) -> &[NodeId] {
+        match self.by_path.get(path) {
+            Some(pid) => &self.nodes_by_path[pid.0 as usize],
+            None => &[],
+        }
+    }
+
+    /// Ids of all paths ending with label `l`.
+    pub fn paths_ending_with(&self, l: Label) -> &[PathId] {
+        self.paths_by_tail
+            .get(l.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Nodes of path `pid`, document order.
+    pub fn nodes_of(&self, pid: PathId) -> &[NodeId] {
+        &self.nodes_by_path[pid.0 as usize]
+    }
+
+    /// All path ids.
+    pub fn path_ids(&self) -> impl Iterator<Item = PathId> {
+        (0..self.paths.len() as u32).map(PathId)
+    }
+
+    /// Path id of a specific node.
+    pub fn path_of(&self, node: NodeId) -> PathId {
+        self.node_path[node.index()]
+    }
+
+    /// Approximate heap footprint in bytes. Dominated by per-node entries,
+    /// so roughly proportional to document size times path-key overhead —
+    /// this is what makes the "full index" expensive, as in the paper.
+    pub fn heap_size(&self) -> usize {
+        let path_bytes: usize = self.paths.iter().map(|p| p.len() * 4 + 24).sum();
+        let node_bytes: usize = self.nodes_by_path.iter().map(|v| v.len() * 4 + 24).sum();
+        // Hash map keys duplicate the path labels.
+        path_bytes * 2 + node_bytes + self.node_path.len() * 4 + self.paths_by_tail.len() * 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples::book_document;
+
+    #[test]
+    fn node_index_counts() {
+        let doc = book_document();
+        let idx = NodeIndex::build(&doc.tree, &doc.labels);
+        assert_eq!(idx.count(doc.labels.get("p").unwrap()), 8);
+        assert_eq!(idx.count(doc.labels.get("f").unwrap()), 3);
+        assert_eq!(idx.count(doc.labels.get("b").unwrap()), 1);
+    }
+
+    #[test]
+    fn node_index_is_document_ordered() {
+        let doc = book_document();
+        let idx = NodeIndex::build(&doc.tree, &doc.labels);
+        for l in doc.labels.iter() {
+            let nodes = idx.nodes(l);
+            for w in nodes.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn path_index_partitions_nodes() {
+        let doc = book_document();
+        let idx = PathIndex::build(&doc.tree, &doc.labels);
+        let total: usize = (0..idx.path_count())
+            .map(|i| idx.nodes_of(PathId(i as u32)).len())
+            .sum();
+        assert_eq!(total, doc.len());
+    }
+
+    #[test]
+    fn path_index_lookup_by_exact_path() {
+        let doc = book_document();
+        let idx = PathIndex::build(&doc.tree, &doc.labels);
+        let b = doc.labels.get("b").unwrap();
+        let s = doc.labels.get("s").unwrap();
+        let p = doc.labels.get("p").unwrap();
+        // b/s/p paragraphs: p1 and p5.
+        assert_eq!(idx.nodes_on_path(&[b, s, p]).len(), 2);
+        // b/s/s/p paragraphs: p2, p3, p4, p6, p7, p8.
+        assert_eq!(idx.nodes_on_path(&[b, s, s, p]).len(), 6);
+        assert!(idx.nodes_on_path(&[p]).is_empty());
+    }
+
+    #[test]
+    fn paths_by_tail_cover_label() {
+        let doc = book_document();
+        let idx = PathIndex::build(&doc.tree, &doc.labels);
+        let p = doc.labels.get("p").unwrap();
+        let total: usize = idx
+            .paths_ending_with(p)
+            .iter()
+            .map(|&pid| idx.nodes_of(pid).len())
+            .sum();
+        assert_eq!(total, 8);
+        for &pid in idx.paths_ending_with(p) {
+            assert_eq!(*idx.path(pid).last().unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn path_of_is_consistent() {
+        let doc = book_document();
+        let idx = PathIndex::build(&doc.tree, &doc.labels);
+        for n in doc.tree.iter() {
+            let pid = idx.path_of(n);
+            assert_eq!(idx.path(pid), doc.tree.label_path(n).as_slice());
+            assert!(idx.nodes_of(pid).contains(&n));
+        }
+    }
+}

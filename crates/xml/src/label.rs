@@ -1,0 +1,151 @@
+//! Interned element labels.
+//!
+//! The paper models XML as a tree labelled over a finite alphabet `L`; every
+//! structure in the system (documents, patterns, automata, indexes) compares
+//! labels constantly, so labels are interned once into a [`LabelTable`] and
+//! passed around as copyable [`Label`] ids.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned element label: an index into a [`LabelTable`].
+///
+/// Two `Label`s are equal iff they were interned in the same table and denote
+/// the same element name. The type is deliberately opaque; use
+/// [`LabelTable::name`] to recover the string form.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(pub(crate) u32);
+
+impl Label {
+    /// Raw index of this label inside its table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Build a label from a raw table index.
+    ///
+    /// Only meaningful for indexes previously produced by the same
+    /// [`LabelTable`]; mainly useful for dense per-label arrays.
+    #[inline]
+    pub fn from_index(index: usize) -> Label {
+        Label(index as u32)
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Label({})", self.0)
+    }
+}
+
+/// Bidirectional mapping between element-name strings and [`Label`] ids.
+///
+/// The table grows monotonically: labels are never removed, so a `Label`
+/// handed out once stays valid for the table's lifetime.
+#[derive(Clone, Debug, Default)]
+pub struct LabelTable {
+    names: Vec<String>,
+    by_name: HashMap<String, u32>,
+}
+
+impl LabelTable {
+    /// Create an empty table.
+    pub fn new() -> LabelTable {
+        LabelTable::default()
+    }
+
+    /// Intern `name`, returning its (possibly pre-existing) label.
+    pub fn intern(&mut self, name: &str) -> Label {
+        if let Some(&id) = self.by_name.get(name) {
+            return Label(id);
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        Label(id)
+    }
+
+    /// Look up an already-interned label without inserting.
+    pub fn get(&self, name: &str) -> Option<Label> {
+        self.by_name.get(name).copied().map(Label)
+    }
+
+    /// The string form of `label`.
+    ///
+    /// # Panics
+    /// Panics if `label` does not belong to this table.
+    pub fn name(&self, label: Label) -> &str {
+        &self.names[label.index()]
+    }
+
+    /// Number of distinct labels interned so far (`|L|`).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no label has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over all labels in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = Label> + '_ {
+        (0..self.names.len() as u32).map(Label)
+    }
+
+    /// Approximate heap footprint in bytes, used for index-size reporting.
+    pub fn heap_size(&self) -> usize {
+        self.names.iter().map(|n| n.len() + 24).sum::<usize>()
+            + self.by_name.len() * (24 + 16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = LabelTable::new();
+        let a = t.intern("book");
+        let b = t.intern("book");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn intern_distinguishes_names() {
+        let mut t = LabelTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(t.name(a), "a");
+        assert_eq!(t.name(b), "b");
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut t = LabelTable::new();
+        assert!(t.get("x").is_none());
+        let x = t.intern("x");
+        assert_eq!(t.get("x"), Some(x));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let mut t = LabelTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        let got: Vec<Label> = t.iter().collect();
+        assert_eq!(got, vec![a, b]);
+    }
+
+    #[test]
+    fn from_index_round_trips() {
+        let mut t = LabelTable::new();
+        let a = t.intern("alpha");
+        assert_eq!(Label::from_index(a.index()), a);
+    }
+}

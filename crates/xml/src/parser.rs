@@ -1,0 +1,463 @@
+//! A hand-written parser for the XML subset the data model covers.
+//!
+//! Supported: the XML declaration, elements with attributes, text content,
+//! comments, processing instructions, CDATA sections, and the five built-in
+//! entities (`&lt; &gt; &amp; &apos; &quot;` plus numeric references).
+//! Not supported (not needed for the paper's data model): DTDs, namespaces
+//! (prefixes are kept verbatim as part of the name), and mixed-content
+//! ordering (text chunks under one element are concatenated).
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::label::LabelTable;
+use crate::tree::{Document, NodeId, XmlTree};
+
+/// Parse `input` into a [`Document`] (tree + labels + Dewey codes + FST).
+pub fn parse_document(input: &str) -> Result<Document, ParseError> {
+    let (labels, tree) = parse_tree(input)?;
+    Ok(Document::from_tree(labels, tree))
+}
+
+/// Parse `input` into a bare tree and its label table, without computing the
+/// Dewey encoding. Useful when parsing fragments into an existing label
+/// space via [`parse_tree_with`].
+pub fn parse_tree(input: &str) -> Result<(LabelTable, XmlTree), ParseError> {
+    let mut labels = LabelTable::new();
+    let tree = parse_tree_with(input, &mut labels)?;
+    Ok((labels, tree))
+}
+
+/// Parse `input`, interning names into the caller-provided label table.
+pub fn parse_tree_with(input: &str, labels: &mut LabelTable) -> Result<XmlTree, ParseError> {
+    Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        labels,
+    }
+    .document()
+}
+
+struct Parser<'a, 'l> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+    labels: &'l mut LabelTable,
+}
+
+impl<'a, 'l> Parser<'a, 'l> {
+    fn err(&self, kind: ParseErrorKind) -> ParseError {
+        ParseError {
+            kind,
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            for _ in 0..s.len() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, c: u8, what: &'static str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(b) if b == c => {
+                self.bump();
+                Ok(())
+            }
+            Some(b) => Err(self.err(ParseErrorKind::UnexpectedChar {
+                found: b as char,
+                expected: what,
+            })),
+            None => Err(self.err(ParseErrorKind::UnexpectedEof(what))),
+        }
+    }
+
+    fn document(&mut self) -> Result<XmlTree, ParseError> {
+        self.prolog()?;
+        self.skip_ws();
+        if self.peek() != Some(b'<') {
+            return Err(self.err(ParseErrorKind::NoRootElement));
+        }
+        let mut tree = XmlTree::new();
+        self.element(&mut tree, None)?;
+        // Trailing misc: whitespace, comments, PIs only.
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.comment()?;
+            } else if self.starts_with("<?") {
+                self.processing_instruction()?;
+            } else {
+                break;
+            }
+        }
+        if self.peek().is_some() {
+            return Err(self.err(ParseErrorKind::TrailingContent));
+        }
+        Ok(tree)
+    }
+
+    fn prolog(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.processing_instruction()?;
+            } else if self.starts_with("<!--") {
+                self.comment()?;
+            } else if self.starts_with("<!DOCTYPE") {
+                // Skip a simple (bracket-free or one-level bracketed) DOCTYPE.
+                let mut depth = 0usize;
+                loop {
+                    match self.bump() {
+                        Some(b'[') => depth += 1,
+                        Some(b']') => depth = depth.saturating_sub(1),
+                        Some(b'>') if depth == 0 => break,
+                        Some(_) => {}
+                        None => return Err(self.err(ParseErrorKind::UnexpectedEof("DOCTYPE"))),
+                    }
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn processing_instruction(&mut self) -> Result<(), ParseError> {
+        // Consume `<?` ... `?>`.
+        self.eat("<?");
+        loop {
+            if self.eat("?>") {
+                return Ok(());
+            }
+            if self.bump().is_none() {
+                return Err(self.err(ParseErrorKind::UnexpectedEof("processing instruction")));
+            }
+        }
+    }
+
+    fn comment(&mut self) -> Result<(), ParseError> {
+        self.eat("<!--");
+        loop {
+            if self.eat("-->") {
+                return Ok(());
+            }
+            if self.bump().is_none() {
+                return Err(self.err(ParseErrorKind::UnexpectedEof("comment")));
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(b) if is_name_start(b) => {
+                self.bump();
+            }
+            Some(b) => {
+                return Err(self.err(ParseErrorKind::UnexpectedChar {
+                    found: b as char,
+                    expected: "a name",
+                }))
+            }
+            None => return Err(self.err(ParseErrorKind::UnexpectedEof("a name"))),
+        }
+        while matches!(self.peek(), Some(b) if is_name_continue(b)) {
+            self.bump();
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn element(&mut self, tree: &mut XmlTree, parent: Option<NodeId>) -> Result<(), ParseError> {
+        self.expect(b'<', "'<'")?;
+        let name = self.name()?;
+        let label = self.labels.intern(&name);
+        let node = match parent {
+            Some(p) => tree.add_child(p, label),
+            None => tree.add_root(label),
+        };
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.bump();
+                    self.expect(b'>', "'>' after '/'")?;
+                    return Ok(());
+                }
+                Some(b'>') => {
+                    self.bump();
+                    break;
+                }
+                Some(b) if is_name_start(b) => {
+                    let attr_name = self.name()?;
+                    self.skip_ws();
+                    self.expect(b'=', "'=' in attribute")?;
+                    self.skip_ws();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => {
+                            self.bump();
+                            q
+                        }
+                        Some(b) => {
+                            return Err(self.err(ParseErrorKind::UnexpectedChar {
+                                found: b as char,
+                                expected: "a quoted attribute value",
+                            }))
+                        }
+                        None => {
+                            return Err(self.err(ParseErrorKind::UnexpectedEof("attribute value")))
+                        }
+                    };
+                    let mut value = String::new();
+                    loop {
+                        match self.peek() {
+                            Some(q) if q == quote => {
+                                self.bump();
+                                break;
+                            }
+                            Some(b'&') => value.push(self.entity()?),
+                            Some(_) => value.push(self.bump().unwrap() as char),
+                            None => {
+                                return Err(
+                                    self.err(ParseErrorKind::UnexpectedEof("attribute value"))
+                                )
+                            }
+                        }
+                    }
+                    let alabel = self.labels.intern(&attr_name);
+                    tree.add_attr(node, alabel, value);
+                }
+                Some(b) => {
+                    return Err(self.err(ParseErrorKind::UnexpectedChar {
+                        found: b as char,
+                        expected: "attribute, '/>' or '>'",
+                    }))
+                }
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof("element tag"))),
+            }
+        }
+        // Content.
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                Some(b'<') => {
+                    if self.starts_with("</") {
+                        self.eat("</");
+                        let close = self.name()?;
+                        if close != name {
+                            return Err(self.err(ParseErrorKind::MismatchedClose {
+                                open: name,
+                                close,
+                            }));
+                        }
+                        self.skip_ws();
+                        self.expect(b'>', "'>' in closing tag")?;
+                        break;
+                    } else if self.starts_with("<!--") {
+                        self.comment()?;
+                    } else if self.starts_with("<![CDATA[") {
+                        self.eat("<![CDATA[");
+                        loop {
+                            if self.eat("]]>") {
+                                break;
+                            }
+                            match self.bump() {
+                                Some(b) => text.push(b as char),
+                                None => {
+                                    return Err(self.err(ParseErrorKind::UnexpectedEof("CDATA")))
+                                }
+                            }
+                        }
+                    } else if self.starts_with("<?") {
+                        self.processing_instruction()?;
+                    } else {
+                        self.element(tree, Some(node))?;
+                    }
+                }
+                Some(b'&') => text.push(self.entity()?),
+                Some(_) => {
+                    // Raw text byte; re-decode multi-byte UTF-8 sequences.
+                    let start = self.pos;
+                    while !matches!(self.peek(), Some(b'<' | b'&') | None) {
+                        self.bump();
+                    }
+                    text.push_str(&String::from_utf8_lossy(&self.bytes[start..self.pos]));
+                }
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof("element content"))),
+            }
+        }
+        let trimmed = text.trim();
+        if !trimmed.is_empty() {
+            tree.set_text(node, trimmed);
+        }
+        Ok(())
+    }
+
+    fn entity(&mut self) -> Result<char, ParseError> {
+        self.expect(b'&', "'&'")?;
+        let start = self.pos;
+        while !matches!(self.peek(), Some(b';') | None) {
+            self.bump();
+        }
+        let name = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.expect(b';', "';' ending entity")?;
+        match name.as_str() {
+            "lt" => Ok('<'),
+            "gt" => Ok('>'),
+            "amp" => Ok('&'),
+            "apos" => Ok('\''),
+            "quot" => Ok('"'),
+            n if n.starts_with("#x") || n.starts_with("#X") => u32::from_str_radix(&n[2..], 16)
+                .ok()
+                .and_then(char::from_u32)
+                .ok_or_else(|| self.err(ParseErrorKind::UnknownEntity(name.clone()))),
+            n if n.starts_with('#') => n[1..]
+                .parse::<u32>()
+                .ok()
+                .and_then(char::from_u32)
+                .ok_or_else(|| self.err(ParseErrorKind::UnknownEntity(name.clone()))),
+            _ => Err(self.err(ParseErrorKind::UnknownEntity(name))),
+        }
+    }
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b':'
+}
+
+fn is_name_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b':' | b'-' | b'.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_document() {
+        let doc = parse_document("<a><b>hi</b><c/></a>").unwrap();
+        assert_eq!(doc.len(), 3);
+        let root = doc.tree.root();
+        assert_eq!(doc.labels.name(doc.tree.label(root)), "a");
+        let b = doc.tree.children(root)[0];
+        assert_eq!(doc.tree.node(b).text.as_deref(), Some("hi"));
+    }
+
+    #[test]
+    fn parses_declaration_comments_and_pis() {
+        let doc = parse_document(
+            "<?xml version=\"1.0\"?><!-- head --><a><!-- in --><b/><?pi data?></a><!-- tail -->",
+        )
+        .unwrap();
+        assert_eq!(doc.len(), 2);
+    }
+
+    #[test]
+    fn parses_attributes() {
+        let doc = parse_document(r#"<a id="r1" lang='en'><b id="c"/></a>"#).unwrap();
+        let root = doc.tree.root();
+        let id = doc.labels.get("id").unwrap();
+        assert_eq!(doc.tree.attr(root, id), Some("r1"));
+        let b = doc.tree.children(root)[0];
+        assert_eq!(doc.tree.attr(b, id), Some("c"));
+    }
+
+    #[test]
+    fn decodes_entities_and_cdata() {
+        let doc = parse_document("<a>x &lt;&amp;&gt; <![CDATA[<raw>]]> &#65;&#x42;</a>").unwrap();
+        let text = doc.tree.node(doc.tree.root()).text.clone().unwrap();
+        assert_eq!(text, "x <&> <raw> AB");
+    }
+
+    #[test]
+    fn rejects_mismatched_close() {
+        let err = parse_document("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::MismatchedClose { .. }));
+    }
+
+    #[test]
+    fn rejects_trailing_content() {
+        let err = parse_document("<a/><b/>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::TrailingContent));
+    }
+
+    #[test]
+    fn rejects_missing_root() {
+        let err = parse_document("   ").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::NoRootElement));
+    }
+
+    #[test]
+    fn rejects_unknown_entity() {
+        let err = parse_document("<a>&nope;</a>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnknownEntity(_)));
+    }
+
+    #[test]
+    fn reports_positions() {
+        let err = parse_document("<a>\n  <b>\n</a>").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn skips_doctype() {
+        let doc =
+            parse_document("<!DOCTYPE book [<!ELEMENT a (b)>]><a><b/></a>").unwrap();
+        assert_eq!(doc.len(), 2);
+    }
+
+    #[test]
+    fn utf8_text_survives() {
+        let doc = parse_document("<a>héllo wörld ❤</a>").unwrap();
+        assert_eq!(
+            doc.tree.node(doc.tree.root()).text.as_deref(),
+            Some("héllo wörld ❤")
+        );
+    }
+
+    #[test]
+    fn parse_tree_with_shares_label_space() {
+        let mut labels = LabelTable::new();
+        let a = labels.intern("a");
+        let t1 = parse_tree_with("<a><b/></a>", &mut labels).unwrap();
+        let t2 = parse_tree_with("<b><a/></b>", &mut labels).unwrap();
+        assert_eq!(t1.label(t1.root()), a);
+        assert_eq!(t2.label(t2.children(t2.root())[0]), a);
+        assert_eq!(labels.len(), 2);
+    }
+}

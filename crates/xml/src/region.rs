@@ -1,0 +1,151 @@
+//! Region (containment) encoding — the other classic XML labeling scheme
+//! the paper cites alongside extended Dewey (Section II, "Encoding
+//! schemes").
+//!
+//! Every node gets `(start, end, level)` from a single traversal: `start`
+//! and `end` are pre/post counters, so `a` is an ancestor of `b` iff
+//! `a.start < b.start && b.end ≤ a.end`, and the parent relation adds
+//! `level + 1`. Structural joins over sorted region lists are the basis of
+//! the stack-tree / TwigStack family; `xvr-pattern::eval_region` builds an
+//! evaluation engine on top.
+
+use crate::tree::{NodeId, XmlTree};
+
+/// One node's region label.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Region {
+    /// Pre-order counter (unique).
+    pub start: u32,
+    /// Post-visit counter; all descendants satisfy `start < s ≤ end`… see
+    /// [`Region::contains`] for the exact predicate used.
+    pub end: u32,
+    /// Depth (root = 0).
+    pub level: u16,
+}
+
+impl Region {
+    /// Is `self` a proper ancestor of `other`?
+    #[inline]
+    pub fn contains(&self, other: &Region) -> bool {
+        self.start < other.start && other.end <= self.end
+    }
+
+    /// Is `self` the parent of `other`?
+    #[inline]
+    pub fn is_parent_of(&self, other: &Region) -> bool {
+        self.contains(other) && self.level + 1 == other.level
+    }
+}
+
+/// Region labels for a whole document.
+#[derive(Clone, Debug)]
+pub struct RegionEncoding {
+    regions: Vec<Region>,
+}
+
+impl RegionEncoding {
+    /// Assign regions with one DFS.
+    pub fn assign(tree: &XmlTree) -> RegionEncoding {
+        let mut regions = vec![
+            Region {
+                start: 0,
+                end: 0,
+                level: 0
+            };
+            tree.len()
+        ];
+        if tree.is_empty() {
+            return RegionEncoding { regions };
+        }
+        let mut counter = 0u32;
+        // Explicit DFS emitting start on entry and end on exit.
+        enum Step {
+            Enter(NodeId, u16),
+            Exit(NodeId),
+        }
+        let mut stack = vec![Step::Enter(tree.root(), 0)];
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Enter(n, level) => {
+                    counter += 1;
+                    regions[n.index()].start = counter;
+                    regions[n.index()].level = level;
+                    stack.push(Step::Exit(n));
+                    for &c in tree.children(n).iter().rev() {
+                        stack.push(Step::Enter(c, level + 1));
+                    }
+                }
+                Step::Exit(n) => {
+                    counter += 1;
+                    regions[n.index()].end = counter;
+                }
+            }
+        }
+        RegionEncoding { regions }
+    }
+
+    /// The region of `node`.
+    #[inline]
+    pub fn region(&self, node: NodeId) -> Region {
+        self.regions[node.index()]
+    }
+
+    /// Heap footprint in bytes.
+    pub fn heap_size(&self) -> usize {
+        self.regions.len() * std::mem::size_of::<Region>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples::book_document;
+
+    #[test]
+    fn regions_encode_ancestry_exactly() {
+        let doc = book_document();
+        let enc = RegionEncoding::assign(&doc.tree);
+        let nodes: Vec<_> = doc.tree.iter().collect();
+        for &a in &nodes {
+            for &b in &nodes {
+                let ra = enc.region(a);
+                let rb = enc.region(b);
+                assert_eq!(
+                    ra.contains(&rb),
+                    doc.tree.is_ancestor(a, b),
+                    "ancestor({a:?},{b:?})"
+                );
+                assert_eq!(
+                    ra.is_parent_of(&rb),
+                    doc.tree.parent(b) == Some(a),
+                    "parent({a:?},{b:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn starts_follow_document_order() {
+        let doc = book_document();
+        let enc = RegionEncoding::assign(&doc.tree);
+        let starts: Vec<u32> = doc.tree.iter().map(|n| enc.region(n).start).collect();
+        for w in starts.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn levels_match_depths() {
+        let doc = book_document();
+        let enc = RegionEncoding::assign(&doc.tree);
+        for n in doc.tree.iter() {
+            assert_eq!(enc.region(n).level as usize, doc.tree.depth(n));
+        }
+    }
+
+    #[test]
+    fn empty_tree() {
+        let enc = RegionEncoding::assign(&XmlTree::new());
+        assert_eq!(enc.heap_size(), 0);
+    }
+}

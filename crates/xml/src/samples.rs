@@ -1,0 +1,146 @@
+//! The paper's running-example documents, reconstructed as fixtures.
+//!
+//! [`book_document`] rebuilds the 34-node `book.xml` tree of Figure 2 so that
+//! every concrete code/label claim made in the paper's examples holds:
+//!
+//! * `CT(b) = {t, a, s}` and `CT(s) = {t, p, s, f}` (Figure 3);
+//! * node `s3` has code `0.8.6` decoding to `b/s/s` (Example 2.1);
+//! * `t4 = 0.8.6.0`, `p3 = 0.8.6.1`, `f1 = 0.8.6.3`, `p1 = 0.8.1`
+//!   (Examples 2.1 and 5.1);
+//! * view `s[t]/p` materializes eight `p` fragments, view `s[p]/f` three `f`
+//!   fragments, and their join for query `s[f//i][t]/p` yields
+//!   `{p3, p4, p5, p6, p7}` (Example 5.1).
+
+use crate::label::LabelTable;
+use crate::tree::{Document, XmlTree};
+
+/// Build the Figure 2 `book.xml` document (34 element nodes).
+///
+/// Labels: `b`(ook), `t`(itle), `a`(uthor), `s`(ection), `p`(aragraph),
+/// `f`(igure), `i`(mage).
+pub fn book_document() -> Document {
+    let mut labels = LabelTable::new();
+    let b = labels.intern("b");
+    let t = labels.intern("t");
+    let a = labels.intern("a");
+    let s = labels.intern("s");
+    let p = labels.intern("p");
+    let f = labels.intern("f");
+    let i = labels.intern("i");
+
+    let mut x = XmlTree::new();
+    let book = x.add_root(b);
+
+    // Children of the book root, in an order fixing CT(b) = [t, a, s].
+    let t1 = x.add_text_child(book, t, "Data on the Web");
+    let _a1 = x.add_text_child(book, a, "Serge Abiteboul");
+    let _a2 = x.add_text_child(book, a, "Peter Buneman");
+    let _a3 = x.add_text_child(book, a, "Dan Suciu");
+    let _ = t1;
+
+    // Section 1 (code 0.8): title, paragraph, two subsections.
+    let s1 = x.add_child(book, s);
+    x.add_text_child(s1, t, "Introduction");
+    x.add_text_child(s1, p, "Text p1 ...");
+    // Subsection 1.1 (code 0.8.2): no figure.
+    let s2 = x.add_child(s1, s);
+    x.add_text_child(s2, t, "Audience");
+    x.add_text_child(s2, p, "Text p2 ...");
+    // Subsection 1.2 (code 0.8.6): title, p3, figure (code 0.8.6.3), p4.
+    let s3 = x.add_child(s1, s);
+    x.add_text_child(s3, t, "Web Data and the Two Cultures");
+    x.add_text_child(s3, p, "Text p3 ...");
+    let f1 = x.add_child(s3, f);
+    x.add_text_child(f1, t, "Traditional client/server architecture");
+    x.add_text_child(f1, i, "csarch.gif");
+    x.add_text_child(s3, p, "Text p4 ...");
+
+    // Section 2 (code 0.11): title, p5, figure, one subsection with a
+    // figure and two paragraphs, and a final figure-less subsection.
+    let s4 = x.add_child(book, s);
+    x.add_text_child(s4, t, "A Syntax For Data");
+    x.add_text_child(s4, p, "Text p5 ...");
+    let f2 = x.add_child(s4, f);
+    x.add_text_child(f2, t, "Graph representations of structures");
+    x.add_text_child(f2, i, "graphs.gif");
+    let s5 = x.add_child(s4, s);
+    x.add_text_child(s5, t, "Base Types");
+    x.add_text_child(s5, p, "Text p6 ...");
+    x.add_text_child(s5, p, "Text p7 ...");
+    let f3 = x.add_child(s5, f);
+    x.add_text_child(f3, t, "Examples of Relations");
+    x.add_text_child(f3, i, "relations.gif");
+    let s6 = x.add_child(s4, s);
+    x.add_text_child(s6, t, "Representing Relational Databases");
+    x.add_text_child(s6, p, "Text p8 ...");
+
+    Document::from_tree(labels, x)
+}
+
+impl XmlTree {
+    /// Append a child element carrying text content in one call.
+    fn add_text_child(
+        &mut self,
+        parent: crate::tree::NodeId,
+        label: crate::label::Label,
+        text: &str,
+    ) -> crate::tree::NodeId {
+        let n = self.add_child(parent, label);
+        self.set_text(n, text);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_34_nodes() {
+        let doc = book_document();
+        assert_eq!(doc.len(), 34);
+    }
+
+    #[test]
+    fn label_census_matches_figure_2() {
+        let doc = book_document();
+        let mut counts = std::collections::HashMap::new();
+        for n in doc.tree.iter() {
+            *counts
+                .entry(doc.labels.name(doc.tree.label(n)).to_owned())
+                .or_insert(0usize) += 1;
+        }
+        assert_eq!(counts["b"], 1);
+        assert_eq!(counts["t"], 10); // 1 book + 6 section + 3 figure titles
+        assert_eq!(counts["a"], 3);
+        assert_eq!(counts["s"], 6);
+        assert_eq!(counts["p"], 8);
+        assert_eq!(counts["f"], 3);
+        assert_eq!(counts["i"], 3);
+    }
+
+    #[test]
+    fn paper_codes_hold() {
+        let doc = book_document();
+        let mut by_code = std::collections::HashMap::new();
+        for n in doc.tree.iter() {
+            by_code.insert(doc.dewey.code_of(&doc.tree, n).to_string(), n);
+        }
+        // s3 at 0.8.6 is a section.
+        let s3 = by_code["0.8.6"];
+        assert_eq!(doc.labels.name(doc.tree.label(s3)), "s");
+        // t4 = 0.8.6.0, p3 = 0.8.6.1, f1 = 0.8.6.3, p1 = 0.8.1.
+        assert_eq!(doc.labels.name(doc.tree.label(by_code["0.8.6.0"])), "t");
+        assert_eq!(doc.labels.name(doc.tree.label(by_code["0.8.6.1"])), "p");
+        assert_eq!(doc.labels.name(doc.tree.label(by_code["0.8.6.3"])), "f");
+        assert_eq!(doc.labels.name(doc.tree.label(by_code["0.8.1"])), "p");
+    }
+
+    #[test]
+    fn example_2_1_label_path() {
+        let doc = book_document();
+        let path = doc.fst.decode(&[0, 8, 6]).unwrap();
+        let names: Vec<&str> = path.iter().map(|&l| doc.labels.name(l)).collect();
+        assert_eq!(names, vec!["b", "s", "s"]);
+    }
+}

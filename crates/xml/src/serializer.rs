@@ -1,0 +1,221 @@
+//! Serialization of trees back to XML text, plus size accounting used by the
+//! fragment store's 128 KB cap.
+
+use crate::label::LabelTable;
+use crate::tree::{NodeId, XmlTree};
+
+/// Serialize the whole tree as a compact XML string.
+pub fn serialize(tree: &XmlTree, labels: &LabelTable) -> String {
+    let mut out = String::new();
+    if !tree.is_empty() {
+        write_node(tree, labels, tree.root(), &mut out);
+    }
+    out
+}
+
+/// Serialize the subtree rooted at `node`.
+pub fn serialize_subtree(tree: &XmlTree, labels: &LabelTable, node: NodeId) -> String {
+    let mut out = String::new();
+    write_node(tree, labels, node, &mut out);
+    out
+}
+
+/// Serialize with two-space indentation — for human-facing example output.
+pub fn serialize_pretty(tree: &XmlTree, labels: &LabelTable) -> String {
+    let mut out = String::new();
+    if !tree.is_empty() {
+        write_pretty(tree, labels, tree.root(), 0, &mut out);
+    }
+    out
+}
+
+/// Number of bytes [`serialize`] would produce, computed without building
+/// the string. This is the "materialized fragment size" used for the paper's
+/// per-view 128 KB limit.
+pub fn serialized_len(tree: &XmlTree, labels: &LabelTable, node: NodeId) -> usize {
+    let mut total = 0usize;
+    for n in tree.descendants_or_self(node) {
+        let node_ref = tree.node(n);
+        let name_len = labels.name(node_ref.label).len();
+        // `<name ...>` + `</name>` or `<name/>`.
+        if node_ref.children.is_empty() && node_ref.text.is_none() {
+            total += name_len + 3; // <name/>
+        } else {
+            total += 2 * name_len + 5; // <name></name>
+        }
+        for (a, v) in &node_ref.attrs {
+            total += labels.name(*a).len() + escaped_len(v) + 4; // ` a="v"`
+        }
+        if let Some(t) = &node_ref.text {
+            total += escaped_len(t);
+        }
+    }
+    total
+}
+
+fn escaped_len(s: &str) -> usize {
+    s.chars()
+        .map(|c| match c {
+            '<' => 4,
+            '>' => 4,
+            '&' => 5,
+            '"' => 6,
+            c => c.len_utf8(),
+        })
+        .sum()
+}
+
+fn push_escaped(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_open(tree: &XmlTree, labels: &LabelTable, node: NodeId, out: &mut String) -> bool {
+    let n = tree.node(node);
+    out.push('<');
+    out.push_str(labels.name(n.label));
+    for (a, v) in &n.attrs {
+        out.push(' ');
+        out.push_str(labels.name(*a));
+        out.push_str("=\"");
+        push_escaped(v, out);
+        out.push('"');
+    }
+    if n.children.is_empty() && n.text.is_none() {
+        out.push_str("/>");
+        false
+    } else {
+        out.push('>');
+        true
+    }
+}
+
+fn write_node(tree: &XmlTree, labels: &LabelTable, node: NodeId, out: &mut String) {
+    if !write_open(tree, labels, node, out) {
+        return;
+    }
+    let n = tree.node(node);
+    if let Some(t) = &n.text {
+        push_escaped(t, out);
+    }
+    for &c in &n.children {
+        write_node(tree, labels, c, out);
+    }
+    out.push_str("</");
+    out.push_str(labels.name(n.label));
+    out.push('>');
+}
+
+fn write_pretty(tree: &XmlTree, labels: &LabelTable, node: NodeId, depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    if !write_open(tree, labels, node, out) {
+        out.push('\n');
+        return;
+    }
+    let n = tree.node(node);
+    if n.children.is_empty() {
+        if let Some(t) = &n.text {
+            push_escaped(t, out);
+        }
+    } else {
+        out.push('\n');
+        if let Some(t) = &n.text {
+            for _ in 0..=depth {
+                out.push_str("  ");
+            }
+            push_escaped(t, out);
+            out.push('\n');
+        }
+        for &c in &n.children {
+            write_pretty(tree, labels, c, depth + 1, out);
+        }
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+    out.push_str("</");
+    out.push_str(labels.name(n.label));
+    out.push_str(">\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_tree;
+
+    #[test]
+    fn round_trip_structure() {
+        let src = r#"<a id="1"><b>hi</b><c/><d k="v &amp; w">x &lt; y</d></a>"#;
+        let (labels, tree) = parse_tree(src).unwrap();
+        let out = serialize(&tree, &labels);
+        let (labels2, tree2) = parse_tree(&out).unwrap();
+        assert_eq!(tree.len(), tree2.len());
+        // Structural equality by label-paths and text.
+        let paths1: Vec<_> = tree
+            .iter()
+            .map(|n| {
+                (
+                    tree.label_path(n)
+                        .iter()
+                        .map(|&l| labels.name(l).to_owned())
+                        .collect::<Vec<_>>(),
+                    tree.node(n).text.clone(),
+                )
+            })
+            .collect();
+        let paths2: Vec<_> = tree2
+            .iter()
+            .map(|n| {
+                (
+                    tree2
+                        .label_path(n)
+                        .iter()
+                        .map(|&l| labels2.name(l).to_owned())
+                        .collect::<Vec<_>>(),
+                    tree2.node(n).text.clone(),
+                )
+            })
+            .collect();
+        assert_eq!(paths1, paths2);
+    }
+
+    #[test]
+    fn serialized_len_matches_serialize() {
+        let src = r#"<a id="1"><b>hi &amp; ho</b><c/><d>"quoted"</d></a>"#;
+        let (labels, tree) = parse_tree(src).unwrap();
+        let out = serialize(&tree, &labels);
+        assert_eq!(out.len(), serialized_len(&tree, &labels, tree.root()));
+    }
+
+    #[test]
+    fn empty_element_is_self_closing() {
+        let (labels, tree) = parse_tree("<a><b></b></a>").unwrap();
+        assert_eq!(serialize(&tree, &labels), "<a><b/></a>");
+    }
+
+    #[test]
+    fn pretty_output_is_reparseable() {
+        let src = "<a><b>one</b><c><d/></c></a>";
+        let (labels, tree) = parse_tree(src).unwrap();
+        let pretty = serialize_pretty(&tree, &labels);
+        let (_, tree2) = parse_tree(&pretty).unwrap();
+        assert_eq!(tree2.len(), tree.len());
+        assert!(pretty.contains('\n'));
+    }
+
+    #[test]
+    fn subtree_serialization() {
+        let (labels, tree) = parse_tree("<a><b><c/></b><d/></a>").unwrap();
+        let b = tree.children(tree.root())[0];
+        assert_eq!(serialize_subtree(&tree, &labels, b), "<b><c/></b>");
+    }
+}

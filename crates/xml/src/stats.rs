@@ -1,0 +1,130 @@
+//! Document statistics: label histogram, depth/fanout distributions.
+//!
+//! Used by the CLI's `info` command and handy when sizing workloads.
+
+use crate::label::{Label, LabelTable};
+use crate::tree::XmlTree;
+
+/// Summary statistics of a document tree.
+#[derive(Clone, Debug)]
+pub struct DocStats {
+    /// Total element count.
+    pub nodes: usize,
+    /// Maximum depth (root = 0).
+    pub height: usize,
+    /// Mean depth over all nodes.
+    pub avg_depth: f64,
+    /// Maximum number of children of any element.
+    pub max_fanout: usize,
+    /// Mean number of children over non-leaf elements.
+    pub avg_fanout: f64,
+    /// Number of leaf elements.
+    pub leaves: usize,
+    /// Elements carrying text content.
+    pub text_nodes: usize,
+    /// Elements carrying at least one attribute.
+    pub attributed_nodes: usize,
+    /// `(label, count)` pairs, descending by count.
+    pub label_histogram: Vec<(Label, usize)>,
+}
+
+impl DocStats {
+    /// Compute statistics in one pass.
+    pub fn compute(tree: &XmlTree, labels: &LabelTable) -> DocStats {
+        let mut histogram = vec![0usize; labels.len()];
+        let mut depth_sum = 0usize;
+        let mut height = 0usize;
+        let mut max_fanout = 0usize;
+        let mut fanout_sum = 0usize;
+        let mut internal = 0usize;
+        let mut leaves = 0usize;
+        let mut text_nodes = 0usize;
+        let mut attributed_nodes = 0usize;
+        // Track depth alongside an explicit DFS to avoid O(n·depth) walks.
+        let mut stack: Vec<(crate::tree::NodeId, usize)> = Vec::new();
+        if !tree.is_empty() {
+            stack.push((tree.root(), 0));
+        }
+        while let Some((node, depth)) = stack.pop() {
+            histogram[tree.label(node).index()] += 1;
+            depth_sum += depth;
+            height = height.max(depth);
+            let n = tree.node(node);
+            if n.children.is_empty() {
+                leaves += 1;
+            } else {
+                internal += 1;
+                fanout_sum += n.children.len();
+                max_fanout = max_fanout.max(n.children.len());
+            }
+            if n.text.is_some() {
+                text_nodes += 1;
+            }
+            if !n.attrs.is_empty() {
+                attributed_nodes += 1;
+            }
+            for &c in &n.children {
+                stack.push((c, depth + 1));
+            }
+        }
+        let nodes = tree.len();
+        let mut label_histogram: Vec<(Label, usize)> = histogram
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, c)| c > 0)
+            .map(|(i, c)| (Label::from_index(i), c))
+            .collect();
+        label_histogram.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        DocStats {
+            nodes,
+            height,
+            avg_depth: if nodes > 0 {
+                depth_sum as f64 / nodes as f64
+            } else {
+                0.0
+            },
+            max_fanout,
+            avg_fanout: if internal > 0 {
+                fanout_sum as f64 / internal as f64
+            } else {
+                0.0
+            },
+            leaves,
+            text_nodes,
+            attributed_nodes,
+            label_histogram,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples::book_document;
+
+    #[test]
+    fn book_stats() {
+        let doc = book_document();
+        let s = DocStats::compute(&doc.tree, &doc.labels);
+        assert_eq!(s.nodes, 34);
+        assert_eq!(s.height, 4); // b / s / s / f / {t,i}
+        assert_eq!(s.label_histogram.len(), 7);
+        let t = doc.labels.get("t").unwrap();
+        assert_eq!(s.label_histogram[0], (t, 10), "t is the most frequent");
+        assert!(s.leaves > 0 && s.leaves < s.nodes);
+        assert!(s.avg_depth > 0.0 && s.avg_depth < s.height as f64);
+        assert_eq!(s.max_fanout, 6); // the book root
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let doc = crate::generator::generate(&crate::generator::Config::tiny(9));
+        let s = DocStats::compute(&doc.tree, &doc.labels);
+        assert_eq!(s.nodes, doc.len());
+        let hist_total: usize = s.label_histogram.iter().map(|&(_, c)| c).sum();
+        assert_eq!(hist_total, s.nodes);
+        assert!(s.text_nodes <= s.nodes);
+        assert!(s.attributed_nodes <= s.nodes);
+        assert_eq!(s.height, doc.tree.height());
+    }
+}

@@ -1,0 +1,602 @@
+//! Arena-based XML tree and the [`Document`] bundle.
+//!
+//! The paper models XML data as an unordered tree whose nodes carry a label
+//! over a finite alphabet. We additionally keep text content and attributes
+//! (needed for the paper's "comparison predicates" extension) but all
+//! structural algorithms operate on labels only.
+
+use crate::dewey::DeweyAssignment;
+use crate::fst::Fst;
+use crate::label::{Label, LabelTable};
+
+/// Index of a node inside an [`XmlTree`] arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One element node.
+#[derive(Clone, Debug)]
+pub struct XmlNode {
+    /// Element label, interned in the document's [`LabelTable`].
+    pub label: Label,
+    /// Parent element; `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Child elements in document order.
+    pub children: Vec<NodeId>,
+    /// Concatenated text content directly under this element, if any.
+    pub text: Option<String>,
+    /// Attributes as (name-label, value) pairs.
+    pub attrs: Vec<(Label, String)>,
+}
+
+/// An arena of [`XmlNode`]s forming a single rooted tree.
+///
+/// The tree does not own a [`LabelTable`]; callers thread the table
+/// alongside so that documents, fragments, and patterns can share one label
+/// space (the paper's alphabet `L`).
+#[derive(Clone, Debug, Default)]
+pub struct XmlTree {
+    nodes: Vec<XmlNode>,
+}
+
+impl XmlTree {
+    /// Create an empty tree (no root yet).
+    pub fn new() -> XmlTree {
+        XmlTree::default()
+    }
+
+    /// Root node id.
+    ///
+    /// # Panics
+    /// Panics on an empty tree.
+    pub fn root(&self) -> NodeId {
+        assert!(!self.nodes.is_empty(), "empty XmlTree has no root");
+        NodeId(0)
+    }
+
+    /// Number of element nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tree has no nodes at all.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Immutable access to a node.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &XmlNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to a node.
+    #[inline]
+    pub fn node_mut(&mut self, id: NodeId) -> &mut XmlNode {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Label of `id`.
+    #[inline]
+    pub fn label(&self, id: NodeId) -> Label {
+        self.node(id).label
+    }
+
+    /// Parent of `id`, `None` for the root.
+    #[inline]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// Children of `id` in document order.
+    #[inline]
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.node(id).children
+    }
+
+    /// Add the root element. Must be the first node added.
+    pub fn add_root(&mut self, label: Label) -> NodeId {
+        assert!(self.nodes.is_empty(), "root already present");
+        self.nodes.push(XmlNode {
+            label,
+            parent: None,
+            children: Vec::new(),
+            text: None,
+            attrs: Vec::new(),
+        });
+        NodeId(0)
+    }
+
+    /// Append a child element under `parent`.
+    pub fn add_child(&mut self, parent: NodeId, label: Label) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(XmlNode {
+            label,
+            parent: Some(parent),
+            children: Vec::new(),
+            text: None,
+            attrs: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Set the text content of `id` (replacing any previous text).
+    pub fn set_text(&mut self, id: NodeId, text: impl Into<String>) {
+        self.node_mut(id).text = Some(text.into());
+    }
+
+    /// Append an attribute to `id`.
+    pub fn add_attr(&mut self, id: NodeId, name: Label, value: impl Into<String>) {
+        self.node_mut(id).attrs.push((name, value.into()));
+    }
+
+    /// Attribute value of `name` on `id`, if present.
+    pub fn attr(&self, id: NodeId, name: Label) -> Option<&str> {
+        self.node(id)
+            .attrs
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Depth of `id`: the root has depth 0.
+    pub fn depth(&self, id: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Iterate over `id` and its ancestors up to the root, nearest first.
+    pub fn ancestors_or_self(&self, id: NodeId) -> AncestorsOrSelf<'_> {
+        AncestorsOrSelf {
+            tree: self,
+            next: Some(id),
+        }
+    }
+
+    /// True iff `anc` is a proper ancestor of `desc`.
+    pub fn is_ancestor(&self, anc: NodeId, desc: NodeId) -> bool {
+        let mut cur = self.parent(desc);
+        while let Some(n) = cur {
+            if n == anc {
+                return true;
+            }
+            cur = self.parent(n);
+        }
+        false
+    }
+
+    /// True iff `anc` is `desc` or a proper ancestor of it.
+    pub fn is_ancestor_or_self(&self, anc: NodeId, desc: NodeId) -> bool {
+        anc == desc || self.is_ancestor(anc, desc)
+    }
+
+    /// Labels on the path from the root down to `id` (inclusive).
+    pub fn label_path(&self, id: NodeId) -> Vec<Label> {
+        let mut path: Vec<Label> = self.ancestors_or_self(id).map(|n| self.label(n)).collect();
+        path.reverse();
+        path
+    }
+
+    /// Pre-order (document-order) traversal of the subtree rooted at `id`.
+    pub fn descendants_or_self(&self, id: NodeId) -> DescendantsOrSelf<'_> {
+        DescendantsOrSelf {
+            tree: self,
+            stack: vec![id],
+        }
+    }
+
+    /// Pre-order traversal of the whole tree.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        if self.is_empty() {
+            DescendantsOrSelf {
+                tree: self,
+                stack: vec![],
+            }
+        } else {
+            self.descendants_or_self(self.root())
+        }
+    }
+
+    /// Deep-copy the subtree rooted at `root` into a fresh tree.
+    ///
+    /// Labels keep their identity (the label table is shared); the returned
+    /// tree's root is the copy of `root`. Used to materialize view fragments.
+    pub fn extract_subtree(&self, root: NodeId) -> XmlTree {
+        let mut out = XmlTree::new();
+        let src = self.node(root);
+        let new_root = out.add_root(src.label);
+        out.node_mut(new_root).text = src.text.clone();
+        out.node_mut(new_root).attrs = src.attrs.clone();
+        // Explicit stack of (source node, destination parent) pairs.
+        let mut stack: Vec<(NodeId, NodeId)> = src
+            .children
+            .iter()
+            .rev()
+            .map(|&c| (c, new_root))
+            .collect();
+        while let Some((src_id, dst_parent)) = stack.pop() {
+            let s = self.node(src_id);
+            let d = out.add_child(dst_parent, s.label);
+            out.node_mut(d).text = s.text.clone();
+            out.node_mut(d).attrs = s.attrs.clone();
+            for &c in s.children.iter().rev() {
+                stack.push((c, d));
+            }
+        }
+        out
+    }
+
+    /// Append a deep copy of `sub` (rooted at its root) as the last child
+    /// of `parent`; returns the new child's id.
+    pub fn append_subtree(&mut self, parent: NodeId, sub: &XmlTree) -> NodeId {
+        let src_root = sub.root();
+        let new_root = self.add_child(parent, sub.label(src_root));
+        self.node_mut(new_root).text = sub.node(src_root).text.clone();
+        self.node_mut(new_root).attrs = sub.node(src_root).attrs.clone();
+        let mut stack: Vec<(NodeId, NodeId)> = sub
+            .children(src_root)
+            .iter()
+            .rev()
+            .map(|&c| (c, new_root))
+            .collect();
+        while let Some((src, dst_parent)) = stack.pop() {
+            let n = sub.node(src);
+            let d = self.add_child(dst_parent, n.label);
+            self.node_mut(d).text = n.text.clone();
+            self.node_mut(d).attrs = n.attrs.clone();
+            for &c in n.children.iter().rev() {
+                stack.push((c, d));
+            }
+        }
+        new_root
+    }
+
+    /// Count of nodes in the subtree rooted at `id`.
+    pub fn subtree_size(&self, id: NodeId) -> usize {
+        self.descendants_or_self(id).count()
+    }
+
+    /// Maximum depth over all nodes (root = 0); 0 for single-node trees.
+    pub fn height(&self) -> usize {
+        self.iter().map(|n| self.depth(n)).max().unwrap_or(0)
+    }
+}
+
+/// Whether an append left previously issued extended Dewey codes valid.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CodeStability {
+    /// Existing codes unchanged; only new nodes got fresh components.
+    Stable,
+    /// A child alphabet grew: moduli changed, the document was re-encoded,
+    /// and all previously issued codes (including materialized fragments)
+    /// are stale.
+    Reencoded,
+}
+
+/// Iterator over a node and its ancestors, nearest first.
+pub struct AncestorsOrSelf<'a> {
+    tree: &'a XmlTree,
+    next: Option<NodeId>,
+}
+
+impl Iterator for AncestorsOrSelf<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.tree.parent(cur);
+        Some(cur)
+    }
+}
+
+/// Pre-order iterator over a subtree.
+pub struct DescendantsOrSelf<'a> {
+    tree: &'a XmlTree,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for DescendantsOrSelf<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.stack.pop()?;
+        for &c in self.tree.children(cur).iter().rev() {
+            self.stack.push(c);
+        }
+        Some(cur)
+    }
+}
+
+/// A parsed-and-encoded XML document: the tree plus everything derived from
+/// it that the rewriting machinery needs (label table, extended Dewey codes,
+/// and the decoding FST).
+#[derive(Clone, Debug)]
+pub struct Document {
+    /// Shared label space.
+    pub labels: LabelTable,
+    /// The element tree.
+    pub tree: XmlTree,
+    /// Extended Dewey components per node.
+    pub dewey: DeweyAssignment,
+    /// Finite state transducer decoding Dewey codes to label-paths.
+    pub fst: Fst,
+}
+
+impl Document {
+    /// Build a document from a tree and its label table, computing the
+    /// extended Dewey assignment and the FST.
+    pub fn from_tree(labels: LabelTable, tree: XmlTree) -> Document {
+        let fst = Fst::from_tree(&tree, &labels);
+        let dewey = DeweyAssignment::assign(&tree, &fst);
+        Document {
+            labels,
+            tree,
+            dewey,
+            fst,
+        }
+    }
+
+    /// Number of element nodes.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// True when the document has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// The root's label.
+    pub fn root_label(&self) -> Label {
+        self.tree.label(self.tree.root())
+    }
+
+    /// Append a subtree under `parent`, maintaining the extended Dewey
+    /// encoding. Returns the new node and whether existing codes survived:
+    ///
+    /// * if every (parent label, child label) pair of the update was
+    ///   already in the FST's alphabets, existing components are stable —
+    ///   only the new nodes received (larger) components;
+    /// * otherwise a child alphabet grew, the moduli changed, and the
+    ///   whole document was re-encoded — all previously issued codes are
+    ///   invalid (the classic extended-Dewey update caveat).
+    pub fn append_subtree(&mut self, parent: NodeId, sub: &XmlTree) -> (NodeId, CodeStability) {
+        // Does the update introduce new child-alphabet entries?
+        let mut grows = self
+            .fst
+            .child_index(self.tree.label(parent), sub.label(sub.root()))
+            .is_none();
+        if !grows {
+            for n in sub.iter() {
+                for &c in sub.children(n) {
+                    if self.fst.child_index(sub.label(n), sub.label(c)).is_none() {
+                        grows = true;
+                        break;
+                    }
+                }
+                if grows {
+                    break;
+                }
+            }
+        }
+        let new_node = self.tree.append_subtree(parent, sub);
+        if grows {
+            self.fst = Fst::from_tree(&self.tree, &self.labels);
+            self.dewey = DeweyAssignment::assign(&self.tree, &self.fst);
+            (new_node, CodeStability::Reencoded)
+        } else {
+            // Stable path: extend the assignment for the new nodes only.
+            self.dewey.extend_for_append(&self.tree, &self.fst, parent, new_node);
+            (new_node, CodeStability::Stable)
+        }
+    }
+
+    /// Locate a node by its extended Dewey code, walking component by
+    /// component from the root. `None` when the code addresses no node of
+    /// this document.
+    pub fn node_by_code(&self, code: &crate::dewey::DeweyCode) -> Option<NodeId> {
+        let comps = code.components();
+        if comps.is_empty() || self.is_empty() {
+            return None;
+        }
+        let mut cur = self.tree.root();
+        if self.dewey.component(cur) != comps[0] {
+            return None;
+        }
+        for &target in &comps[1..] {
+            cur = self
+                .tree
+                .children(cur)
+                .iter()
+                .copied()
+                .find(|&c| self.dewey.component(c) == target)?;
+        }
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (LabelTable, XmlTree) {
+        let mut t = LabelTable::new();
+        let (a, b, c) = (t.intern("a"), t.intern("b"), t.intern("c"));
+        let mut x = XmlTree::new();
+        let r = x.add_root(a);
+        let n1 = x.add_child(r, b);
+        let _n2 = x.add_child(r, c);
+        let _n3 = x.add_child(n1, c);
+        (t, x)
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let (t, x) = small();
+        let r = x.root();
+        assert_eq!(x.len(), 4);
+        assert_eq!(x.children(r).len(), 2);
+        let b = x.children(r)[0];
+        assert_eq!(t.name(x.label(b)), "b");
+        assert_eq!(x.parent(b), Some(r));
+        assert_eq!(x.depth(b), 1);
+        let c_under_b = x.children(b)[0];
+        assert_eq!(x.depth(c_under_b), 2);
+    }
+
+    #[test]
+    fn ancestor_checks() {
+        let (_, x) = small();
+        let r = x.root();
+        let b = x.children(r)[0];
+        let cb = x.children(b)[0];
+        assert!(x.is_ancestor(r, cb));
+        assert!(x.is_ancestor(b, cb));
+        assert!(!x.is_ancestor(cb, b));
+        assert!(x.is_ancestor_or_self(cb, cb));
+        assert!(!x.is_ancestor(cb, cb));
+    }
+
+    #[test]
+    fn label_path_is_root_to_node() {
+        let (t, x) = small();
+        let b = x.children(x.root())[0];
+        let cb = x.children(b)[0];
+        let names: Vec<&str> = x.label_path(cb).into_iter().map(|l| t.name(l)).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn preorder_is_document_order() {
+        let (t, x) = small();
+        let order: Vec<&str> = x.iter().map(|n| t.name(x.label(n))).collect();
+        assert_eq!(order, vec!["a", "b", "c", "c"]);
+    }
+
+    #[test]
+    fn extract_subtree_copies_structure() {
+        let (t, x) = small();
+        let b = x.children(x.root())[0];
+        let sub = x.extract_subtree(b);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(t.name(sub.label(sub.root())), "b");
+        let child = sub.children(sub.root())[0];
+        assert_eq!(t.name(sub.label(child)), "c");
+        assert_eq!(sub.parent(child), Some(sub.root()));
+    }
+
+    #[test]
+    fn attributes_and_text() {
+        let mut t = LabelTable::new();
+        let a = t.intern("a");
+        let id = t.intern("id");
+        let mut x = XmlTree::new();
+        let r = x.add_root(a);
+        x.add_attr(r, id, "k1");
+        x.set_text(r, "hello");
+        assert_eq!(x.attr(r, id), Some("k1"));
+        assert_eq!(x.node(r).text.as_deref(), Some("hello"));
+        assert_eq!(x.attr(r, a), None);
+    }
+
+    #[test]
+    fn node_by_code_round_trips() {
+        let (t, x) = small();
+        let doc = Document::from_tree(t, x);
+        for n in doc.tree.iter() {
+            let code = doc.dewey.code_of(&doc.tree, n);
+            assert_eq!(doc.node_by_code(&code), Some(n));
+        }
+        assert_eq!(doc.node_by_code(&crate::dewey::DeweyCode(vec![9, 9])), None);
+        assert_eq!(doc.node_by_code(&crate::dewey::DeweyCode(vec![])), None);
+    }
+
+    #[test]
+    fn append_with_known_labels_keeps_codes_stable() {
+        let doc0 = crate::samples::book_document();
+        let mut doc = doc0.clone();
+        // Append another paragraph under section 0.8 — p is already in
+        // CT(s), so existing codes must survive.
+        let s_node = doc.node_by_code(&crate::dewey::DeweyCode(vec![0, 8])).unwrap();
+        let mut sub = XmlTree::new();
+        sub.add_root(doc.labels.get("p").unwrap());
+        let (new_node, stability) = doc.append_subtree(s_node, &sub);
+        assert_eq!(stability, CodeStability::Stable);
+        assert_eq!(doc.len(), doc0.len() + 1);
+        // All old nodes keep their codes.
+        for n in doc0.tree.iter() {
+            assert_eq!(
+                doc0.dewey.code_of(&doc0.tree, n),
+                doc.dewey.code_of(&doc.tree, n)
+            );
+        }
+        // The new node's code decodes correctly and sorts after siblings.
+        let code = doc.dewey.code_of(&doc.tree, new_node);
+        assert_eq!(
+            doc.fst.decode(code.components()).unwrap(),
+            doc.tree.label_path(new_node)
+        );
+        let siblings = doc.tree.children(s_node);
+        let prev = siblings[siblings.len() - 2];
+        assert!(doc.dewey.code_of(&doc.tree, prev) < code);
+    }
+
+    #[test]
+    fn append_with_new_label_pair_reencodes() {
+        let mut doc = crate::samples::book_document();
+        // An author under a section is a new (s, a) pair → moduli change.
+        let s_node = doc.node_by_code(&crate::dewey::DeweyCode(vec![0, 8])).unwrap();
+        let mut sub = XmlTree::new();
+        sub.add_root(doc.labels.get("a").unwrap());
+        let (_, stability) = doc.append_subtree(s_node, &sub);
+        assert_eq!(stability, CodeStability::Reencoded);
+        // Codes still decode correctly after the re-encode.
+        for n in doc.tree.iter() {
+            let code = doc.dewey.code_of(&doc.tree, n);
+            assert_eq!(
+                doc.fst.decode(code.components()).unwrap(),
+                doc.tree.label_path(n)
+            );
+        }
+    }
+
+    #[test]
+    fn append_deep_subtree() {
+        let mut doc = crate::samples::book_document();
+        // Append a full section subtree (all label pairs known).
+        let book = doc.tree.root();
+        let existing_s = doc.tree.children(book)[4];
+        let sub = doc.tree.extract_subtree(existing_s);
+        let (new_node, stability) = doc.append_subtree(book, &sub);
+        assert_eq!(stability, CodeStability::Stable);
+        // Every node (old and new) decodes correctly.
+        for n in doc.tree.iter() {
+            let code = doc.dewey.code_of(&doc.tree, n);
+            assert_eq!(
+                doc.fst.decode(code.components()).unwrap(),
+                doc.tree.label_path(n),
+                "node {n:?}"
+            );
+        }
+        assert_eq!(doc.tree.subtree_size(new_node), sub.len());
+    }
+
+    #[test]
+    fn subtree_size_and_height() {
+        let (_, x) = small();
+        assert_eq!(x.subtree_size(x.root()), 4);
+        assert_eq!(x.height(), 2);
+        let b = x.children(x.root())[0];
+        assert_eq!(x.subtree_size(b), 2);
+    }
+}

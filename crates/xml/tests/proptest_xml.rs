@@ -1,0 +1,131 @@
+//! Property tests for the XML substrate: parser/serializer round-trips and
+//! the extended-Dewey/FST invariants over random trees.
+
+use proptest::prelude::*;
+
+use xvr_xml::serializer::{serialize, serialize_pretty};
+use xvr_xml::{parse_document, Document, LabelTable, XmlTree};
+
+/// A random tree over a small alphabet, as a recursive shape description.
+#[derive(Debug, Clone)]
+enum Shape {
+    Leaf(u8, Option<String>),
+    Node(u8, Vec<Shape>),
+}
+
+fn shape() -> impl Strategy<Value = Shape> {
+    let leaf = (0u8..5, prop::option::of("[a-z<&\" ]{0,8}"))
+        .prop_map(|(l, t)| Shape::Leaf(l, t));
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        (0u8..5, prop::collection::vec(inner, 1..4)).prop_map(|(l, c)| Shape::Node(l, c))
+    })
+}
+
+fn build(shape: &Shape) -> (LabelTable, XmlTree) {
+    let mut labels = LabelTable::new();
+    for name in ["a", "b", "c", "d", "e", "id"] {
+        labels.intern(name);
+    }
+    let mut tree = XmlTree::new();
+    fn add(tree: &mut XmlTree, labels: &LabelTable, parent: Option<xvr_xml::NodeId>, s: &Shape) {
+        let names = ["a", "b", "c", "d", "e"];
+        match s {
+            Shape::Leaf(l, text) => {
+                let label = labels.get(names[*l as usize % 5]).unwrap();
+                let n = match parent {
+                    Some(p) => tree.add_child(p, label),
+                    None => tree.add_root(label),
+                };
+                if let Some(t) = text {
+                    if !t.trim().is_empty() {
+                        tree.set_text(n, t.trim());
+                    }
+                }
+            }
+            Shape::Node(l, children) => {
+                let label = labels.get(names[*l as usize % 5]).unwrap();
+                let n = match parent {
+                    Some(p) => tree.add_child(p, label),
+                    None => tree.add_root(label),
+                };
+                for c in children {
+                    add(tree, labels, Some(n), c);
+                }
+            }
+        }
+    }
+    add(&mut tree, &labels, None, shape);
+    (labels, tree)
+}
+
+/// Structural signature: (label-path names, text) per node in preorder.
+fn signature(labels: &LabelTable, tree: &XmlTree) -> Vec<(Vec<String>, Option<String>)> {
+    tree.iter()
+        .map(|n| {
+            (
+                tree.label_path(n)
+                    .iter()
+                    .map(|&l| labels.name(l).to_owned())
+                    .collect(),
+                tree.node(n).text.clone(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// serialize → parse is the identity on structure and text.
+    #[test]
+    fn serialize_parse_round_trip(s in shape()) {
+        let (labels, tree) = build(&s);
+        let xml = serialize(&tree, &labels);
+        let doc = parse_document(&xml).unwrap();
+        prop_assert_eq!(
+            signature(&labels, &tree),
+            signature(&doc.labels, &doc.tree)
+        );
+    }
+
+    /// The pretty serializer parses back to the same structure too.
+    #[test]
+    fn pretty_round_trip(s in shape()) {
+        let (labels, tree) = build(&s);
+        let xml = serialize_pretty(&tree, &labels);
+        let doc = parse_document(&xml).unwrap();
+        prop_assert_eq!(tree.len(), doc.tree.len());
+    }
+
+    /// Extended Dewey: decode(code(n)) equals the label path of n, and
+    /// lexicographic code order equals document order, on random trees.
+    #[test]
+    fn dewey_invariants(s in shape()) {
+        let (labels, tree) = build(&s);
+        let doc = Document::from_tree(labels, tree);
+        let mut prev: Option<xvr_xml::DeweyCode> = None;
+        for n in doc.tree.iter() {
+            let code = doc.dewey.code_of(&doc.tree, n);
+            prop_assert_eq!(
+                doc.fst.decode(code.components()).unwrap(),
+                doc.tree.label_path(n)
+            );
+            if let Some(p) = &prev {
+                prop_assert!(p < &code, "{} !< {}", p, code);
+            }
+            prev = Some(code);
+        }
+    }
+
+    /// Fragment extraction preserves subtree structure for every node.
+    #[test]
+    fn subtree_extraction(s in shape()) {
+        let (labels, tree) = build(&s);
+        let doc = Document::from_tree(labels, tree);
+        for n in doc.tree.iter().step_by(3) {
+            let frag = xvr_xml::Fragment::extract(&doc, n);
+            prop_assert_eq!(frag.tree.len(), doc.tree.subtree_size(n));
+            prop_assert_eq!(frag.tree.label(frag.tree.root()), doc.tree.label(n));
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! The paper's running example, end to end: Figure 2's `book.xml`, the
+//! Table I views, query `Q_e = s[f//i][t]/p`, and the Example 5.1
+//! rewriting that yields `{p3, p4, p5, p6, p7}`.
+//!
+//! ```sh
+//! cargo run --example book_catalog
+//! ```
+
+use xvr_core::{Engine, EngineConfig, Strategy};
+use xvr_xml::samples::book_document;
+use xvr_xml::serializer::serialize_pretty;
+
+fn main() {
+    let doc = book_document();
+    println!("book.xml ({} nodes):\n{}", doc.len(), serialize_pretty(&doc.tree, &doc.labels));
+
+    // Extended Dewey: every node's code decodes to its label-path.
+    println!("Example 2.1: code 0.8.6 decodes to {}", {
+        let path = doc.fst.decode(&[0, 8, 6]).unwrap();
+        path.iter()
+            .map(|&l| doc.labels.name(l))
+            .collect::<Vec<_>>()
+            .join("/")
+    });
+
+    let mut engine = Engine::new(doc, EngineConfig::default());
+    // Table I's views (V4 in its Example 5.1 spelling).
+    let views = ["//s[t]/p", "//s[.//*/t][f//i]//f", "//s/p/*", "//s[p]/f"];
+    for (i, src) in views.iter().enumerate() {
+        let id = engine.add_view_str(src).unwrap();
+        let mv = engine.store().get(id).unwrap();
+        println!(
+            "V{} = {:<22} materialized {} fragments ({} bytes)",
+            i + 1,
+            src,
+            mv.fragments.len(),
+            mv.size_bytes()
+        );
+    }
+
+    let q = engine.parse("//s[f//i][t]/p").unwrap();
+    println!("\nquery Q_e = //s[f//i][t]/p");
+
+    // Stage 1: VFILTER.
+    let filtered = engine.filter(&q);
+    println!(
+        "VFILTER candidates: {:?} (of {} views, {} query paths)",
+        filtered.candidates,
+        engine.views().len(),
+        filtered.query_path_count
+    );
+
+    // Stage 2 + 3: selection and rewriting, via each strategy.
+    for strategy in [Strategy::Mv, Strategy::Hv] {
+        let a = engine.answer(&q, strategy).unwrap();
+        println!(
+            "{}: views {:?} → {} answers: {}",
+            strategy,
+            a.views_used,
+            a.codes.len(),
+            a.codes
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+
+    // The paper's expected result: the five paragraphs of sections that
+    // also contain a figure.
+    let reference = engine.answer(&q, Strategy::Bn).unwrap();
+    assert_eq!(reference.codes.len(), 5);
+    println!("\nExample 5.1 reproduced: {{p3, p4, p5, p6, p7}} ✓");
+}

@@ -1,0 +1,120 @@
+//! Document updates with incremental view maintenance: answers after
+//! appends must equal a freshly built engine's, and unaffected views must
+//! not be re-materialized.
+
+use xvr_core::{Engine, EngineConfig, Strategy};
+use xvr_xml::samples::book_document;
+use xvr_xml::{CodeStability, DeweyCode};
+
+fn fresh_reference(engine: &Engine, views: &[&str], qsrc: &str) -> Vec<String> {
+    // Rebuild an engine over the *updated* document and answer from views.
+    let mut fresh = Engine::new(engine.doc().clone(), EngineConfig::default());
+    for v in views {
+        fresh.add_view_str(v).unwrap();
+    }
+    let q = fresh.parse(qsrc).unwrap();
+    fresh
+        .answer(&q, Strategy::Hv)
+        .unwrap()
+        .codes
+        .iter()
+        .map(|c| c.to_string())
+        .collect()
+}
+
+#[test]
+fn stable_append_updates_affected_views_only() {
+    let views = ["//s[t]/p", "//s[p]/f", "//f/i"];
+    let mut engine = Engine::new(book_document(), EngineConfig::default());
+    for v in views {
+        engine.add_view_str(v).unwrap();
+    }
+    // Append a paragraph under section 0.8.2 (which had no figure): known
+    // label pair → stable codes.
+    let stats = engine
+        .append_xml(&"0.8.2".parse::<DeweyCode>().unwrap(), "<p>new</p>")
+        .unwrap();
+    assert_eq!(stats.stability, CodeStability::Stable);
+    // Views mentioning p or s are affected; //f/i is not (no p, s labels).
+    assert_eq!(stats.views_rematerialized, 2, "{stats:?}");
+    assert_eq!(stats.views_skipped, 1);
+    // Answers equal a fresh engine over the updated document.
+    for qsrc in ["//s[t]/p", "//s[f//i][t]/p"] {
+        let q = engine.parse(qsrc).unwrap();
+        let got: Vec<String> = engine
+            .answer(&q, Strategy::Hv)
+            .unwrap()
+            .codes
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
+        assert_eq!(got, fresh_reference(&engine, &views, qsrc), "{qsrc}");
+        // And equal direct evaluation.
+        let direct: Vec<String> = engine
+            .answer(&q, Strategy::Bn)
+            .unwrap()
+            .codes
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
+        assert_eq!(got, direct, "{qsrc}");
+    }
+}
+
+#[test]
+fn alphabet_growing_append_rematerializes_everything() {
+    let views = ["//s[t]/p", "//f/i"];
+    let mut engine = Engine::new(book_document(), EngineConfig::default());
+    for v in views {
+        engine.add_view_str(v).unwrap();
+    }
+    // An author under a section: new (s, a) pair → re-encode.
+    let stats = engine
+        .append_xml(&"0.8".parse::<DeweyCode>().unwrap(), "<a>New Author</a>")
+        .unwrap();
+    assert_eq!(stats.stability, CodeStability::Reencoded);
+    assert_eq!(stats.views_rematerialized, 2);
+    assert_eq!(stats.views_skipped, 0);
+    for qsrc in ["//s[t]/p", "//f/i", "//s[a]/p"] {
+        let q = engine.parse(qsrc).unwrap();
+        let hv = engine.answer(&q, Strategy::Hv);
+        let direct = engine.answer(&q, Strategy::Bn).unwrap().codes;
+        if let Ok(a) = hv {
+            assert_eq!(a.codes, direct, "{qsrc}");
+        }
+    }
+    // The section now has an author: //s[a]/p is non-empty.
+    let q = engine.parse("//s[a]/p").unwrap();
+    assert!(!engine.answer(&q, Strategy::Bn).unwrap().codes.is_empty());
+}
+
+#[test]
+fn repeated_appends_stay_consistent() {
+    let mut engine = Engine::new(book_document(), EngineConfig::default());
+    engine.add_view_str("//s[t]/p").unwrap();
+    let root_code: DeweyCode = "0".parse().unwrap();
+    for i in 0..5 {
+        let xml = format!("<s><t>new {i}</t><p>body {i}</p></s>");
+        engine.append_xml(&root_code, &xml).unwrap();
+    }
+    let q = engine.parse("//s[t]/p").unwrap();
+    let direct = engine.answer(&q, Strategy::Bn).unwrap().codes;
+    let via_views = engine.answer(&q, Strategy::Hv).unwrap().codes;
+    assert_eq!(via_views, direct);
+    assert_eq!(direct.len(), 8 + 5);
+}
+
+#[test]
+fn update_errors() {
+    let mut engine = Engine::new(book_document(), EngineConfig::default());
+    let bad_code: DeweyCode = "9.9.9".parse().unwrap();
+    assert!(matches!(
+        engine.append_xml(&bad_code, "<p/>"),
+        Err(xvr_core::UpdateError::NoSuchNode(_))
+    ));
+    let root: DeweyCode = "0".parse().unwrap();
+    assert!(matches!(
+        engine.append_xml(&root, "<unclosed>"),
+        Err(xvr_core::UpdateError::Parse(_))
+    ));
+}
