@@ -32,11 +32,9 @@ fn fig12(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12_filter_time");
     for ((size, set), nfa) in sizes.iter().zip(sets.iter()).zip(nfas.iter()) {
         for (name, q) in &queries {
-            group.bench_with_input(
-                BenchmarkId::new(*name, size),
-                q,
-                |b, q| b.iter(|| filter_views(q, set, nfa).candidates.len()),
-            );
+            group.bench_with_input(BenchmarkId::new(*name, size), q, |b, q| {
+                b.iter(|| filter_views(q, set, nfa).candidates.len())
+            });
         }
     }
     group.finish();

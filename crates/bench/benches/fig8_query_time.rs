@@ -41,11 +41,9 @@ fn fig8(c: &mut Criterion) {
             if w.engine.answer(q, strategy).is_err() {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(strategy.as_str(), tq.name),
-                q,
-                |b, q| b.iter(|| w.engine.answer(q, strategy).unwrap().codes.len()),
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.as_str(), tq.name), q, |b, q| {
+                b.iter(|| w.engine.answer(q, strategy).unwrap().codes.len())
+            });
         }
     }
     group.finish();

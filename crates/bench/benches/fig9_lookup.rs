@@ -25,16 +25,12 @@ fn fig9(c: &mut Criterion) {
     group.sample_size(10);
     for (tq, q) in &w.queries {
         for strategy in [Strategy::Mn, Strategy::Mv, Strategy::Hv] {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.as_str(), tq.name),
-                q,
-                |b, q| {
-                    b.iter(|| {
-                        let (sel, _, _) = w.engine.lookup(q, strategy);
-                        sel.map(|s| s.units.len()).unwrap_or(0)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.as_str(), tq.name), q, |b, q| {
+                b.iter(|| {
+                    let (sel, _, _) = w.engine.lookup(q, strategy);
+                    sel.map(|s| s.units.len()).unwrap_or(0)
+                })
+            });
         }
     }
     group.finish();

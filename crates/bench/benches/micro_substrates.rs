@@ -35,7 +35,9 @@ fn micro(c: &mut Criterion) {
     let nidx = NodeIndex::build(&doc.tree, &doc.labels);
     let pidx = PathIndex::build(&doc.tree, &doc.labels);
     c.bench_function("eval_naive", |b| b.iter(|| eval(&q, &doc.tree).len()));
-    c.bench_function("eval_bn", |b| b.iter(|| eval_bn(&q, &doc.tree, &nidx).len()));
+    c.bench_function("eval_bn", |b| {
+        b.iter(|| eval_bn(&q, &doc.tree, &nidx).len())
+    });
     c.bench_function("eval_bf", |b| b.iter(|| eval_bf(&q, &doc, &pidx).len()));
 
     let patterns = distinct_positive_patterns(&doc, QueryConfig::paper_view_workload(9), 200);

@@ -133,6 +133,7 @@ fn main() {
     table_iii(&workload);
     fig8(&workload, args.reps);
     fig9(&workload, args.reps);
+    throughput(&workload, args.reps);
 
     let sets = view_sets(&doc, &args.sets, 0xF1);
     fig10(&doc, &sets, &args.sets);
@@ -216,10 +217,16 @@ fn ablations(doc: &Document, w: &xvr_bench::PaperWorkload, set: &ViewSet, reps: 
     // attribute-heavy workload.
     let id = doc.labels.get("id");
     if let Some(id) = id {
-        let attr_labels: Vec<_> = ["person", "item", "open_auction", "closed_auction", "category"]
-            .iter()
-            .filter_map(|n| doc.labels.get(n))
-            .collect();
+        let attr_labels: Vec<_> = [
+            "person",
+            "item",
+            "open_auction",
+            "closed_auction",
+            "category",
+        ]
+        .iter()
+        .filter_map(|n| doc.labels.get(n))
+        .collect();
         let cfg = QueryConfig::paper_view_workload(0xAB).with_attrs(0.6, id, attr_labels.clone());
         let attr_views = distinct_positive_patterns(doc, cfg, 300);
         let mut attr_set = ViewSet::new();
@@ -384,6 +391,56 @@ fn fig9(w: &xvr_bench::PaperWorkload, reps: usize) {
     println!();
 }
 
+/// Not in the paper: batch-answering throughput of one frozen
+/// `EngineSnapshot` shared by N worker threads, versus sequential. The
+/// pipeline is read-only per query, so scaling is bounded only by memory
+/// bandwidth and scheduler overhead.
+fn throughput(w: &xvr_bench::PaperWorkload, reps: usize) {
+    println!("## Batch throughput — one snapshot, N worker threads\n");
+    let snap = w.engine.snapshot();
+    let base: Vec<TreePattern> = w.queries.iter().map(|(_, q)| q.clone()).collect();
+    let batch: Vec<TreePattern> = base.iter().cycle().take(256).cloned().collect();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let jobs_list: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&j| j == 1 || j <= cores.max(2))
+        .collect();
+    println!(
+        "Batch of {} queries (Table III set, cycled); host reports {} hardware threads.\n",
+        batch.len(),
+        cores
+    );
+    print!("| strategy |");
+    for j in &jobs_list {
+        print!(" jobs={j} |");
+    }
+    println!(" speedup |");
+    print!("|---|");
+    for _ in &jobs_list {
+        print!("---|");
+    }
+    println!("---|");
+    for strategy in [Strategy::Bf, Strategy::Hv, Strategy::Cb] {
+        let wall: Vec<f64> = jobs_list
+            .iter()
+            .map(|&jobs| {
+                time_us(reps, || {
+                    snap.answer_batch(&batch, strategy, jobs).answered()
+                })
+            })
+            .collect();
+        print!("| {strategy} |");
+        for us in &wall {
+            let qps = batch.len() as f64 / (us / 1e6);
+            print!(" {} ({qps:.0} q/s) |", fmt_us(*us));
+        }
+        println!(" {:.2}× |", wall[0] / wall.last().unwrap().max(1e-9));
+    }
+    println!();
+}
+
 /// Figure 10: utility U(Q) = |V''| / |V_Q| where V'' is VFILTER's output
 /// and V_Q the set of views with a homomorphism into Q. The test query set
 /// is the first view set, as in the paper.
@@ -402,10 +459,7 @@ fn fig10(doc: &Document, sets: &[ViewSet], sizes: &[usize]) {
         let mut max_candidates = 0usize;
         for q in &sample {
             let outcome = filter_views(q, set, &nfa);
-            let v_q = set
-                .iter()
-                .filter(|v| exists_hom(&v.pattern, q))
-                .count();
+            let v_q = set.iter().filter(|v| exists_hom(&v.pattern, q)).count();
             if v_q == 0 {
                 continue;
             }

@@ -45,7 +45,8 @@ pub fn test_queries() -> Vec<TestQuery> {
         },
         TestQuery {
             name: "Q4",
-            xpath: "/site/open_auctions/open_auction[seller][annotation/author][interval/end]/current",
+            xpath:
+                "/site/open_auctions/open_auction[seller][annotation/author][interval/end]/current",
             expected_views: 3,
         },
     ]
@@ -68,7 +69,10 @@ pub fn xmark_queries() -> Vec<(&'static str, &'static str)> {
         ),
         ("X17", "/site/people/person[homepage]/name"),
         ("X19", "/site/regions//item[name]/location"),
-        ("X20", "/site/people/person[profile/gender][profile/age]/name"),
+        (
+            "X20",
+            "/site/people/person[profile/gender][profile/age]/name",
+        ),
     ]
 }
 
@@ -107,7 +111,12 @@ pub struct PaperWorkload {
 
 /// Build the Section VI-A workload: `n_views` total (planted first, then
 /// random positive views), materialized under `fragment_budget`.
-pub fn build_paper_engine(doc: Document, n_views: usize, seed: u64, fragment_budget: usize) -> PaperWorkload {
+pub fn build_paper_engine(
+    doc: Document,
+    n_views: usize,
+    seed: u64,
+    fragment_budget: usize,
+) -> PaperWorkload {
     let random = distinct_positive_patterns(
         &doc,
         QueryConfig::paper_query_workload(seed),
@@ -181,9 +190,9 @@ mod tests {
                 "{} is not positive on the test document",
                 tq.name
             );
-            let a = engine.answer(&q, Strategy::Hv).unwrap_or_else(|e| {
-                panic!("{} not answerable from planted views: {e}", tq.name)
-            });
+            let a = engine
+                .answer(&q, Strategy::Hv)
+                .unwrap_or_else(|e| panic!("{} not answerable from planted views: {e}", tq.name));
             assert_eq!(a.codes, reference.codes, "{}", tq.name);
             assert_eq!(
                 a.views_used.len(),
@@ -203,9 +212,10 @@ mod tests {
         for (tq, q) in &w.queries {
             let reference = w.engine.answer(q, Strategy::Bf).unwrap();
             for strategy in [Strategy::Mv, Strategy::Hv] {
-                let a = w.engine.answer(q, strategy).unwrap_or_else(|e| {
-                    panic!("{} under {strategy}: {e}", tq.name)
-                });
+                let a = w
+                    .engine
+                    .answer(q, strategy)
+                    .unwrap_or_else(|e| panic!("{} under {strategy}: {e}", tq.name));
                 assert_eq!(a.codes, reference.codes, "{} {strategy}", tq.name);
             }
         }

@@ -45,7 +45,11 @@ impl Parsed {
                     let value = argv
                         .get(i + 1)
                         .ok_or_else(|| ArgError(format!("--{name} needs a value")))?;
-                    if parsed.single.insert(name.to_owned(), value.clone()).is_some() {
+                    if parsed
+                        .single
+                        .insert(name.to_owned(), value.clone())
+                        .is_some()
+                    {
                         return Err(ArgError(format!("--{name} given twice")));
                     }
                     i += 2;
@@ -147,9 +151,14 @@ mod tests {
         assert!(Parsed::parse(&argv(&["--nope"]), &[], &[], &[], &[]).is_err());
         assert!(Parsed::parse(&argv(&[]), &["doc"], &[], &[], &[]).is_err());
         assert!(Parsed::parse(&argv(&["--doc"]), &["doc"], &[], &[], &[]).is_err());
-        assert!(
-            Parsed::parse(&argv(&["--doc", "a", "--doc", "b"]), &["doc"], &[], &[], &[]).is_err()
-        );
+        assert!(Parsed::parse(
+            &argv(&["--doc", "a", "--doc", "b"]),
+            &["doc"],
+            &[],
+            &[],
+            &[]
+        )
+        .is_err());
     }
 
     #[test]

@@ -4,22 +4,26 @@
 //! xvr info        --doc FILE
 //! xvr eval        --doc FILE [--engine naive|bn|bf] QUERY
 //! xvr answer      --doc FILE [(--view XPATH)...] [--views-file FILE]
-//!                 [--views-dir DIR] [--strategy hv|mv|mn|cb]
-//!                 [--budget BYTES] [--show] [--explain] QUERY
+//!                 [--views-dir DIR] [--strategy bn|bf|mn|mv|hv|cb]
+//!                 [--budget BYTES] [--show] [--explain]
+//!                 (QUERY | --queries-file FILE [--jobs N])
 //! xvr filter      --doc FILE [--views-file FILE] (--view XPATH)... QUERY
 //! xvr materialize --doc FILE (--view XPATH)... [--views-file FILE]
 //!                 [--budget BYTES] --out DIR
 //! xvr generate    [--scale F] [--seed N] [--out FILE]
 //! ```
 //!
-//! `--views-file` is a text file with one view XPath per line (blank lines
-//! and `#` comments ignored). Exit codes: 0 success, 1 query not
+//! `--views-file` and `--queries-file` are text files with one XPath per
+//! line (blank lines and `#` comments ignored). `answer --queries-file`
+//! freezes an [`EngineSnapshot`] and fans the batch out over `--jobs`
+//! worker threads. The base strategies `bn`/`bf` answer straight from the
+//! document and need no views. Exit codes: 0 success, 1 query not
 //! answerable, 2 usage error, 3 input error.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use xvr_core::{AnswerError, Engine, EngineConfig, Strategy};
+use xvr_core::{AnswerError, Engine, EngineConfig, EngineSnapshot, Strategy};
 use xvr_xml::serializer::serialize_subtree;
 use xvr_xml::{parse_document, DocStats, Document};
 
@@ -47,8 +51,9 @@ const USAGE: &str = "usage:
   xvr info        --doc FILE
   xvr eval        --doc FILE [--engine naive|bn|bf] QUERY
   xvr answer      --doc FILE [(--view XPATH)...] [--views-file FILE]
-                  [--views-dir DIR] [--strategy hv|mv|mn|cb]
-                  [--budget BYTES] [--show] [--explain] QUERY
+                  [--views-dir DIR] [--strategy bn|bf|mn|mv|hv|cb]
+                  [--budget BYTES] [--show] [--explain]
+                  (QUERY | --queries-file FILE [--jobs N])
   xvr filter      --doc FILE [--views-file FILE] (--view XPATH)... QUERY
   xvr materialize --doc FILE (--view XPATH)... [--views-file FILE]
                   [--budget BYTES] --out DIR
@@ -174,16 +179,26 @@ fn answer(argv: &[String]) -> Result<ExitCode, CliError> {
     let parsed = Parsed::parse(
         argv,
         &["doc"],
-        &["strategy", "budget", "views-file", "views-dir"],
+        &[
+            "strategy",
+            "budget",
+            "views-file",
+            "views-dir",
+            "queries-file",
+            "jobs",
+        ],
         &["view"],
         &["show", "explain"],
     )?;
     let doc = load_doc(parsed.req("doc")?)?;
-    let query_src = parsed.positional()?;
     let views = collect_views(&parsed)?;
-    if views.is_empty() && parsed.opt("views-dir").is_none() {
+    let strategy = strategy_of(parsed.opt("strategy").unwrap_or("hv"))?;
+    let base = matches!(strategy, Strategy::Bn | Strategy::Bf);
+    if views.is_empty() && parsed.opt("views-dir").is_none() && !base {
         return Err(CliError::Usage(
-            "answer needs --view, --views-file or --views-dir".into(),
+            "answer needs --view, --views-file or --views-dir \
+             (only bn/bf answer from the document alone)"
+                .into(),
         ));
     }
     let budget = match parsed.opt("budget") {
@@ -210,20 +225,32 @@ fn answer(argv: &[String]) -> Result<ExitCode, CliError> {
             .map_err(|e| CliError::Input(format!("loading views from {dir}: {e}")))?;
         eprintln!("loaded {} view(s) from {dir}", loaded.len());
     }
-    let q = engine
+    let snap = engine.snapshot();
+    match parsed.opt("queries-file") {
+        Some(file) => answer_batch(&parsed, &snap, strategy, file),
+        None => answer_single(&parsed, &snap, strategy),
+    }
+}
+
+fn answer_single(
+    parsed: &Parsed,
+    snap: &EngineSnapshot,
+    strategy: Strategy,
+) -> Result<ExitCode, CliError> {
+    let query_src = parsed.positional()?;
+    let q = snap
         .parse(query_src)
         .map_err(|e| CliError::Input(format!("query: {e}")))?;
-    let strategy = strategy_of(parsed.opt("strategy").unwrap_or("hv"))?;
     if parsed.flag("explain") && !matches!(strategy, Strategy::Bn | Strategy::Bf) {
-        match engine.explain(&q, strategy) {
+        match snap.explain(&q, strategy) {
             Ok(ex) => eprintln!("{ex}"),
             Err(AnswerError::NotAnswerable) => {}
             Err(e) => return Err(CliError::Input(e.to_string())),
         }
     }
-    match engine.answer(&q, strategy) {
+    match snap.answer(&q, strategy) {
         Ok(a) => {
-            let doc = engine.doc();
+            let doc = snap.doc();
             for code in &a.codes {
                 if parsed.flag("show") {
                     let shown = doc
@@ -248,11 +275,10 @@ fn answer(argv: &[String]) -> Result<ExitCode, CliError> {
                     .views_used
                     .iter()
                     .map(|&v| {
-                        engine
-                            .views()
+                        snap.views()
                             .view(v)
                             .pattern
-                            .display(engine.labels())
+                            .display(snap.labels())
                             .to_string()
                     })
                     .collect();
@@ -272,6 +298,76 @@ fn answer(argv: &[String]) -> Result<ExitCode, CliError> {
         }
         Err(e) => Err(CliError::Input(e.to_string())),
     }
+}
+
+/// `--queries-file` mode: answer every query in the file over one shared
+/// snapshot, fanned out over `--jobs` worker threads. One stdout line per
+/// query: `QUERY<TAB>COUNT<TAB>codes…` (or `unanswerable`).
+fn answer_batch(
+    parsed: &Parsed,
+    snap: &EngineSnapshot,
+    strategy: Strategy,
+    file: &str,
+) -> Result<ExitCode, CliError> {
+    if parsed.positional().is_ok() {
+        return Err(CliError::Usage(
+            "--queries-file replaces the positional query; give one or the other".into(),
+        ));
+    }
+    let jobs: usize = match parsed.opt("jobs") {
+        Some(j) => j
+            .parse()
+            .ok()
+            .filter(|&j| j >= 1)
+            .ok_or_else(|| CliError::Usage("--jobs must be a positive integer".into()))?,
+        None => 1,
+    };
+    let text = std::fs::read_to_string(file)
+        .map_err(|e| CliError::Input(format!("cannot read {file}: {e}")))?;
+    let sources: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    let queries: Vec<_> = sources
+        .iter()
+        .map(|src| {
+            snap.parse(src)
+                .map_err(|e| CliError::Input(format!("query `{src}`: {e}")))
+        })
+        .collect::<Result<_, _>>()?;
+    let batch = snap.answer_batch(&queries, strategy, jobs);
+    let mut unanswerable = 0usize;
+    for (src, outcome) in sources.iter().zip(&batch.answers) {
+        match outcome {
+            Ok(a) => {
+                let codes: Vec<String> = a.codes.iter().map(|c| c.to_string()).collect();
+                println!("{src}\t{}\t{}", a.codes.len(), codes.join(" "));
+            }
+            Err(AnswerError::NotAnswerable) => {
+                unanswerable += 1;
+                println!("{src}\tunanswerable\t");
+            }
+            Err(e) => return Err(CliError::Input(format!("query `{src}`: {e}"))),
+        }
+    }
+    eprintln!(
+        "{}/{} answered via {} with {} job(s) in {}µs ({:.0} q/s; work: {}µs filter + {}µs select + {}µs rewrite)",
+        batch.answered(),
+        batch.answers.len(),
+        strategy,
+        batch.jobs,
+        batch.wall_us,
+        batch.qps(),
+        batch.total.filter_us,
+        batch.total.selection_us,
+        batch.total.rewrite_us,
+    );
+    Ok(if unanswerable == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
 }
 
 fn filter(argv: &[String]) -> Result<ExitCode, CliError> {
@@ -388,9 +484,8 @@ fn generate(argv: &[String]) -> Result<ExitCode, CliError> {
         .unwrap_or("0")
         .parse()
         .map_err(|_| CliError::Usage("--seed must be an integer".into()))?;
-    let doc = xvr_xml::generator::generate(
-        &xvr_xml::generator::Config::scale(scale).with_seed(seed),
-    );
+    let doc =
+        xvr_xml::generator::generate(&xvr_xml::generator::Config::scale(scale).with_seed(seed));
     let xml = xvr_xml::serializer::serialize_pretty(&doc.tree, &doc.labels);
     match parsed.opt("out") {
         Some(path) => {

@@ -56,7 +56,11 @@ fn info_reports_stats() {
         .arg(doc.path())
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("nodes:            8"), "{stdout}");
     assert!(stdout.contains("book"), "{stdout}");
@@ -87,7 +91,11 @@ fn answer_from_views_matches_eval() {
         .arg("//book[author]/title")
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(stdout.lines().count(), 1, "{stdout}");
     let stderr = String::from_utf8_lossy(&out.stderr);
@@ -105,7 +113,12 @@ fn unanswerable_exits_1() {
         .arg("//book[author]/title")
         .output()
         .unwrap();
-    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]
@@ -152,11 +165,21 @@ fn materialize_then_answer_from_disk() {
     let out = xvr()
         .args(["materialize", "--doc"])
         .arg(doc.path())
-        .args(["--view", "//book[author]/title", "--view", "//shelf[book]/book", "--out"])
+        .args([
+            "--view",
+            "//book[author]/title",
+            "--view",
+            "//shelf[book]/book",
+            "--out",
+        ])
         .arg(&dir)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let out = xvr()
         .args(["answer", "--doc"])
         .arg(doc.path())
@@ -165,7 +188,11 @@ fn materialize_then_answer_from_disk() {
         .arg("//shelf[book]/book[author]/title")
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(stdout.lines().count(), 1, "{stdout}");
     std::fs::remove_dir_all(&dir).unwrap();
@@ -185,6 +212,119 @@ fn explain_prints_plan() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("plan (HV)"), "{stderr}");
     assert!(stderr.contains("(anchor)"), "{stderr}");
+}
+
+#[test]
+fn answer_base_strategies_need_no_views() {
+    let doc = write_doc();
+    for strategy in ["bn", "bf"] {
+        let out = xvr()
+            .args(["answer", "--doc"])
+            .arg(doc.path())
+            .args(["--strategy", strategy])
+            .arg("//book[author]/title")
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{strategy}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(stdout.lines().count(), 1, "{strategy}: {stdout}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(&format!("via {} using 0 view(s)", strategy.to_uppercase())),
+            "{strategy}: {stderr}"
+        );
+    }
+    // View strategies still demand views.
+    let out = xvr()
+        .args(["answer", "--doc"])
+        .arg(doc.path())
+        .args(["--strategy", "hv"])
+        .arg("//book/title")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn answer_strategies_agree() {
+    let doc = write_doc();
+    let mut lines: Vec<String> = Vec::new();
+    for strategy in ["bn", "bf", "mn", "mv", "hv", "cb"] {
+        let out = xvr()
+            .args(["answer", "--doc"])
+            .arg(doc.path())
+            .args(["--view", "//book[author]/title", "--strategy", strategy])
+            .arg("//book[author]/title")
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{strategy}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        lines.push(String::from_utf8_lossy(&out.stdout).into_owned());
+    }
+    assert!(lines.windows(2).all(|w| w[0] == w[1]), "{lines:?}");
+}
+
+#[test]
+fn answer_batch_over_queries_file() {
+    let doc = write_doc();
+    let queries =
+        tempfile::write("# a comment\n//book[author]/title\n\n//shelf/book\n//book/missing\n");
+    let out = xvr()
+        .args(["answer", "--doc"])
+        .arg(doc.path())
+        .args(["--view", "//book[author]/title", "--view", "//shelf/book"])
+        .args(["--queries-file"])
+        .arg(queries.path())
+        .args(["--jobs", "3"])
+        .output()
+        .unwrap();
+    // //book/missing is not answerable from the views, so the batch exits 1.
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "{stdout}");
+    assert!(
+        lines[0].starts_with("//book[author]/title\t1\t"),
+        "{stdout}"
+    );
+    assert!(lines[1].starts_with("//shelf/book\t2\t"), "{stdout}");
+    assert!(
+        lines[2].starts_with("//book/missing\tunanswerable"),
+        "{stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("2/3 answered via HV with 3 job(s)"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("q/s"), "{stderr}");
+}
+
+#[test]
+fn answer_batch_rejects_positional_query() {
+    let doc = write_doc();
+    let queries = tempfile::write("//book/title\n");
+    let out = xvr()
+        .args(["answer", "--doc"])
+        .arg(doc.path())
+        .args(["--view", "//book/title", "--queries-file"])
+        .arg(queries.path())
+        .arg("//book/title")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]

@@ -11,21 +11,27 @@
 //!
 //! Every answer carries per-stage timings so the benchmark harness can
 //! regenerate the paper's Figures 8, 9 and 12.
-
-use std::fmt;
-use std::time::Instant;
+//!
+//! The engine is the **writer** half of a writer/reader split: it owns all
+//! mutation (view registration, document appends, label growth) and hands
+//! out immutable [`EngineSnapshot`]s that carry the whole read path and
+//! can be shared freely across threads. The engine's own query methods
+//! (`answer`, `filter`, `lookup`, `explain`) are conveniences that
+//! delegate to an ephemeral snapshot.
 
 use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
 
-use xvr_pattern::{eval_bf, eval_bn, parse_pattern_with, PatternParseError, PLabel, TreePattern};
+use xvr_pattern::{parse_pattern_with, PLabel, PatternParseError, TreePattern};
 use xvr_xml::{CodeStability, DeweyCode, Document, Label, LabelTable, NodeIndex, PathIndex};
 
-use crate::filter::{build_nfa, filter_views, FilterOutcome};
-use crate::leafcover::Obligations;
+use crate::filter::{build_nfa, FilterOutcome};
 use crate::materialize::MaterializedStore;
 use crate::nfa::{AcceptEntry, Nfa};
-use crate::rewrite::{rewrite, RewriteError};
-use crate::select::{select_cost_based, select_heuristic, select_minimum, Selection};
+use crate::rewrite::RewriteError;
+use crate::select::Selection;
+use crate::snapshot::EngineSnapshot;
 use crate::view::{ViewId, ViewSet};
 
 /// Evaluation strategy.
@@ -212,14 +218,19 @@ impl Default for EngineConfig {
 
 /// The full system: document, indexes, view catalog, materializations, and
 /// the VFILTER automaton (maintained incrementally as views are added).
+///
+/// Every component lives behind an [`Arc`] so that [`Engine::snapshot`]
+/// is practically free; mutation goes through [`Arc::make_mut`], which
+/// clones a component only while a snapshot still holds the old version
+/// (copy-on-write).
 pub struct Engine {
-    doc: Document,
-    labels: LabelTable,
-    views: ViewSet,
-    store: MaterializedStore,
-    nfa: Nfa,
-    node_index: NodeIndex,
-    path_index: PathIndex,
+    doc: Arc<Document>,
+    labels: Arc<LabelTable>,
+    views: Arc<ViewSet>,
+    store: Arc<MaterializedStore>,
+    nfa: Arc<Nfa>,
+    node_index: Arc<NodeIndex>,
+    path_index: Arc<PathIndex>,
     config: EngineConfig,
 }
 
@@ -230,14 +241,33 @@ impl Engine {
         let path_index = PathIndex::build(&doc.tree, &doc.labels);
         let labels = doc.labels.clone();
         Engine {
-            doc,
-            labels,
-            views: ViewSet::new(),
-            store: MaterializedStore::new(),
-            nfa: Nfa::new(),
-            node_index,
-            path_index,
+            doc: Arc::new(doc),
+            labels: Arc::new(labels),
+            views: Arc::new(ViewSet::new()),
+            store: Arc::new(MaterializedStore::new()),
+            nfa: Arc::new(Nfa::new()),
+            node_index: Arc::new(node_index),
+            path_index: Arc::new(path_index),
             config,
+        }
+    }
+
+    /// Freeze the current state into an immutable, `Send + Sync`
+    /// [`EngineSnapshot`] carrying the full read path.
+    ///
+    /// Costs eight reference-count bumps — no data is copied. Later
+    /// engine mutations copy-on-write only the components they touch, so
+    /// outstanding snapshots keep observing exactly the state they froze.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            doc: Arc::clone(&self.doc),
+            labels: Arc::clone(&self.labels),
+            views: Arc::clone(&self.views),
+            store: Arc::clone(&self.store),
+            nfa: Arc::clone(&self.nfa),
+            node_index: Arc::clone(&self.node_index),
+            path_index: Arc::clone(&self.path_index),
+            config: self.config.clone(),
         }
     }
 
@@ -276,27 +306,35 @@ impl Engine {
         &self.path_index
     }
 
-    /// Parse a pattern in the engine's label space.
+    /// Parse a pattern in the engine's label space, interning labels the
+    /// query introduces. (Read-only parsing against a frozen table lives
+    /// on [`EngineSnapshot::parse`].)
     pub fn parse(&mut self, src: &str) -> Result<TreePattern, PatternParseError> {
-        parse_pattern_with(src, &mut self.labels)
+        parse_pattern_with(src, Arc::make_mut(&mut self.labels))
     }
 
     /// Register and materialize a view; updates VFILTER incrementally.
     pub fn add_view(&mut self, pattern: TreePattern) -> ViewId {
-        let id = self.views.add(pattern);
-        for (idx, path) in self.views.view(id).normalized_paths.iter().enumerate() {
-            self.nfa.insert(
+        let views = Arc::make_mut(&mut self.views);
+        let id = views.add(pattern);
+        let nfa = Arc::make_mut(&mut self.nfa);
+        for (idx, path) in views.view(id).normalized_paths.iter().enumerate() {
+            nfa.insert(
                 path,
                 AcceptEntry {
                     view: id,
                     path_idx: idx as u32,
                     path_len: path.len() as u32,
-                    attr_mask: self.views.view(id).path_attr_masks[idx],
+                    attr_mask: views.view(id).path_attr_masks[idx],
                 },
             );
         }
-        self.store
-            .materialize(&self.doc, &self.views, id, self.config.fragment_budget);
+        Arc::make_mut(&mut self.store).materialize(
+            &self.doc,
+            &self.views,
+            id,
+            self.config.fragment_budget,
+        );
         id
     }
 
@@ -308,7 +346,7 @@ impl Engine {
 
     /// Rebuild the VFILTER automaton from scratch (used by size benchmarks).
     pub fn rebuild_nfa(&mut self) {
-        self.nfa = build_nfa(&self.views);
+        self.nfa = Arc::new(build_nfa(&self.views));
     }
 
     /// Append an XML subtree under the node addressed by `parent_code`,
@@ -322,32 +360,33 @@ impl Engine {
         parent_code: &DeweyCode,
         xml: &str,
     ) -> Result<UpdateStats, UpdateError> {
-        let sub = xvr_xml::parser::parse_tree_with(xml, &mut self.labels)
+        let sub = xvr_xml::parser::parse_tree_with(xml, Arc::make_mut(&mut self.labels))
             .map_err(UpdateError::Parse)?;
         let parent = self
             .doc
             .node_by_code(parent_code)
             .ok_or_else(|| UpdateError::NoSuchNode(parent_code.clone()))?;
-        // The label table may have grown; keep the document's copy in sync
-        // so FST rebuilds see every label.
-        self.doc.labels = self.labels.clone();
+        let doc = Arc::make_mut(&mut self.doc);
+        // The label table may have grown; copy over only the new suffix
+        // (tables grow monotonically) so FST rebuilds see every label —
+        // without re-cloning the whole table on each update.
+        doc.labels.sync_from(&self.labels);
         let update_labels: HashSet<Label> = sub.iter().map(|n| sub.label(n)).collect();
-        let (_, stability) = self.doc.append_subtree(parent, &sub);
+        let (_, stability) = doc.append_subtree(parent, &sub);
         // Base indexes always refresh (the document changed).
-        self.node_index = NodeIndex::build(&self.doc.tree, &self.doc.labels);
-        self.path_index = PathIndex::build(&self.doc.tree, &self.doc.labels);
+        self.node_index = Arc::new(NodeIndex::build(&doc.tree, &doc.labels));
+        self.path_index = Arc::new(PathIndex::build(&doc.tree, &doc.labels));
         let mut stats = UpdateStats {
             stability,
             views_rematerialized: 0,
             views_skipped: 0,
         };
-        let ids: Vec<ViewId> = self.views.ids().collect();
-        for id in ids {
+        let store = Arc::make_mut(&mut self.store);
+        for id in self.views.ids() {
             let must = stability == CodeStability::Reencoded
                 || view_mentions(&self.views.view(id).pattern, &update_labels);
             if must {
-                self.store
-                    .materialize(&self.doc, &self.views, id, self.config.fragment_budget);
+                store.materialize(&self.doc, &self.views, id, self.config.fragment_budget);
                 stats.views_rematerialized += 1;
             } else {
                 stats.views_skipped += 1;
@@ -365,16 +404,17 @@ impl Engine {
     /// Load previously saved views from `dir`, registering them and
     /// installing their fragments without touching the base document.
     pub fn load_views(&mut self, dir: &std::path::Path) -> std::io::Result<Vec<ViewId>> {
-        let ids = self
-            .store
-            .load(&self.doc, &mut self.views, &mut self.labels, dir)?;
+        let store = Arc::make_mut(&mut self.store);
+        let views = Arc::make_mut(&mut self.views);
+        let labels = Arc::make_mut(&mut self.labels);
+        let ids = store.load(&self.doc, views, labels, dir)?;
         self.rebuild_nfa();
         Ok(ids)
     }
 
     /// Run VFILTER only (Figure 12's measured operation).
     pub fn filter(&self, q: &TreePattern) -> FilterOutcome {
-        filter_views(q, &self.views, &self.nfa)
+        self.snapshot().filter(q)
     }
 
     /// Run selection only — filter (unless `Mn`) plus view-set search.
@@ -385,53 +425,7 @@ impl Engine {
         q: &TreePattern,
         strategy: Strategy,
     ) -> (Option<Selection>, StageTimings, usize) {
-        let obligations = Obligations::of(q);
-        let mut timings = StageTimings::default();
-        let (candidates, lists): (Vec<ViewId>, Option<FilterOutcome>) = match strategy {
-            Strategy::Mn => (self.views.ids().collect(), None),
-            Strategy::Mv | Strategy::Hv | Strategy::Cb => {
-                let t0 = Instant::now();
-                let outcome = self.filter(q);
-                timings.filter_us = t0.elapsed().as_micros();
-                (outcome.candidates.clone(), Some(outcome))
-            }
-            Strategy::Bn | Strategy::Bf => panic!("lookup is a view-strategy operation"),
-        };
-        // Skip views whose materialization was truncated: they cannot
-        // support equivalent rewriting.
-        let usable: Vec<ViewId> = candidates
-            .into_iter()
-            .filter(|&v| self.store.get(v).map(|m| m.complete()).unwrap_or(false))
-            .collect();
-        let t0 = Instant::now();
-        let selection = match strategy {
-            Strategy::Mn | Strategy::Mv => select_minimum(
-                q,
-                &self.views,
-                &usable,
-                &obligations,
-                self.config.max_minimum_views,
-            ),
-            Strategy::Hv => {
-                let mut outcome = lists.expect("Hv always filters");
-                outcome.candidates = usable.clone();
-                for list in &mut outcome.lists {
-                    list.retain(|(v, _)| usable.contains(v));
-                }
-                select_heuristic(q, &self.views, &outcome, &obligations)
-            }
-            Strategy::Cb => select_cost_based(
-                q,
-                &self.views,
-                &usable,
-                &obligations,
-                &|v| self.store.get(v).map(|m| m.size_bytes()).unwrap_or(0),
-                self.config.cost_view_overhead,
-            ),
-            _ => unreachable!(),
-        };
-        timings.selection_us = t0.elapsed().as_micros();
-        (selection, timings, usable.len())
+        self.snapshot().lookup(q, strategy)
     }
 
     /// Produce a human-readable plan for answering `q` under a view
@@ -441,65 +435,12 @@ impl Engine {
         q: &TreePattern,
         strategy: Strategy,
     ) -> Result<crate::explain::Explanation, AnswerError> {
-        assert!(
-            !matches!(strategy, Strategy::Bn | Strategy::Bf),
-            "explain applies to view strategies"
-        );
-        let (selection, _, candidates) = self.lookup(q, strategy);
-        let selection = selection.ok_or(AnswerError::NotAnswerable)?;
-        Ok(crate::explain::explain_selection(
-            strategy,
-            q,
-            &selection,
-            &self.views,
-            &self.store,
-            &self.labels,
-            candidates,
-        ))
+        self.snapshot().explain(q, strategy)
     }
 
     /// Answer `q` under `strategy`.
     pub fn answer(&self, q: &TreePattern, strategy: Strategy) -> Result<Answer, AnswerError> {
-        match strategy {
-            Strategy::Bn | Strategy::Bf => {
-                let t0 = Instant::now();
-                let nodes = match strategy {
-                    Strategy::Bn => eval_bn(q, &self.doc.tree, &self.node_index),
-                    _ => eval_bf(q, &self.doc, &self.path_index),
-                };
-                let rewrite_us = t0.elapsed().as_micros();
-                let mut codes: Vec<DeweyCode> = nodes
-                    .into_iter()
-                    .map(|n| self.doc.dewey.code_of(&self.doc.tree, n))
-                    .collect();
-                codes.sort();
-                Ok(Answer {
-                    codes,
-                    strategy,
-                    timings: StageTimings {
-                        rewrite_us,
-                        ..StageTimings::default()
-                    },
-                    views_used: Vec::new(),
-                    candidates: 0,
-                })
-            }
-            Strategy::Mn | Strategy::Mv | Strategy::Hv | Strategy::Cb => {
-                let (selection, mut timings, candidates) = self.lookup(q, strategy);
-                let selection = selection.ok_or(AnswerError::NotAnswerable)?;
-                let t0 = Instant::now();
-                let codes = rewrite(q, &selection, &self.views, &self.store, &self.doc.fst)
-                    .map_err(AnswerError::Rewrite)?;
-                timings.rewrite_us = t0.elapsed().as_micros();
-                Ok(Answer {
-                    codes,
-                    strategy,
-                    timings,
-                    views_used: selection.view_ids(),
-                    candidates,
-                })
-            }
-        }
+        self.snapshot().answer(q, strategy)
     }
 }
 

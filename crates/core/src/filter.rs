@@ -200,8 +200,16 @@ mod tests {
         // Any view with a homomorphism into the query must survive.
         let mut labels = LabelTable::new();
         let view_srcs = [
-            "/s[t]/p", "/s//p", "/s[.//p]//f", "//p", "/s", "//*",
-            "/s[f]/p", "/s/t", "/s//f", "/s[.//i][t]/p",
+            "/s[t]/p",
+            "/s//p",
+            "/s[.//p]//f",
+            "//p",
+            "/s",
+            "//*",
+            "/s[f]/p",
+            "/s/t",
+            "/s//f",
+            "/s[.//i][t]/p",
         ];
         let mut views = ViewSet::new();
         for src in view_srcs {

@@ -190,10 +190,7 @@ fn node_covered(v: &TreePattern, q: &TreePattern, m: PNodeId, n: PNodeId, solo: 
     }
     // (2) Document-root pinning: both roots are `/`-anchored, so both bind
     // the unique document element.
-    if q_att == q.root()
-        && q.axis(q.root()) == Axis::Child
-        && v.axis(v.root()) == Axis::Child
-    {
+    if q_att == q.root() && q.axis(q.root()) == Axis::Child && v.axis(v.root()) == Axis::Child {
         anchors.push(v.root());
     }
     // (3) Solo-only: full trunk alignment (the paper's single-view
@@ -347,11 +344,7 @@ mod tests {
     }
 
     /// Names of covered obligation leaves, for readable assertions.
-    fn covered_names(
-        cover: &LeafCover,
-        q: &TreePattern,
-        labels: &LabelTable,
-    ) -> Vec<String> {
+    fn covered_names(cover: &LeafCover, q: &TreePattern, labels: &LabelTable) -> Vec<String> {
         cover
             .covered
             .iter()
@@ -481,8 +474,8 @@ mod tests {
         let q = s.pat(r#"/a[@id="7"]/b"#);
         let ob = Obligations::of(&q);
         assert_eq!(ob.len(), 2); // leaf b + attr node a
-        // A view whose trunk pins `a` and carries the same predicate covers
-        // the attr obligation.
+                                 // A view whose trunk pins `a` and carries the same predicate covers
+                                 // the attr obligation.
         let v = s.pat(r#"/a[@id="7"]/b"#);
         let c = best_cover(&v, &q);
         assert_eq!(c.covered.len(), 2);

@@ -19,7 +19,11 @@
 //!
 //! [`engine`] wires everything into a store-and-query façade with per-stage
 //! timing, including the paper's evaluation baselines (`BN`, `BF`, `MN`,
-//! `MV`, `HV`) and the cost-based extension (`CB`).
+//! `MV`, `HV`) and the cost-based extension (`CB`). The API is split into
+//! a **writer** — [`Engine`], which owns all mutation — and a **reader** —
+//! [`EngineSnapshot`] ([`snapshot`]), an immutable `Send + Sync` freeze of
+//! the engine that carries the whole query pipeline and fans batches out
+//! over worker threads with [`EngineSnapshot::answer_batch`].
 //!
 //! ```
 //! use xvr_core::{Engine, EngineConfig, Strategy};
@@ -29,19 +33,27 @@
 //! )?;
 //! let mut engine = Engine::new(doc, EngineConfig::default());
 //!
-//! // Materialize two views.
+//! // Materialize two views (writes go through the engine).
 //! engine.add_view_str("//a[t]/t")?;
 //! engine.add_view_str("//a[p]/t")?;
 //!
+//! // Freeze a snapshot: an immutable, thread-shareable read path.
+//! let snapshot = engine.snapshot();
+//!
 //! // Answer a query from the views alone — never touching the document.
-//! let q = engine.parse("//a[p]/t")?;
-//! let answer = engine.answer(&q, Strategy::Hv).unwrap();
+//! let q = snapshot.parse("//a[p]/t")?;
+//! let answer = snapshot.answer(&q, Strategy::Hv).unwrap();
 //! assert_eq!(answer.codes.len(), 1);
 //! assert_eq!(answer.codes[0].to_string(), "0.0.0");
 //!
 //! // Every strategy returns the same answer.
-//! let direct = engine.answer(&q, Strategy::Bn).unwrap();
+//! let direct = snapshot.answer(&q, Strategy::Bn).unwrap();
 //! assert_eq!(answer.codes, direct.codes);
+//!
+//! // Batches fan out over scoped worker threads, results in input order.
+//! let queries = vec![q.clone(), q];
+//! let batch = snapshot.answer_batch(&queries, Strategy::Hv, 2);
+//! assert_eq!(batch.answered(), 2);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -53,14 +65,20 @@ pub mod materialize;
 pub mod nfa;
 pub mod rewrite;
 pub mod select;
+pub mod snapshot;
 pub mod view;
 
-pub use engine::{Answer, AnswerError, Engine, EngineConfig, StageTimings, Strategy, UpdateError, UpdateStats};
+pub use engine::{
+    Answer, AnswerError, Engine, EngineConfig, StageTimings, Strategy, UpdateError, UpdateStats,
+};
 pub use explain::{Explanation, UnitExplanation};
-pub use filter::{build_nfa, build_nfa_raw, filter_views, filter_views_opts, FilterOptions, FilterOutcome};
+pub use filter::{
+    build_nfa, build_nfa_raw, filter_views, filter_views_opts, FilterOptions, FilterOutcome,
+};
 pub use leafcover::{leaf_cover, leaf_covers, LeafCover, Obligation, Obligations};
 pub use materialize::{MaterializedStore, MaterializedView};
 pub use nfa::Nfa;
 pub use rewrite::rewrite;
 pub use select::{select_cost_based, select_heuristic, select_minimum, SelectedView, Selection};
+pub use snapshot::{BatchResult, EngineSnapshot};
 pub use view::{View, ViewId, ViewSet};

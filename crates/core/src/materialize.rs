@@ -232,10 +232,9 @@ impl MaterializedStore {
                     .map_err(|e| bad(format!("{}: bad code {code_str}: {e}", path.display())))?;
                 // Validate provenance: the code must decode under the
                 // document's FST and end at the fragment root's label.
-                let decoded = doc
-                    .fst
-                    .decode(code.components())
-                    .ok_or_else(|| bad(format!("{}: code {code} does not decode", path.display())))?;
+                let decoded = doc.fst.decode(code.components()).ok_or_else(|| {
+                    bad(format!("{}: code {code} does not decode", path.display()))
+                })?;
                 let tree = xvr_xml::parser::parse_tree_with(xml, labels)
                     .map_err(|e| bad(format!("{}: fragment XML: {e}", path.display())))?;
                 if *decoded.last().unwrap() != tree.label(tree.root()) {
@@ -291,7 +290,10 @@ mod tests {
                 let g = mv.global_code(i, n);
                 let decoded = doc.fst.decode(g.components()).unwrap();
                 let local_path = frag.tree.label_path(n);
-                assert_eq!(&decoded[decoded.len() - local_path.len()..], &local_path[..]);
+                assert_eq!(
+                    &decoded[decoded.len() - local_path.len()..],
+                    &local_path[..]
+                );
             }
         }
     }

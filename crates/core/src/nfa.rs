@@ -17,7 +17,7 @@
 use std::collections::HashMap;
 
 use xvr_pattern::paths::PathSymbol;
-use xvr_pattern::{Axis, PathPattern, PLabel};
+use xvr_pattern::{Axis, PLabel, PathPattern};
 use xvr_xml::Label;
 
 use crate::view::ViewId;
@@ -194,12 +194,7 @@ impl Nfa {
     }
 
     /// Activate a state: record acceptance, follow the ε-edge to its hub.
-    fn activate<F: FnMut(&AcceptEntry)>(
-        &self,
-        s: StateId,
-        set: &mut Vec<StateId>,
-        on_hit: &mut F,
-    ) {
+    fn activate<F: FnMut(&AcceptEntry)>(&self, s: StateId, set: &mut Vec<StateId>, on_hit: &mut F) {
         if push_unique(set, s) {
             for e in &self.states[s.0 as usize].accepts {
                 on_hit(e);
@@ -261,13 +256,12 @@ mod tests {
     fn agrees_with_path_containment() {
         let mut labels = LabelTable::new();
         let views = [
-            "/s/t", "/s/p", "/s//f", "/s/f//i", "/s//*/t", "//b", "/b/*",
-            "//*/c", "/a/b/c", "/a//c", "/*",
+            "/s/t", "/s/p", "/s//f", "/s/f//i", "/s//*/t", "//b", "/b/*", "//*/c", "/a/b/c",
+            "/a//c", "/*",
         ];
         let queries = [
-            "/s/t", "/s/p/t", "/s/s/t", "/s//t", "/s/f/i", "/s/f/x/i", "/s/*//t",
-            "/b", "/a/b", "//b", "/b/x", "/a/b/c", "/a/x/c", "//c", "/a/b/c/d",
-            "/*/c", "//*", "/s//*/t",
+            "/s/t", "/s/p/t", "/s/s/t", "/s//t", "/s/f/i", "/s/f/x/i", "/s/*//t", "/b", "/a/b",
+            "//b", "/b/x", "/a/b/c", "/a/x/c", "//c", "/a/b/c/d", "/*/c", "//*", "/s//*/t",
         ];
         let nfa = nfa_of(&views, &mut labels);
         for qsrc in queries {
@@ -292,10 +286,10 @@ mod tests {
         let mut labels = LabelTable::new();
         let mut nfa = Nfa::new();
         let table_ii: &[(&str, &[(u32, u32)])] = &[
-            ("/s/t", &[(1, 0)]),           // P1 from V1
-            ("/s/p", &[(1, 1), (3, 0)]),   // P2 from V1, V3... (V3 = s/p)
-            ("/s//*//t", &[(2, 0)]),       // P3 from V2 (normalized s/*//t)
-            ("/s//f", &[(2, 1), (4, 1)]),  // P4
+            ("/s/t", &[(1, 0)]),          // P1 from V1
+            ("/s/p", &[(1, 1), (3, 0)]),  // P2 from V1, V3... (V3 = s/p)
+            ("/s//*//t", &[(2, 0)]),      // P3 from V2 (normalized s/*//t)
+            ("/s//f", &[(2, 1), (4, 1)]), // P4
             ("/s/p/*", &[(3, 0)]),
             ("/s/f//i", &[(2, 2)]),
             ("/s//p", &[(4, 0)]),

@@ -72,7 +72,7 @@ pub fn rewrite(
     fst: &Fst,
 ) -> Result<Vec<DeweyCode>, RewriteError> {
     let _ = views; // selection already carries everything pattern-level
-    // Stage 1: refine each unit's fragments with its compensating pattern.
+                   // Stage 1: refine each unit's fragments with its compensating pattern.
     let mut refined: Vec<Vec<DeweyCode>> = Vec::with_capacity(selection.units.len());
     // Anchor extraction cache: fragment root code → answer codes inside.
     let mut anchor_answers: HashMap<DeweyCode, Vec<DeweyCode>> = HashMap::new();
@@ -96,8 +96,7 @@ pub fn rewrite(
                     answers.into_iter().map(|n| mv.global_code(fi, n)).collect();
                 anchor_answers.insert(frag.code.clone(), globals);
                 codes.push(frag.code.clone());
-            } else if xvr_pattern::matches_anchored(&compensating, &frag.tree, frag.tree.root())
-            {
+            } else if xvr_pattern::matches_anchored(&compensating, &frag.tree, frag.tree.root()) {
                 codes.push(frag.code.clone());
             }
         }
@@ -117,9 +116,7 @@ pub fn rewrite(
             None => true,
             Some(lists) => {
                 let code = &prefix_tree.codes[x.index()];
-                lists
-                    .iter()
-                    .all(|&list| list.binary_search(code).is_ok())
+                lists.iter().all(|&list| list.binary_search(code).is_ok())
             }
         }
     };
@@ -296,13 +293,8 @@ mod tests {
         // V1 = s[t]/p, V2 = s[p]/f answer Q_e = s[f//i][t]/p, yielding
         // {p3, p4, p5, p6, p7}.
         let doc = book_document();
-        let got = answer_with_views(
-            &doc,
-            &["//s[t]/p", "//s[p]/f"],
-            "//s[f//i][t]/p",
-            true,
-        )
-        .expect("answerable");
+        let got = answer_with_views(&doc, &["//s[t]/p", "//s[p]/f"], "//s[f//i][t]/p", true)
+            .expect("answerable");
         let want = direct_codes(&doc, &{
             let mut labels = doc.labels.clone();
             parse_pattern_with("//s[f//i][t]/p", &mut labels).unwrap()

@@ -248,11 +248,7 @@ pub fn select_cost_based(
         let mut best: Option<(f64, ViewId, &LeafCover)> = None;
         for &v in candidates {
             for c in &cover_map[&v] {
-                let gain = c
-                    .covered
-                    .iter()
-                    .filter(|n| pending.contains(n))
-                    .count()
+                let gain = c.covered.iter().filter(|n| pending.contains(n)).count()
                     + usize::from(need_anchor && c.covers_answer);
                 if gain == 0 {
                     continue;
@@ -294,7 +290,11 @@ pub fn select_cost_based(
             .sum()
     };
     match (solo, greedy) {
-        (Some(s), Some(g)) => Some(if total_cost(&s) <= total_cost(&g) { s } else { g }),
+        (Some(s), Some(g)) => Some(if total_cost(&s) <= total_cost(&g) {
+            s
+        } else {
+            g
+        }),
         (s, g) => s.or(g),
     }
 }
@@ -329,10 +329,7 @@ pub fn select_heuristic(
         // path, longest first. Coverage can also come from views outside
         // that list (fragment coverage below m, attribute obligations), so
         // fall back to the full candidate set when the list yields nothing.
-        let list: Vec<ViewId> = filter.lists[path_idx]
-            .iter()
-            .map(|&(v, _)| v)
-            .collect();
+        let list: Vec<ViewId> = filter.lists[path_idx].iter().map(|&(v, _)| v).collect();
         let fallback: Vec<ViewId> = filter
             .candidates
             .iter()
@@ -464,10 +461,8 @@ mod tests {
     #[test]
     fn heuristic_is_minimal() {
         // Redundancy pass: the exact-match view makes the others redundant.
-        let (views, q, filter, ob) = setup(
-            &["/s[t]/p", "/s[f//i][t]/p", "/s[p]/f"],
-            "/s[f//i][t]/p",
-        );
+        let (views, q, filter, ob) =
+            setup(&["/s[t]/p", "/s[f//i][t]/p", "/s[p]/f"], "/s[f//i][t]/p");
         let sel = select_heuristic(&q, &views, &filter, &ob).unwrap();
         // Whatever was picked, no proper subset of the units may cover.
         for skip in 0..sel.units.len() {
@@ -494,10 +489,8 @@ mod tests {
     #[test]
     fn cost_based_prefers_small_fragments() {
         // Two views answer alone; the cost model must pick the cheaper one.
-        let (views, q, filter, ob) = setup(
-            &["/s[f//i][t]/p", "//*[.//i][.//t]//p"],
-            "/s[f//i][t]/p",
-        );
+        let (views, q, filter, ob) =
+            setup(&["/s[f//i][t]/p", "//*[.//i][.//t]//p"], "/s[f//i][t]/p");
         let sizes = [100usize, 1_000_000usize];
         let sel = select_cost_based(
             &q,
@@ -514,14 +507,19 @@ mod tests {
     #[test]
     fn cost_based_overhead_trades_views_for_bytes() {
         // Either one big exact view, or two tiny partial views.
-        let (views, q, filter, ob) = setup(
-            &["/s[f//i][t]/p", "/s[t]/p", "/s[p]/f"],
-            "/s[f//i][t]/p",
-        );
+        let (views, q, filter, ob) =
+            setup(&["/s[f//i][t]/p", "/s[t]/p", "/s[p]/f"], "/s[f//i][t]/p");
         let sizes = [10_000usize, 10usize, 10usize];
         // Low per-view overhead: the two tiny views win.
-        let cheap = select_cost_based(&q, &views, &filter.candidates, &ob, &|v| sizes[v.index()], 1)
-            .expect("answerable");
+        let cheap = select_cost_based(
+            &q,
+            &views,
+            &filter.candidates,
+            &ob,
+            &|v| sizes[v.index()],
+            1,
+        )
+        .expect("answerable");
         assert_eq!(cheap.view_ids(), vec![ViewId(1), ViewId(2)]);
         // Huge per-view overhead: fewer views win despite the bytes.
         let few = select_cost_based(
@@ -540,17 +538,12 @@ mod tests {
     fn cost_based_agrees_on_answerability() {
         let (views, q, filter, ob) = setup(&["/s[t]/p", "//s//p"], "/s[f//i][t]/p");
         assert!(select_heuristic(&q, &views, &filter, &ob).is_none());
-        assert!(
-            select_cost_based(&q, &views, &filter.candidates, &ob, &|_| 1, 1).is_none()
-        );
+        assert!(select_cost_based(&q, &views, &filter.candidates, &ob, &|_| 1, 1).is_none());
     }
 
     #[test]
     fn minimum_respects_cap() {
-        let (views, q, filter, ob) = setup(
-            &["/s/t", "/s/p", "/s//f//i"],
-            "/s[f//i][t]/p",
-        );
+        let (views, q, filter, ob) = setup(&["/s/t", "/s/p", "/s//f//i"], "/s[f//i][t]/p");
         // Needs 3 views; cap 2 must fail, cap 3 succeed (if answerable).
         let capped = select_minimum(&q, &views, &filter.candidates, &ob, 2);
         let full = select_minimum(&q, &views, &filter.candidates, &ob, 3);

@@ -1,0 +1,462 @@
+//! The read side of the writer/reader split: an immutable, cheaply
+//! cloneable, `Send + Sync` view of the engine.
+//!
+//! [`Engine`](crate::Engine) owns mutation (view registration, document
+//! appends, label-table growth); [`EngineSnapshot`] freezes the engine's
+//! state — document, indexes, view catalog, materializations, and the
+//! VFILTER automaton, all behind [`Arc`]s — and exposes the full query
+//! pipeline (`parse`, `filter`, `lookup`, `explain`, `answer`). Because
+//! the paper's pipeline is per-query pure once views are materialized,
+//! every snapshot method takes `&self`, so one snapshot can serve any
+//! number of threads concurrently; [`EngineSnapshot::answer_batch`] does
+//! exactly that with scoped worker threads.
+//!
+//! Snapshots are copy-on-write: taking one is eight reference-count bumps,
+//! and later engine mutations clone only the components they touch
+//! (`Arc::make_mut`), leaving outstanding snapshots untouched.
+//!
+//! The one subtlety is parsing: the classic parse path interns unseen
+//! labels into the shared table, a write. Snapshots parse with
+//! [`parse_pattern_in`] instead — unknown query labels resolve to fresh
+//! non-matching labels, so the query parses, evaluates to the empty
+//! answer, and the frozen table is never mutated.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use xvr_pattern::{eval_bf, eval_bn, parse_pattern_in, PatternParseError, TreePattern};
+use xvr_xml::{DeweyCode, Document, LabelTable, NodeIndex, PathIndex};
+
+use crate::engine::{Answer, AnswerError, EngineConfig, StageTimings, Strategy};
+use crate::filter::{filter_views, FilterOutcome};
+use crate::leafcover::Obligations;
+use crate::materialize::MaterializedStore;
+use crate::nfa::Nfa;
+use crate::rewrite::rewrite;
+use crate::select::{select_cost_based, select_heuristic, select_minimum, Selection};
+use crate::view::{ViewId, ViewSet};
+
+/// An immutable snapshot of an [`Engine`](crate::Engine): the complete
+/// read path, shareable across threads.
+///
+/// Obtained from [`Engine::snapshot`](crate::Engine::snapshot). Cloning a
+/// snapshot is cheap (reference counts only), and a clone observes the
+/// exact same state forever — updates applied to the engine afterwards are
+/// invisible to it.
+#[derive(Clone)]
+pub struct EngineSnapshot {
+    pub(crate) doc: Arc<Document>,
+    pub(crate) labels: Arc<LabelTable>,
+    pub(crate) views: Arc<ViewSet>,
+    pub(crate) store: Arc<MaterializedStore>,
+    pub(crate) nfa: Arc<Nfa>,
+    pub(crate) node_index: Arc<NodeIndex>,
+    pub(crate) path_index: Arc<PathIndex>,
+    pub(crate) config: EngineConfig,
+}
+
+// Compile-time guarantee: the snapshot is shareable across threads. If a
+// future field loses `Send + Sync` (an `Rc`, a raw pointer, interior
+// mutability without a lock), this stops compiling right here.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EngineSnapshot>();
+};
+
+/// Result of [`EngineSnapshot::answer_batch`]: per-query outcomes plus
+/// aggregate accounting.
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// One outcome per input query, in input order (independent of which
+    /// worker thread answered it).
+    pub answers: Vec<Result<Answer, AnswerError>>,
+    /// Per-stage timings summed over the successfully answered queries.
+    /// With `jobs > 1` the stages overlap in wall time, so this measures
+    /// total work, not elapsed time — compare against [`Self::wall_us`]
+    /// for parallel speedup.
+    pub total: StageTimings,
+    /// End-to-end wall time of the whole batch, in microseconds.
+    pub wall_us: u128,
+    /// Worker threads actually used.
+    pub jobs: usize,
+}
+
+impl BatchResult {
+    /// Number of queries answered successfully.
+    pub fn answered(&self) -> usize {
+        self.answers.iter().filter(|a| a.is_ok()).count()
+    }
+
+    /// Batch throughput in queries per second (counting every query,
+    /// answered or not, against wall time).
+    pub fn qps(&self) -> f64 {
+        if self.wall_us == 0 {
+            return 0.0;
+        }
+        self.answers.len() as f64 / (self.wall_us as f64 / 1e6)
+    }
+}
+
+impl EngineSnapshot {
+    /// The underlying document.
+    pub fn doc(&self) -> &Document {
+        &self.doc
+    }
+
+    /// The frozen label space shared by document, views and queries.
+    pub fn labels(&self) -> &LabelTable {
+        &self.labels
+    }
+
+    /// The view catalog.
+    pub fn views(&self) -> &ViewSet {
+        &self.views
+    }
+
+    /// The materialization store.
+    pub fn store(&self) -> &MaterializedStore {
+        &self.store
+    }
+
+    /// The VFILTER automaton.
+    pub fn nfa(&self) -> &Nfa {
+        &self.nfa
+    }
+
+    /// The label index (BN baseline).
+    pub fn node_index(&self) -> &NodeIndex {
+        &self.node_index
+    }
+
+    /// The path index (BF baseline).
+    pub fn path_index(&self) -> &PathIndex {
+        &self.path_index
+    }
+
+    /// The construction knobs the snapshot was taken under.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Parse a pattern against the frozen label space, without mutating
+    /// it. Unknown element names resolve to fresh non-matching labels, so
+    /// such queries parse and answer with the empty result.
+    pub fn parse(&self, src: &str) -> Result<TreePattern, PatternParseError> {
+        parse_pattern_in(src, &self.labels)
+    }
+
+    /// Run VFILTER only (Figure 12's measured operation).
+    pub fn filter(&self, q: &TreePattern) -> FilterOutcome {
+        filter_views(q, &self.views, &self.nfa)
+    }
+
+    /// Run selection only — filter (unless `Mn`) plus view-set search.
+    /// Returns the selection and the timings of both stages (Figure 9's
+    /// "lookup").
+    pub fn lookup(
+        &self,
+        q: &TreePattern,
+        strategy: Strategy,
+    ) -> (Option<Selection>, StageTimings, usize) {
+        let obligations = Obligations::of(q);
+        let mut timings = StageTimings::default();
+        let (candidates, lists): (Vec<ViewId>, Option<FilterOutcome>) = match strategy {
+            Strategy::Mn => (self.views.ids().collect(), None),
+            Strategy::Mv | Strategy::Hv | Strategy::Cb => {
+                let t0 = Instant::now();
+                let outcome = self.filter(q);
+                timings.filter_us = t0.elapsed().as_micros();
+                (outcome.candidates.clone(), Some(outcome))
+            }
+            Strategy::Bn | Strategy::Bf => panic!("lookup is a view-strategy operation"),
+        };
+        // Skip views whose materialization was truncated: they cannot
+        // support equivalent rewriting.
+        let usable: Vec<ViewId> = candidates
+            .into_iter()
+            .filter(|&v| self.store.get(v).map(|m| m.complete()).unwrap_or(false))
+            .collect();
+        let t0 = Instant::now();
+        let selection = match strategy {
+            Strategy::Mn | Strategy::Mv => select_minimum(
+                q,
+                &self.views,
+                &usable,
+                &obligations,
+                self.config.max_minimum_views,
+            ),
+            Strategy::Hv => {
+                let mut outcome = lists.expect("Hv always filters");
+                outcome.candidates = usable.clone();
+                for list in &mut outcome.lists {
+                    list.retain(|(v, _)| usable.contains(v));
+                }
+                select_heuristic(q, &self.views, &outcome, &obligations)
+            }
+            Strategy::Cb => select_cost_based(
+                q,
+                &self.views,
+                &usable,
+                &obligations,
+                &|v| self.store.get(v).map(|m| m.size_bytes()).unwrap_or(0),
+                self.config.cost_view_overhead,
+            ),
+            _ => unreachable!(),
+        };
+        timings.selection_us = t0.elapsed().as_micros();
+        (selection, timings, usable.len())
+    }
+
+    /// Produce a human-readable plan for answering `q` under a view
+    /// strategy (errors for base strategies and unanswerable queries).
+    pub fn explain(
+        &self,
+        q: &TreePattern,
+        strategy: Strategy,
+    ) -> Result<crate::explain::Explanation, AnswerError> {
+        assert!(
+            !matches!(strategy, Strategy::Bn | Strategy::Bf),
+            "explain applies to view strategies"
+        );
+        let (selection, _, candidates) = self.lookup(q, strategy);
+        let selection = selection.ok_or(AnswerError::NotAnswerable)?;
+        Ok(crate::explain::explain_selection(
+            strategy,
+            q,
+            &selection,
+            &self.views,
+            &self.store,
+            &self.labels,
+            candidates,
+        ))
+    }
+
+    /// Answer `q` under `strategy`.
+    pub fn answer(&self, q: &TreePattern, strategy: Strategy) -> Result<Answer, AnswerError> {
+        match strategy {
+            Strategy::Bn | Strategy::Bf => {
+                let t0 = Instant::now();
+                let nodes = match strategy {
+                    Strategy::Bn => eval_bn(q, &self.doc.tree, &self.node_index),
+                    _ => eval_bf(q, &self.doc, &self.path_index),
+                };
+                let rewrite_us = t0.elapsed().as_micros();
+                let mut codes: Vec<DeweyCode> = nodes
+                    .into_iter()
+                    .map(|n| self.doc.dewey.code_of(&self.doc.tree, n))
+                    .collect();
+                codes.sort();
+                Ok(Answer {
+                    codes,
+                    strategy,
+                    timings: StageTimings {
+                        rewrite_us,
+                        ..StageTimings::default()
+                    },
+                    views_used: Vec::new(),
+                    candidates: 0,
+                })
+            }
+            Strategy::Mn | Strategy::Mv | Strategy::Hv | Strategy::Cb => {
+                let (selection, mut timings, candidates) = self.lookup(q, strategy);
+                let selection = selection.ok_or(AnswerError::NotAnswerable)?;
+                let t0 = Instant::now();
+                let codes = rewrite(q, &selection, &self.views, &self.store, &self.doc.fst)
+                    .map_err(AnswerError::Rewrite)?;
+                timings.rewrite_us = t0.elapsed().as_micros();
+                Ok(Answer {
+                    codes,
+                    strategy,
+                    timings,
+                    views_used: selection.view_ids(),
+                    candidates,
+                })
+            }
+        }
+    }
+
+    /// Answer every query in `queries` under `strategy`, fanning the work
+    /// out over `jobs` scoped worker threads.
+    ///
+    /// Results come back in input order regardless of which thread
+    /// answered which query, and are identical to answering sequentially
+    /// (the pipeline is per-query pure). `jobs` is clamped to
+    /// `1..=queries.len()`; `jobs <= 1` runs inline with no threads
+    /// spawned. Work is distributed by an atomic cursor, so long queries
+    /// don't stall short ones behind a static partition.
+    pub fn answer_batch(
+        &self,
+        queries: &[TreePattern],
+        strategy: Strategy,
+        jobs: usize,
+    ) -> BatchResult {
+        let t0 = Instant::now();
+        let jobs = jobs.clamp(1, queries.len().max(1));
+        let answers: Vec<Result<Answer, AnswerError>> = if jobs <= 1 {
+            queries.iter().map(|q| self.answer(q, strategy)).collect()
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let mut slots: Vec<Option<Result<Answer, AnswerError>>> = vec![None; queries.len()];
+            std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..jobs)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(q) = queries.get(i) else { break };
+                                local.push((i, self.answer(q, strategy)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                for worker in workers {
+                    for (i, r) in worker.join().expect("batch worker panicked") {
+                        slots[i] = Some(r);
+                    }
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("atomic cursor covers every query"))
+                .collect()
+        };
+        let mut total = StageTimings::default();
+        for a in answers.iter().flatten() {
+            total.filter_us += a.timings.filter_us;
+            total.selection_us += a.timings.selection_us;
+            total.rewrite_us += a.timings.rewrite_us;
+        }
+        BatchResult {
+            answers,
+            total,
+            wall_us: t0.elapsed().as_micros(),
+            jobs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use xvr_xml::samples::book_document;
+
+    fn snapshot_with_views(view_srcs: &[&str]) -> EngineSnapshot {
+        let mut e = Engine::new(book_document(), EngineConfig::default());
+        for src in view_srcs {
+            e.add_view_str(src).unwrap();
+        }
+        e.snapshot()
+    }
+
+    #[test]
+    fn snapshot_answers_match_engine() {
+        let mut e = Engine::new(book_document(), EngineConfig::default());
+        for src in ["//s[t]/p", "//s[p]/f", "//s//p", "//s[.//i]"] {
+            e.add_view_str(src).unwrap();
+        }
+        let q = e.parse("//s[f//i][t]/p").unwrap();
+        let snap = e.snapshot();
+        for strategy in Strategy::all_extended() {
+            let want = e.answer(&q, strategy).unwrap().codes;
+            let got = snap.answer(&q, strategy).unwrap().codes;
+            assert_eq!(got, want, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_mutation() {
+        let mut e = Engine::new(book_document(), EngineConfig::default());
+        e.add_view_str("//s[t]/p").unwrap();
+        let snap = e.snapshot();
+        let before_views = snap.views().len();
+        e.add_view_str("//s[p]/f").unwrap();
+        let code = e
+            .answer(&e.snapshot().parse("/b/s").unwrap(), Strategy::Bn)
+            .unwrap()
+            .codes[0]
+            .clone();
+        e.append_xml(&code, "<freshlabel/>").unwrap();
+        // The old snapshot still sees the original state.
+        assert_eq!(snap.views().len(), before_views);
+        assert!(snap.labels().get("freshlabel").is_none());
+        assert!(e.labels().get("freshlabel").is_some());
+        assert_eq!(e.views().len(), before_views + 1);
+    }
+
+    #[test]
+    fn snapshot_parse_handles_unknown_labels() {
+        let snap = snapshot_with_views(&["//s[t]/p"]);
+        let before = snap.labels().len();
+        let q = snap.parse("//nosuchlabel[other]/more").unwrap();
+        assert_eq!(snap.labels().len(), before, "parse must not grow the table");
+        let a = snap.answer(&q, Strategy::Bn).unwrap();
+        assert!(a.codes.is_empty());
+        let b = snap.answer(&q, Strategy::Bf).unwrap();
+        assert!(b.codes.is_empty());
+        assert_eq!(
+            snap.answer(&q, Strategy::Hv).unwrap_err(),
+            AnswerError::NotAnswerable
+        );
+    }
+
+    #[test]
+    fn batch_matches_sequential_for_all_jobs() {
+        let snap = snapshot_with_views(&["//s[t]/p", "//s[p]/f", "//s//p", "//s[.//i]"]);
+        let queries: Vec<TreePattern> = ["//s[f//i][t]/p", "//s[t]/p", "/b/s//p", "//s[p]/f"]
+            .iter()
+            .map(|src| snap.parse(src).unwrap())
+            .collect();
+        for strategy in Strategy::all_extended() {
+            let sequential = snap.answer_batch(&queries, strategy, 1);
+            for jobs in [2, 3, 8] {
+                let parallel = snap.answer_batch(&queries, strategy, jobs);
+                assert_eq!(parallel.answers.len(), sequential.answers.len());
+                for (s, p) in sequential.answers.iter().zip(&parallel.answers) {
+                    match (s, p) {
+                        (Ok(a), Ok(b)) => assert_eq!(a.codes, b.codes, "{strategy}"),
+                        (Err(a), Err(b)) => assert_eq!(a, b, "{strategy}"),
+                        _ => panic!("{strategy}: sequential/parallel outcome mismatch"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_reports_throughput_accounting() {
+        let snap = snapshot_with_views(&["//s[t]/p"]);
+        let queries: Vec<TreePattern> = (0..8).map(|_| snap.parse("//s[t]/p").unwrap()).collect();
+        let batch = snap.answer_batch(&queries, Strategy::Hv, 4);
+        assert_eq!(batch.jobs, 4);
+        assert_eq!(batch.answered(), 8);
+        assert!(batch.qps() > 0.0);
+        assert!(batch.total.total_us() >= batch.total.lookup_us());
+    }
+
+    #[test]
+    fn batch_on_empty_input() {
+        let snap = snapshot_with_views(&["//s[t]/p"]);
+        let batch = snap.answer_batch(&[], Strategy::Hv, 4);
+        assert!(batch.answers.is_empty());
+        assert_eq!(batch.answered(), 0);
+    }
+
+    #[test]
+    fn snapshot_shares_state_across_threads() {
+        let snap = snapshot_with_views(&["//s[t]/p", "//s[p]/f"]);
+        let q = snap.parse("//s[f//i][t]/p").unwrap();
+        let want = snap.answer(&q, Strategy::Hv).unwrap().codes;
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let got = snap.answer(&q, Strategy::Hv).unwrap().codes;
+                    assert_eq!(got, want);
+                });
+            }
+        });
+    }
+}

@@ -206,7 +206,7 @@ mod tests {
 
     #[test]
     fn wildcard_containment() {
-        let (h, c) = check("//*/c", "/a/b/c", );
+        let (h, c) = check("//*/c", "/a/b/c");
         assert!(h && c);
         let (h2, c2) = check("/a/*/c", "/a//c");
         assert!(!h2 && !c2); // //c may sit directly under a

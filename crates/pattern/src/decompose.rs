@@ -4,8 +4,8 @@
 //! Proposition 3.1 makes this the basis of filtering: if `Q ⊑ Q'` then every
 //! path of `D(Q')` contains some path of `D(Q)`.
 
-use crate::pattern::{PNodeId, TreePattern};
 use crate::paths::{PathPattern, Step};
+use crate::pattern::{PNodeId, TreePattern};
 
 /// The decomposition of a tree pattern, with leaf provenance.
 #[derive(Clone, Debug)]

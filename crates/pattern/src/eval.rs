@@ -6,7 +6,7 @@
 //! label index — the paper's `BN` ("basic node index") baseline. The
 //! path-index-assisted `BF` engine lives in [`crate::holistic`].
 
-use xvr_xml::{NodeIndex, NodeId, XmlTree};
+use xvr_xml::{NodeId, NodeIndex, XmlTree};
 
 use crate::pattern::{Axis, PLabel, PNodeId, TreePattern};
 
@@ -139,11 +139,10 @@ fn match_sets(pattern: &TreePattern, tree: &XmlTree, index: Option<&NodeIndex>) 
                 desc_flags.push((pc, has_descendant_in(tree, &d[pc.index()])));
             }
         }
-        let candidates: Box<dyn Iterator<Item = NodeId>> =
-            match (index, pattern.label(pn)) {
-                (Some(idx), PLabel::Lab(l)) => Box::new(idx.nodes(l).iter().copied()),
-                _ => Box::new(tree.iter()),
-            };
+        let candidates: Box<dyn Iterator<Item = NodeId>> = match (index, pattern.label(pn)) {
+            (Some(idx), PLabel::Lab(l)) => Box::new(idx.nodes(l).iter().copied()),
+            _ => Box::new(tree.iter()),
+        };
         'cand: for x in candidates {
             if !pattern.label(pn).matches(tree.label(x)) {
                 continue;

@@ -163,10 +163,7 @@ impl<'a> QueryGenerator<'a> {
             && self.config.attr_labels.contains(&backbone)
             && self.rng.gen_bool(self.config.prob_attr)
         {
-            pattern.add_attr_pred(
-                node,
-                crate::pattern::AttrPred { name, value: None },
-            );
+            pattern.add_attr_pred(node, crate::pattern::AttrPred { name, value: None });
         }
     }
 

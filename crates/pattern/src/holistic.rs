@@ -13,9 +13,9 @@ use std::collections::{HashMap, HashSet};
 
 use xvr_xml::{DeweyCode, Document, NodeId, PathIndex};
 
-use crate::pattern::{Axis, TreePattern};
 use crate::paths::PathPattern;
 use crate::paths::Step;
+use crate::pattern::{Axis, TreePattern};
 
 /// Binary-search the sub-slice of `codes` (sorted) having `prefix` as a
 /// proper-or-equal prefix.
@@ -88,9 +88,7 @@ pub fn twig_join(pattern: &TreePattern, lists: &[Vec<DeweyCode>]) -> Vec<DeweyCo
             let comps = code.components();
             let ok = match pattern.axis(next) {
                 Axis::Child => comps.len() >= 2 && allowed.contains(&comps[..comps.len() - 1]),
-                Axis::Descendant => {
-                    (1..comps.len()).any(|k| allowed.contains(&comps[..k]))
-                }
+                Axis::Descendant => (1..comps.len()).any(|k| allowed.contains(&comps[..k])),
             };
             if ok {
                 next_allowed.insert(comps);
@@ -98,10 +96,7 @@ pub fn twig_join(pattern: &TreePattern, lists: &[Vec<DeweyCode>]) -> Vec<DeweyCo
         }
         allowed = next_allowed;
     }
-    let mut out: Vec<DeweyCode> = allowed
-        .into_iter()
-        .map(|c| DeweyCode(c.to_vec()))
-        .collect();
+    let mut out: Vec<DeweyCode> = allowed.into_iter().map(|c| DeweyCode(c.to_vec())).collect();
     out.sort();
     out
 }
@@ -131,11 +126,9 @@ pub fn eval_bf(pattern: &TreePattern, doc: &Document, pidx: &PathIndex) -> Vec<N
         for pid in matching_paths(&pp, pidx) {
             for &node in pidx.nodes_of(pid) {
                 // Attribute predicates are not indexed; check directly.
-                let ok = pattern.node(pn).attrs.iter().all(|pred| {
-                    match &pred.value {
-                        None => doc.tree.attr(node, pred.name).is_some(),
-                        Some(v) => doc.tree.attr(node, pred.name) == Some(v.as_str()),
-                    }
+                let ok = pattern.node(pn).attrs.iter().all(|pred| match &pred.value {
+                    None => doc.tree.attr(node, pred.name).is_some(),
+                    Some(v) => doc.tree.attr(node, pred.name) == Some(v.as_str()),
                 });
                 if !ok {
                     continue;

@@ -253,8 +253,7 @@ mod tests {
         let (p, q, _) = two("//b", "/a[b]/b");
         let homs = homomorphisms(&p, &q);
         assert_eq!(homs.len(), 2);
-        let images: std::collections::HashSet<_> =
-            homs.iter().map(|h| h.image(p.root())).collect();
+        let images: std::collections::HashSet<_> = homs.iter().map(|h| h.image(p.root())).collect();
         assert_eq!(images.len(), 2);
     }
 

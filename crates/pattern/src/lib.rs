@@ -27,10 +27,12 @@ pub mod minimize;
 pub mod normalize;
 pub mod parse;
 pub mod paths;
-pub mod region_eval;
 pub mod pattern;
+pub mod region_eval;
 
-pub use containment::{contains, contains_complete, equivalent, equivalent_complete, try_contains_complete};
+pub use containment::{
+    contains, contains_complete, equivalent, equivalent_complete, try_contains_complete,
+};
 pub use decompose::{decompose, Decomposition};
 pub use eval::{eval, eval_anchored, eval_bn, eval_restricted, matches_anchored, matches_boolean};
 pub use generator::{distinct_patterns, distinct_positive_patterns, QueryConfig, QueryGenerator};
@@ -38,7 +40,7 @@ pub use holistic::{eval_bf, twig_join};
 pub use hom::{exists_hom, homomorphisms, homomorphisms_capped, Hom};
 pub use minimize::minimize;
 pub use normalize::{is_normalized, normalize};
-pub use parse::{parse_pattern, parse_pattern_with, PatternParseError};
+pub use parse::{parse_pattern, parse_pattern_in, parse_pattern_with, PatternParseError};
 pub use paths::{path_contains, path_contains_anchored, PathPattern, PathSymbol, Step};
-pub use region_eval::eval_region;
 pub use pattern::{AttrPred, Axis, PLabel, PNode, PNodeId, TreePattern};
+pub use region_eval::eval_region;

@@ -25,8 +25,8 @@
 //! Proposition 3.2 — equivalent path patterns have identical normal forms —
 //! holds for this normal form too, and is property-tested.
 
-use crate::pattern::{Axis, PLabel};
 use crate::paths::{PathPattern, Step};
+use crate::pattern::{Axis, PLabel};
 
 /// Normalize a path pattern. Idempotent; returns an equivalent pattern.
 pub fn normalize(p: &PathPattern) -> PathPattern {
@@ -148,7 +148,14 @@ mod tests {
     fn normalized_patterns_stay_equivalent() {
         use crate::paths::path_contains;
         let mut labels = LabelTable::new();
-        for src in ["/s/*//t", "/a/*//*//b", "/*//a", "/a/*//b/*//c", "/a/*", "/*"] {
+        for src in [
+            "/s/*//t",
+            "/a/*//*//b",
+            "/*//a",
+            "/a/*//b/*//c",
+            "/a/*",
+            "/*",
+        ] {
             let p = path(src, &mut labels);
             let n = normalize(&p);
             assert!(path_contains(&p, &n), "{src}");

@@ -9,9 +9,10 @@
 //! The answer node is the last step of the outermost path, matching XPath
 //! semantics.
 
+use std::collections::HashMap;
 use std::fmt;
 
-use xvr_xml::LabelTable;
+use xvr_xml::{Label, LabelTable};
 
 use crate::pattern::{AttrPred, Axis, PLabel, PNodeId, TreePattern};
 
@@ -32,10 +33,74 @@ impl fmt::Display for PatternParseError {
 
 impl std::error::Error for PatternParseError {}
 
+/// Where the parser gets its labels from: a growing table that interns on
+/// demand, or a frozen table that must not be mutated.
+///
+/// In the frozen case, a name absent from the table resolves to a *fresh*
+/// label past the end of the table, consistent within the query (the same
+/// unknown name resolves to the same fresh label). Fresh labels compare
+/// unequal to every interned label, so patterns using them simply never
+/// match the document — the right semantics for "an element name the data
+/// has never seen" — and every index access path tolerates out-of-table
+/// labels (they fall into the empty-slice branches).
+enum LabelSource<'l> {
+    Growing(&'l mut LabelTable),
+    Frozen {
+        table: &'l LabelTable,
+        fresh: HashMap<String, Label>,
+    },
+}
+
+impl LabelSource<'_> {
+    fn resolve(&mut self, name: &str) -> Label {
+        match self {
+            LabelSource::Growing(table) => table.intern(name),
+            LabelSource::Frozen { table, fresh } => {
+                if let Some(l) = table.get(name) {
+                    return l;
+                }
+                if let Some(&l) = fresh.get(name) {
+                    return l;
+                }
+                let l = Label::from_index(table.len() + fresh.len());
+                fresh.insert(name.to_owned(), l);
+                l
+            }
+        }
+    }
+}
+
 /// Parse `input` into a [`TreePattern`], interning labels into `labels`.
 pub fn parse_pattern_with(
     input: &str,
     labels: &mut LabelTable,
+) -> Result<TreePattern, PatternParseError> {
+    parse_with_source(input, LabelSource::Growing(labels))
+}
+
+/// Parse `input` against a **frozen** label table, without mutating it.
+///
+/// Unknown element names resolve to fresh non-matching labels instead of
+/// growing the table, which makes this safe to call through a shared
+/// reference from many threads at once — the read-path counterpart of
+/// [`parse_pattern_with`]. A query using an unknown name parses fine and
+/// evaluates to the empty answer.
+pub fn parse_pattern_in(
+    input: &str,
+    labels: &LabelTable,
+) -> Result<TreePattern, PatternParseError> {
+    parse_with_source(
+        input,
+        LabelSource::Frozen {
+            table: labels,
+            fresh: HashMap::new(),
+        },
+    )
+}
+
+fn parse_with_source(
+    input: &str,
+    labels: LabelSource<'_>,
 ) -> Result<TreePattern, PatternParseError> {
     let mut p = PParser {
         bytes: input.as_bytes(),
@@ -60,7 +125,7 @@ pub fn parse_pattern(input: &str) -> Result<(TreePattern, LabelTable), PatternPa
 struct PParser<'a, 'l> {
     bytes: &'a [u8],
     pos: usize,
-    labels: &'l mut LabelTable,
+    labels: LabelSource<'l>,
 }
 
 impl PParser<'_, '_> {
@@ -124,7 +189,7 @@ impl PParser<'_, '_> {
             return Err(self.err("expected element name or '*'"));
         }
         let name = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        Ok(PLabel::Lab(self.labels.intern(name)))
+        Ok(PLabel::Lab(self.labels.resolve(name)))
     }
 
     fn pattern(&mut self) -> Result<TreePattern, PatternParseError> {
@@ -324,5 +389,48 @@ mod tests {
     #[test]
     fn branch_chains_render_as_paths() {
         assert_eq!(round_trip("/a[b/c//d]"), "/a[b/c//d]");
+    }
+
+    #[test]
+    fn frozen_parse_matches_growing_parse_on_known_labels() {
+        let (reference, table) = parse_pattern("/a[b[c]/d]//e[@k=\"v\"]").unwrap();
+        let frozen = parse_pattern_in("/a[b[c]/d]//e[@k=\"v\"]", &table).unwrap();
+        assert_eq!(
+            frozen.display(&table).to_string(),
+            reference.display(&table).to_string()
+        );
+    }
+
+    #[test]
+    fn frozen_parse_does_not_grow_the_table() {
+        let (_, table) = parse_pattern("/a/b").unwrap();
+        let before = table.len();
+        let p = parse_pattern_in("/a/zzz[qqq]", &table).unwrap();
+        assert_eq!(table.len(), before);
+        // Unknown names resolve past the table's end, consistently.
+        let labels: Vec<Label> = p
+            .ids()
+            .filter_map(|n| match p.label(n) {
+                PLabel::Lab(l) => Some(l),
+                PLabel::Wild => None,
+            })
+            .collect();
+        assert!(labels.iter().filter(|l| l.index() >= before).count() == 2);
+        let q = parse_pattern_in("/zzz/zzz", &table).unwrap();
+        let fresh: Vec<Label> = q
+            .ids()
+            .filter_map(|n| match q.label(n) {
+                PLabel::Lab(l) => Some(l),
+                PLabel::Wild => None,
+            })
+            .collect();
+        assert_eq!(fresh[0], fresh[1], "same unknown name, same fresh label");
+    }
+
+    #[test]
+    fn frozen_parse_rejects_garbage_like_growing_parse() {
+        let table = LabelTable::new();
+        assert!(parse_pattern_in("/a[", &table).is_err());
+        assert!(parse_pattern_in("", &table).is_err());
     }
 }

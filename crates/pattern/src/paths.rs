@@ -297,11 +297,11 @@ mod tests {
         let mut t = LabelTable::new();
         let cases = [
             // (sup, sub, contained?)
-            ("/a", "/a/b", true),    // prefix containment (boolean)
+            ("/a", "/a/b", true), // prefix containment (boolean)
             ("/a/b", "/a", false),
             ("//b", "/a/b", true),
             ("/a/b", "//b", false),
-            ("//b/c", "//b/c/d", true),  // paper Sec. I example
+            ("//b/c", "//b/c/d", true), // paper Sec. I example
             ("//b/c", "//b//d//c", false),
             ("//b/c", "//a//b//c", false),
             ("/*", "/a", true),

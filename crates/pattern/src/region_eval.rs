@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 
 use xvr_xml::region::{Region, RegionEncoding};
-use xvr_xml::{NodeIndex, NodeId, XmlTree};
+use xvr_xml::{NodeId, NodeIndex, XmlTree};
 
 use crate::pattern::{Axis, PLabel, TreePattern};
 
@@ -46,7 +46,10 @@ impl CandidateList {
     /// Any candidate strictly inside `anc`?
     fn has_descendant_in(&self, anc: &Region) -> bool {
         let i = self.regions.partition_point(|r| r.start <= anc.start);
-        self.regions.get(i).map(|r| r.end <= anc.end).unwrap_or(false)
+        self.regions
+            .get(i)
+            .map(|r| r.end <= anc.end)
+            .unwrap_or(false)
     }
 
     /// Any candidate that is a child of `parent`?
@@ -74,11 +77,7 @@ pub fn eval_region(
     let mut filtered: Vec<Option<CandidateList>> = (0..pattern.len()).map(|_| None).collect();
     for &pn in &pattern.postorder() {
         let raw: Vec<(NodeId, Region)> = match pattern.label(pn) {
-            PLabel::Lab(l) => index
-                .nodes(l)
-                .iter()
-                .map(|&n| (n, enc.region(n)))
-                .collect(),
+            PLabel::Lab(l) => index.nodes(l).iter().map(|&n| (n, enc.region(n))).collect(),
             PLabel::Wild => tree.iter().map(|n| (n, enc.region(n))).collect(),
         };
         let keep: Vec<(NodeId, Region)> = raw

@@ -5,8 +5,7 @@
 use proptest::prelude::*;
 
 use xvr_pattern::{
-    eval, eval_anchored, eval_bf, eval_bn, minimize, parse_pattern_with, Axis, PLabel,
-    TreePattern,
+    eval, eval_anchored, eval_bf, eval_bn, minimize, parse_pattern_with, Axis, PLabel, TreePattern,
 };
 use xvr_xml::generator::{generate, Config};
 use xvr_xml::{Label, LabelTable, NodeIndex, PathIndex};
@@ -102,8 +101,18 @@ fn engines_agree_on_generated_docs() {
         for _ in 0..25 {
             let q = gen.generate();
             let reference = eval(&q, &doc.tree);
-            assert_eq!(reference, eval_bn(&q, &doc.tree, &nidx), "{}", q.display(&doc.labels));
-            assert_eq!(reference, eval_bf(&q, &doc, &pidx), "{}", q.display(&doc.labels));
+            assert_eq!(
+                reference,
+                eval_bn(&q, &doc.tree, &nidx),
+                "{}",
+                q.display(&doc.labels)
+            );
+            assert_eq!(
+                reference,
+                eval_bf(&q, &doc, &pidx),
+                "{}",
+                q.display(&doc.labels)
+            );
         }
     }
 }

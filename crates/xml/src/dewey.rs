@@ -302,8 +302,7 @@ mod tests {
             assert!(!code.is_proper_ancestor_of(&root_code));
             assert_eq!(
                 code.parent().unwrap(),
-                doc.dewey
-                    .code_of(&doc.tree, doc.tree.parent(node).unwrap())
+                doc.dewey.code_of(&doc.tree, doc.tree.parent(node).unwrap())
             );
         }
     }

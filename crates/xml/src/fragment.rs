@@ -139,7 +139,10 @@ mod tests {
 
     fn p_nodes(doc: &Document) -> Vec<NodeId> {
         let p = doc.labels.get("p").unwrap();
-        doc.tree.iter().filter(|&n| doc.tree.label(n) == p).collect()
+        doc.tree
+            .iter()
+            .filter(|&n| doc.tree.label(n) == p)
+            .collect()
     }
 
     #[test]

@@ -136,7 +136,7 @@ impl Fst {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::samples::book_document;
 
     #[test]

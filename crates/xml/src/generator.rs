@@ -71,11 +71,32 @@ impl Config {
 }
 
 const WORDS: &[&str] = &[
-    "auction", "bid", "rare", "vintage", "mint", "boxed", "signed", "classic", "limited",
-    "edition", "antique", "modern", "restored", "original", "pristine", "collector",
+    "auction",
+    "bid",
+    "rare",
+    "vintage",
+    "mint",
+    "boxed",
+    "signed",
+    "classic",
+    "limited",
+    "edition",
+    "antique",
+    "modern",
+    "restored",
+    "original",
+    "pristine",
+    "collector",
 ];
 
-const REGIONS: &[&str] = &["africa", "asia", "australia", "europe", "namerica", "samerica"];
+const REGIONS: &[&str] = &[
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
 
 struct Gen<'a> {
     tree: XmlTree,
@@ -272,10 +293,10 @@ pub fn generate_with(config: &Config, labels: &mut LabelTable) -> Document {
     for i in 0..config.items {
         // Skewed region assignment, like XMark's uneven region sizes.
         let r = match g.rng.gen_range(0..10) {
-            0..=3 => 3,            // europe
-            4..=6 => 4,            // namerica
-            7 => 1,                // asia
-            8 => 0,                // africa
+            0..=3 => 3, // europe
+            4..=6 => 4, // namerica
+            7 => 1,     // asia
+            8 => 0,     // africa
             _ => {
                 if g.rng.gen_bool(0.5) {
                     2

@@ -94,10 +94,27 @@ impl LabelTable {
         (0..self.names.len() as u32).map(Label)
     }
 
+    /// Append the labels `newer` has beyond `self`'s length.
+    ///
+    /// Tables grow monotonically, so a table that started as a copy of
+    /// `self` (or vice versa) differs only by a suffix; copying that suffix
+    /// is enough to re-synchronize and avoids cloning the whole table on
+    /// every update. Debug-asserts that the shared prefix actually agrees.
+    pub fn sync_from(&mut self, newer: &LabelTable) {
+        for i in self.len()..newer.len() {
+            let name = newer.name(Label::from_index(i));
+            let l = self.intern(name);
+            debug_assert_eq!(
+                l.index(),
+                i,
+                "sync_from requires `newer` to extend `self` (diverged at {name:?})"
+            );
+        }
+    }
+
     /// Approximate heap footprint in bytes, used for index-size reporting.
     pub fn heap_size(&self) -> usize {
-        self.names.iter().map(|n| n.len() + 24).sum::<usize>()
-            + self.by_name.len() * (24 + 16)
+        self.names.iter().map(|n| n.len() + 24).sum::<usize>() + self.by_name.len() * (24 + 16)
     }
 }
 
@@ -147,5 +164,22 @@ mod tests {
         let mut t = LabelTable::new();
         let a = t.intern("alpha");
         assert_eq!(Label::from_index(a.index()), a);
+    }
+
+    #[test]
+    fn sync_from_copies_only_the_suffix() {
+        let mut base = LabelTable::new();
+        base.intern("a");
+        base.intern("b");
+        let mut grown = base.clone();
+        let c = grown.intern("c");
+        let d = grown.intern("d");
+        base.sync_from(&grown);
+        assert_eq!(base.len(), 4);
+        assert_eq!(base.get("c"), Some(c));
+        assert_eq!(base.get("d"), Some(d));
+        // Idempotent.
+        base.sync_from(&grown);
+        assert_eq!(base.len(), 4);
     }
 }

@@ -59,7 +59,6 @@ impl<'a, 'l> Parser<'a, 'l> {
         self.bytes.get(self.pos).copied()
     }
 
-
     fn bump(&mut self) -> Option<u8> {
         let b = self.peek()?;
         self.pos += 1;
@@ -280,10 +279,9 @@ impl<'a, 'l> Parser<'a, 'l> {
                         self.eat("</");
                         let close = self.name()?;
                         if close != name {
-                            return Err(self.err(ParseErrorKind::MismatchedClose {
-                                open: name,
-                                close,
-                            }));
+                            return Err(
+                                self.err(ParseErrorKind::MismatchedClose { open: name, close })
+                            );
                         }
                         self.skip_ws();
                         self.expect(b'>', "'>' in closing tag")?;
@@ -436,8 +434,7 @@ mod tests {
 
     #[test]
     fn skips_doctype() {
-        let doc =
-            parse_document("<!DOCTYPE book [<!ELEMENT a (b)>]><a><b/></a>").unwrap();
+        let doc = parse_document("<!DOCTYPE book [<!ELEMENT a (b)>]><a><b/></a>").unwrap();
         assert_eq!(doc.len(), 2);
     }
 

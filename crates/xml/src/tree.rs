@@ -220,12 +220,8 @@ impl XmlTree {
         out.node_mut(new_root).text = src.text.clone();
         out.node_mut(new_root).attrs = src.attrs.clone();
         // Explicit stack of (source node, destination parent) pairs.
-        let mut stack: Vec<(NodeId, NodeId)> = src
-            .children
-            .iter()
-            .rev()
-            .map(|&c| (c, new_root))
-            .collect();
+        let mut stack: Vec<(NodeId, NodeId)> =
+            src.children.iter().rev().map(|&c| (c, new_root)).collect();
         while let Some((src_id, dst_parent)) = stack.pop() {
             let s = self.node(src_id);
             let d = out.add_child(dst_parent, s.label);
@@ -396,7 +392,8 @@ impl Document {
             (new_node, CodeStability::Reencoded)
         } else {
             // Stable path: extend the assignment for the new nodes only.
-            self.dewey.extend_for_append(&self.tree, &self.fst, parent, new_node);
+            self.dewey
+                .extend_for_append(&self.tree, &self.fst, parent, new_node);
             (new_node, CodeStability::Stable)
         }
     }
@@ -527,7 +524,9 @@ mod tests {
         let mut doc = doc0.clone();
         // Append another paragraph under section 0.8 — p is already in
         // CT(s), so existing codes must survive.
-        let s_node = doc.node_by_code(&crate::dewey::DeweyCode(vec![0, 8])).unwrap();
+        let s_node = doc
+            .node_by_code(&crate::dewey::DeweyCode(vec![0, 8]))
+            .unwrap();
         let mut sub = XmlTree::new();
         sub.add_root(doc.labels.get("p").unwrap());
         let (new_node, stability) = doc.append_subtree(s_node, &sub);
@@ -555,7 +554,9 @@ mod tests {
     fn append_with_new_label_pair_reencodes() {
         let mut doc = crate::samples::book_document();
         // An author under a section is a new (s, a) pair → moduli change.
-        let s_node = doc.node_by_code(&crate::dewey::DeweyCode(vec![0, 8])).unwrap();
+        let s_node = doc
+            .node_by_code(&crate::dewey::DeweyCode(vec![0, 8]))
+            .unwrap();
         let mut sub = XmlTree::new();
         sub.add_root(doc.labels.get("a").unwrap());
         let (_, stability) = doc.append_subtree(s_node, &sub);

@@ -14,8 +14,7 @@ enum Shape {
 }
 
 fn shape() -> impl Strategy<Value = Shape> {
-    let leaf = (0u8..5, prop::option::of("[a-z<&\" ]{0,8}"))
-        .prop_map(|(l, t)| Shape::Leaf(l, t));
+    let leaf = (0u8..5, prop::option::of("[a-z<&\" ]{0,8}")).prop_map(|(l, t)| Shape::Leaf(l, t));
     leaf.prop_recursive(4, 32, 4, |inner| {
         (0u8..5, prop::collection::vec(inner, 1..4)).prop_map(|(l, c)| Shape::Node(l, c))
     })

@@ -12,7 +12,11 @@ use xvr_xml::serializer::serialize_pretty;
 
 fn main() {
     let doc = book_document();
-    println!("book.xml ({} nodes):\n{}", doc.len(), serialize_pretty(&doc.tree, &doc.labels));
+    println!(
+        "book.xml ({} nodes):\n{}",
+        doc.len(),
+        serialize_pretty(&doc.tree, &doc.labels)
+    );
 
     // Extended Dewey: every node's code decodes to its label-path.
     println!("Example 2.1: code 0.8.6 decodes to {}", {
@@ -38,21 +42,23 @@ fn main() {
         );
     }
 
-    let q = engine.parse("//s[f//i][t]/p").unwrap();
+    // All reads below go through a frozen snapshot of the engine.
+    let snapshot = engine.snapshot();
+    let q = snapshot.parse("//s[f//i][t]/p").unwrap();
     println!("\nquery Q_e = //s[f//i][t]/p");
 
     // Stage 1: VFILTER.
-    let filtered = engine.filter(&q);
+    let filtered = snapshot.filter(&q);
     println!(
         "VFILTER candidates: {:?} (of {} views, {} query paths)",
         filtered.candidates,
-        engine.views().len(),
+        snapshot.views().len(),
         filtered.query_path_count
     );
 
     // Stage 2 + 3: selection and rewriting, via each strategy.
     for strategy in [Strategy::Mv, Strategy::Hv] {
-        let a = engine.answer(&q, strategy).unwrap();
+        let a = snapshot.answer(&q, strategy).unwrap();
         println!(
             "{}: views {:?} → {} answers: {}",
             strategy,
@@ -68,7 +74,7 @@ fn main() {
 
     // The paper's expected result: the five paragraphs of sections that
     // also contain a figure.
-    let reference = engine.answer(&q, Strategy::Bn).unwrap();
+    let reference = snapshot.answer(&q, Strategy::Bn).unwrap();
     assert_eq!(reference.codes.len(), 5);
     println!("\nExample 5.1 reproduced: {{p3, p4, p5, p6, p7}} ✓");
 }

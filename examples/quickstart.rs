@@ -1,6 +1,9 @@
 //! Quickstart: materialize two views over a document and answer a query
 //! from them — without touching the base data.
 //!
+//! Writes go through [`Engine`]; reads go through an immutable
+//! [`EngineSnapshot`] frozen from it.
+//!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
@@ -31,12 +34,20 @@ fn main() {
     let v2 = engine.add_view_str("/library/shelf[book]/book").unwrap();
     println!("registered views: {v1:?}, {v2:?}");
 
+    // Freeze the read path. The snapshot is immutable and `Send + Sync`;
+    // later engine mutations never affect it.
+    let snapshot = engine.snapshot();
+
     // A query asking for titles of authored books on shelves that hold
     // books — answerable from the two views together.
-    let q = engine.parse("/library/shelf[book]/book[author]/title").unwrap();
+    let q = snapshot
+        .parse("/library/shelf[book]/book[author]/title")
+        .unwrap();
 
     // Answer using the heuristic multi-view strategy.
-    let answer = engine.answer(&q, Strategy::Hv).expect("answerable from views");
+    let answer = snapshot
+        .answer(&q, Strategy::Hv)
+        .expect("answerable from views");
     println!(
         "answered with {} view(s): {:?}",
         answer.views_used.len(),
@@ -47,9 +58,18 @@ fn main() {
     }
 
     // Cross-check against direct evaluation on the base document.
-    let direct = engine.answer(&q, Strategy::Bn).unwrap();
+    let direct = snapshot.answer(&q, Strategy::Bn).unwrap();
     assert_eq!(answer.codes, direct.codes);
     println!("matches direct evaluation ✓");
+
+    // Batches fan out over worker threads; results come back in order.
+    let batch = snapshot.answer_batch(&[q.clone(), q], Strategy::Hv, 2);
+    assert_eq!(batch.answered(), 2);
+    println!(
+        "batch of 2 on {} thread(s): {:.0} queries/s",
+        batch.jobs,
+        batch.qps()
+    );
 
     // Stage timings.
     let t = answer.timings;

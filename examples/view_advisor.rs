@@ -13,7 +13,7 @@ use xvr_core::leafcover::Obligations;
 use xvr_core::select::{select_heuristic, select_minimum};
 use xvr_core::ViewSet;
 use xvr_pattern::generator::QueryConfig;
-use xvr_pattern::{distinct_patterns, exists_hom, parse_pattern_with};
+use xvr_pattern::{distinct_patterns, exists_hom, parse_pattern_in};
 use xvr_xml::generator::{generate, Config};
 
 fn main() {
@@ -41,14 +41,15 @@ fn main() {
         t0.elapsed().as_secs_f64() * 1e3
     );
 
-    let mut labels = doc.labels.clone();
     let queries = [
         "/site/people/person[profile/age]/name",
         "//open_auction[bidder]//increase",
         "/site/regions/europe/item[name]/description//text",
     ];
     for src in queries {
-        let q = parse_pattern_with(src, &mut labels).unwrap();
+        // Read-only parse against the document's frozen label table —
+        // unknown names would resolve to fresh non-matching labels.
+        let q = parse_pattern_in(src, &doc.labels).unwrap();
         let t0 = Instant::now();
         let outcome = xvr_core::filter_views(&q, &views, &nfa);
         let filter_us = t0.elapsed().as_micros();

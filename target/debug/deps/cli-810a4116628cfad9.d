@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-810a4116628cfad9.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-810a4116628cfad9: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_xvr=/root/repo/target/debug/xvr

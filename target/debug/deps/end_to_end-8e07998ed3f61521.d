@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-8e07998ed3f61521.d: crates/bench/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-8e07998ed3f61521: crates/bench/../../tests/end_to_end.rs
+
+crates/bench/../../tests/end_to_end.rs:

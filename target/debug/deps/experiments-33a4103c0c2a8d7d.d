@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-33a4103c0c2a8d7d.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-33a4103c0c2a8d7d: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-33ac41e13348d13e.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-33ac41e13348d13e: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_filter_time-620a792fdd7d1ea0.d: crates/bench/benches/fig12_filter_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_filter_time-620a792fdd7d1ea0.rmeta: crates/bench/benches/fig12_filter_time.rs Cargo.toml
+
+crates/bench/benches/fig12_filter_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_lookup-7229dfbe80128350.d: crates/bench/benches/fig9_lookup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_lookup-7229dfbe80128350.rmeta: crates/bench/benches/fig9_lookup.rs Cargo.toml
+
+crates/bench/benches/fig9_lookup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/filtering_soundness-230665f97df9eb32.d: crates/bench/../../tests/filtering_soundness.rs
+
+/root/repo/target/debug/deps/filtering_soundness-230665f97df9eb32: crates/bench/../../tests/filtering_soundness.rs
+
+crates/bench/../../tests/filtering_soundness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/filtering_soundness-db532255c6d88149.d: crates/bench/../../tests/filtering_soundness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfiltering_soundness-db532255c6d88149.rmeta: crates/bench/../../tests/filtering_soundness.rs Cargo.toml
+
+crates/bench/../../tests/filtering_soundness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/incremental_updates-2b69c760d9888d53.d: crates/bench/../../tests/incremental_updates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libincremental_updates-2b69c760d9888d53.rmeta: crates/bench/../../tests/incremental_updates.rs Cargo.toml
+
+crates/bench/../../tests/incremental_updates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/incremental_updates-444ff1f6db0b41ef.d: crates/bench/../../tests/incremental_updates.rs
+
+/root/repo/target/debug/deps/incremental_updates-444ff1f6db0b41ef: crates/bench/../../tests/incremental_updates.rs
+
+crates/bench/../../tests/incremental_updates.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_substrates-b6cfc5485ba02556.d: crates/bench/benches/micro_substrates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_substrates-b6cfc5485ba02556.rmeta: crates/bench/benches/micro_substrates.rs Cargo.toml
+
+crates/bench/benches/micro_substrates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

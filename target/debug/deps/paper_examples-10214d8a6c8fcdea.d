@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-10214d8a6c8fcdea.d: crates/bench/../../tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-10214d8a6c8fcdea: crates/bench/../../tests/paper_examples.rs
+
+crates/bench/../../tests/paper_examples.rs:

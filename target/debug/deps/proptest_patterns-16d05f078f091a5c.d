@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_patterns-16d05f078f091a5c.d: crates/pattern/tests/proptest_patterns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_patterns-16d05f078f091a5c.rmeta: crates/pattern/tests/proptest_patterns.rs Cargo.toml
+
+crates/pattern/tests/proptest_patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

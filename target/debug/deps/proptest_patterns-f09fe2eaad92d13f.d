@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_patterns-f09fe2eaad92d13f.d: crates/pattern/tests/proptest_patterns.rs
+
+/root/repo/target/debug/deps/proptest_patterns-f09fe2eaad92d13f: crates/pattern/tests/proptest_patterns.rs
+
+crates/pattern/tests/proptest_patterns.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_xml-751414790da49cfa.d: crates/xml/tests/proptest_xml.rs
+
+/root/repo/target/debug/deps/proptest_xml-751414790da49cfa: crates/xml/tests/proptest_xml.rs
+
+crates/xml/tests/proptest_xml.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_xml-c2c394168bdcb0ba.d: crates/xml/tests/proptest_xml.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_xml-c2c394168bdcb0ba.rmeta: crates/xml/tests/proptest_xml.rs Cargo.toml
+
+crates/xml/tests/proptest_xml.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rewrite_edge_cases-7cf23c2e7840486d.d: crates/bench/../../tests/rewrite_edge_cases.rs
+
+/root/repo/target/debug/deps/rewrite_edge_cases-7cf23c2e7840486d: crates/bench/../../tests/rewrite_edge_cases.rs
+
+crates/bench/../../tests/rewrite_edge_cases.rs:

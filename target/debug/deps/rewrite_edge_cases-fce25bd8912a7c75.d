@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rewrite_edge_cases-fce25bd8912a7c75.d: crates/bench/../../tests/rewrite_edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/librewrite_edge_cases-fce25bd8912a7c75.rmeta: crates/bench/../../tests/rewrite_edge_cases.rs Cargo.toml
+
+crates/bench/../../tests/rewrite_edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

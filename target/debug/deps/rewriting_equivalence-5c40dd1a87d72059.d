@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rewriting_equivalence-5c40dd1a87d72059.d: crates/bench/../../tests/rewriting_equivalence.rs
+
+/root/repo/target/debug/deps/rewriting_equivalence-5c40dd1a87d72059: crates/bench/../../tests/rewriting_equivalence.rs
+
+crates/bench/../../tests/rewriting_equivalence.rs:

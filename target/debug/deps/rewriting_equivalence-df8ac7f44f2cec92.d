@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rewriting_equivalence-df8ac7f44f2cec92.d: crates/bench/../../tests/rewriting_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/librewriting_equivalence-df8ac7f44f2cec92.rmeta: crates/bench/../../tests/rewriting_equivalence.rs Cargo.toml
+
+crates/bench/../../tests/rewriting_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/selection_properties-175f9904ae816bac.d: crates/bench/../../tests/selection_properties.rs
+
+/root/repo/target/debug/deps/selection_properties-175f9904ae816bac: crates/bench/../../tests/selection_properties.rs
+
+crates/bench/../../tests/selection_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/selection_properties-d953323693640963.d: crates/bench/../../tests/selection_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libselection_properties-d953323693640963.rmeta: crates/bench/../../tests/selection_properties.rs Cargo.toml
+
+crates/bench/../../tests/selection_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

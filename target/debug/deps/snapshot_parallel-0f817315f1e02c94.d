@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/snapshot_parallel-0f817315f1e02c94.d: crates/bench/../../tests/snapshot_parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnapshot_parallel-0f817315f1e02c94.rmeta: crates/bench/../../tests/snapshot_parallel.rs Cargo.toml
+
+crates/bench/../../tests/snapshot_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

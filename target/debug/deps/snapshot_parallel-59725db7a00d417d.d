@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snapshot_parallel-59725db7a00d417d.d: crates/bench/../../tests/snapshot_parallel.rs
+
+/root/repo/target/debug/deps/snapshot_parallel-59725db7a00d417d: crates/bench/../../tests/snapshot_parallel.rs
+
+crates/bench/../../tests/snapshot_parallel.rs:

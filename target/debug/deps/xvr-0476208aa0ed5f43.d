@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xvr-0476208aa0ed5f43.d: crates/cli/src/main.rs crates/cli/src/args.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxvr-0476208aa0ed5f43.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs Cargo.toml
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/xvr-7af3bd4150a3b2cb.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/xvr-7af3bd4150a3b2cb: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/xvr-e3ccd2f531b04325.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/xvr-e3ccd2f531b04325: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

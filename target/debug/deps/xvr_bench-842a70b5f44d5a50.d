@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xvr_bench-842a70b5f44d5a50.d: crates/bench/src/lib.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libxvr_bench-842a70b5f44d5a50.rlib: crates/bench/src/lib.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libxvr_bench-842a70b5f44d5a50.rmeta: crates/bench/src/lib.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/workload.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/xvr_bench-cdcadebdd772d27f.d: crates/bench/src/lib.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/xvr_bench-cdcadebdd772d27f: crates/bench/src/lib.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/workload.rs:

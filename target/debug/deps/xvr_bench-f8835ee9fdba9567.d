@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xvr_bench-f8835ee9fdba9567.d: crates/bench/src/lib.rs crates/bench/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxvr_bench-f8835ee9fdba9567.rmeta: crates/bench/src/lib.rs crates/bench/src/workload.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

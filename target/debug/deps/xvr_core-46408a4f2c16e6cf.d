@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/xvr_core-46408a4f2c16e6cf.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/explain.rs crates/core/src/filter.rs crates/core/src/leafcover.rs crates/core/src/materialize.rs crates/core/src/nfa.rs crates/core/src/rewrite.rs crates/core/src/select.rs crates/core/src/snapshot.rs crates/core/src/view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxvr_core-46408a4f2c16e6cf.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/explain.rs crates/core/src/filter.rs crates/core/src/leafcover.rs crates/core/src/materialize.rs crates/core/src/nfa.rs crates/core/src/rewrite.rs crates/core/src/select.rs crates/core/src/snapshot.rs crates/core/src/view.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/explain.rs:
+crates/core/src/filter.rs:
+crates/core/src/leafcover.rs:
+crates/core/src/materialize.rs:
+crates/core/src/nfa.rs:
+crates/core/src/rewrite.rs:
+crates/core/src/select.rs:
+crates/core/src/snapshot.rs:
+crates/core/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/xvr_core-806b3a2ebee016d9.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/explain.rs crates/core/src/filter.rs crates/core/src/leafcover.rs crates/core/src/materialize.rs crates/core/src/nfa.rs crates/core/src/rewrite.rs crates/core/src/select.rs crates/core/src/snapshot.rs crates/core/src/view.rs
+
+/root/repo/target/debug/deps/xvr_core-806b3a2ebee016d9: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/explain.rs crates/core/src/filter.rs crates/core/src/leafcover.rs crates/core/src/materialize.rs crates/core/src/nfa.rs crates/core/src/rewrite.rs crates/core/src/select.rs crates/core/src/snapshot.rs crates/core/src/view.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/explain.rs:
+crates/core/src/filter.rs:
+crates/core/src/leafcover.rs:
+crates/core/src/materialize.rs:
+crates/core/src/nfa.rs:
+crates/core/src/rewrite.rs:
+crates/core/src/select.rs:
+crates/core/src/snapshot.rs:
+crates/core/src/view.rs:

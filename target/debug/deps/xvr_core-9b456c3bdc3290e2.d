@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/xvr_core-9b456c3bdc3290e2.d: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/explain.rs crates/core/src/filter.rs crates/core/src/leafcover.rs crates/core/src/materialize.rs crates/core/src/nfa.rs crates/core/src/rewrite.rs crates/core/src/select.rs crates/core/src/snapshot.rs crates/core/src/view.rs
+
+/root/repo/target/debug/deps/libxvr_core-9b456c3bdc3290e2.rlib: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/explain.rs crates/core/src/filter.rs crates/core/src/leafcover.rs crates/core/src/materialize.rs crates/core/src/nfa.rs crates/core/src/rewrite.rs crates/core/src/select.rs crates/core/src/snapshot.rs crates/core/src/view.rs
+
+/root/repo/target/debug/deps/libxvr_core-9b456c3bdc3290e2.rmeta: crates/core/src/lib.rs crates/core/src/engine.rs crates/core/src/explain.rs crates/core/src/filter.rs crates/core/src/leafcover.rs crates/core/src/materialize.rs crates/core/src/nfa.rs crates/core/src/rewrite.rs crates/core/src/select.rs crates/core/src/snapshot.rs crates/core/src/view.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine.rs:
+crates/core/src/explain.rs:
+crates/core/src/filter.rs:
+crates/core/src/leafcover.rs:
+crates/core/src/materialize.rs:
+crates/core/src/nfa.rs:
+crates/core/src/rewrite.rs:
+crates/core/src/select.rs:
+crates/core/src/snapshot.rs:
+crates/core/src/view.rs:

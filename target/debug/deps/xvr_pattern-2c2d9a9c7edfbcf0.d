@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/xvr_pattern-2c2d9a9c7edfbcf0.d: crates/pattern/src/lib.rs crates/pattern/src/containment.rs crates/pattern/src/decompose.rs crates/pattern/src/eval.rs crates/pattern/src/generator.rs crates/pattern/src/holistic.rs crates/pattern/src/hom.rs crates/pattern/src/minimize.rs crates/pattern/src/normalize.rs crates/pattern/src/parse.rs crates/pattern/src/paths.rs crates/pattern/src/pattern.rs crates/pattern/src/region_eval.rs
+
+/root/repo/target/debug/deps/libxvr_pattern-2c2d9a9c7edfbcf0.rlib: crates/pattern/src/lib.rs crates/pattern/src/containment.rs crates/pattern/src/decompose.rs crates/pattern/src/eval.rs crates/pattern/src/generator.rs crates/pattern/src/holistic.rs crates/pattern/src/hom.rs crates/pattern/src/minimize.rs crates/pattern/src/normalize.rs crates/pattern/src/parse.rs crates/pattern/src/paths.rs crates/pattern/src/pattern.rs crates/pattern/src/region_eval.rs
+
+/root/repo/target/debug/deps/libxvr_pattern-2c2d9a9c7edfbcf0.rmeta: crates/pattern/src/lib.rs crates/pattern/src/containment.rs crates/pattern/src/decompose.rs crates/pattern/src/eval.rs crates/pattern/src/generator.rs crates/pattern/src/holistic.rs crates/pattern/src/hom.rs crates/pattern/src/minimize.rs crates/pattern/src/normalize.rs crates/pattern/src/parse.rs crates/pattern/src/paths.rs crates/pattern/src/pattern.rs crates/pattern/src/region_eval.rs
+
+crates/pattern/src/lib.rs:
+crates/pattern/src/containment.rs:
+crates/pattern/src/decompose.rs:
+crates/pattern/src/eval.rs:
+crates/pattern/src/generator.rs:
+crates/pattern/src/holistic.rs:
+crates/pattern/src/hom.rs:
+crates/pattern/src/minimize.rs:
+crates/pattern/src/normalize.rs:
+crates/pattern/src/parse.rs:
+crates/pattern/src/paths.rs:
+crates/pattern/src/pattern.rs:
+crates/pattern/src/region_eval.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/xvr_pattern-61cdad84d65f5ef9.d: crates/pattern/src/lib.rs crates/pattern/src/containment.rs crates/pattern/src/decompose.rs crates/pattern/src/eval.rs crates/pattern/src/generator.rs crates/pattern/src/holistic.rs crates/pattern/src/hom.rs crates/pattern/src/minimize.rs crates/pattern/src/normalize.rs crates/pattern/src/parse.rs crates/pattern/src/paths.rs crates/pattern/src/region_eval.rs crates/pattern/src/pattern.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxvr_pattern-61cdad84d65f5ef9.rmeta: crates/pattern/src/lib.rs crates/pattern/src/containment.rs crates/pattern/src/decompose.rs crates/pattern/src/eval.rs crates/pattern/src/generator.rs crates/pattern/src/holistic.rs crates/pattern/src/hom.rs crates/pattern/src/minimize.rs crates/pattern/src/normalize.rs crates/pattern/src/parse.rs crates/pattern/src/paths.rs crates/pattern/src/region_eval.rs crates/pattern/src/pattern.rs Cargo.toml
+
+crates/pattern/src/lib.rs:
+crates/pattern/src/containment.rs:
+crates/pattern/src/decompose.rs:
+crates/pattern/src/eval.rs:
+crates/pattern/src/generator.rs:
+crates/pattern/src/holistic.rs:
+crates/pattern/src/hom.rs:
+crates/pattern/src/minimize.rs:
+crates/pattern/src/normalize.rs:
+crates/pattern/src/parse.rs:
+crates/pattern/src/paths.rs:
+crates/pattern/src/region_eval.rs:
+crates/pattern/src/pattern.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/xvr_pattern-b4ce6c8c27809be3.d: crates/pattern/src/lib.rs crates/pattern/src/containment.rs crates/pattern/src/decompose.rs crates/pattern/src/eval.rs crates/pattern/src/generator.rs crates/pattern/src/holistic.rs crates/pattern/src/hom.rs crates/pattern/src/minimize.rs crates/pattern/src/normalize.rs crates/pattern/src/parse.rs crates/pattern/src/paths.rs crates/pattern/src/pattern.rs crates/pattern/src/region_eval.rs
+
+/root/repo/target/debug/deps/xvr_pattern-b4ce6c8c27809be3: crates/pattern/src/lib.rs crates/pattern/src/containment.rs crates/pattern/src/decompose.rs crates/pattern/src/eval.rs crates/pattern/src/generator.rs crates/pattern/src/holistic.rs crates/pattern/src/hom.rs crates/pattern/src/minimize.rs crates/pattern/src/normalize.rs crates/pattern/src/parse.rs crates/pattern/src/paths.rs crates/pattern/src/pattern.rs crates/pattern/src/region_eval.rs
+
+crates/pattern/src/lib.rs:
+crates/pattern/src/containment.rs:
+crates/pattern/src/decompose.rs:
+crates/pattern/src/eval.rs:
+crates/pattern/src/generator.rs:
+crates/pattern/src/holistic.rs:
+crates/pattern/src/hom.rs:
+crates/pattern/src/minimize.rs:
+crates/pattern/src/normalize.rs:
+crates/pattern/src/parse.rs:
+crates/pattern/src/paths.rs:
+crates/pattern/src/pattern.rs:
+crates/pattern/src/region_eval.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/xvr_xml-0b04f1b63b43d301.d: crates/xml/src/lib.rs crates/xml/src/dewey.rs crates/xml/src/error.rs crates/xml/src/fragment.rs crates/xml/src/fst.rs crates/xml/src/generator.rs crates/xml/src/index.rs crates/xml/src/label.rs crates/xml/src/parser.rs crates/xml/src/region.rs crates/xml/src/samples.rs crates/xml/src/serializer.rs crates/xml/src/stats.rs crates/xml/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxvr_xml-0b04f1b63b43d301.rmeta: crates/xml/src/lib.rs crates/xml/src/dewey.rs crates/xml/src/error.rs crates/xml/src/fragment.rs crates/xml/src/fst.rs crates/xml/src/generator.rs crates/xml/src/index.rs crates/xml/src/label.rs crates/xml/src/parser.rs crates/xml/src/region.rs crates/xml/src/samples.rs crates/xml/src/serializer.rs crates/xml/src/stats.rs crates/xml/src/tree.rs Cargo.toml
+
+crates/xml/src/lib.rs:
+crates/xml/src/dewey.rs:
+crates/xml/src/error.rs:
+crates/xml/src/fragment.rs:
+crates/xml/src/fst.rs:
+crates/xml/src/generator.rs:
+crates/xml/src/index.rs:
+crates/xml/src/label.rs:
+crates/xml/src/parser.rs:
+crates/xml/src/region.rs:
+crates/xml/src/samples.rs:
+crates/xml/src/serializer.rs:
+crates/xml/src/stats.rs:
+crates/xml/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

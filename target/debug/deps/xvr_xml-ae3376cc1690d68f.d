@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/xvr_xml-ae3376cc1690d68f.d: crates/xml/src/lib.rs crates/xml/src/dewey.rs crates/xml/src/error.rs crates/xml/src/fragment.rs crates/xml/src/fst.rs crates/xml/src/generator.rs crates/xml/src/index.rs crates/xml/src/label.rs crates/xml/src/parser.rs crates/xml/src/region.rs crates/xml/src/samples.rs crates/xml/src/serializer.rs crates/xml/src/stats.rs crates/xml/src/tree.rs
+
+/root/repo/target/debug/deps/libxvr_xml-ae3376cc1690d68f.rlib: crates/xml/src/lib.rs crates/xml/src/dewey.rs crates/xml/src/error.rs crates/xml/src/fragment.rs crates/xml/src/fst.rs crates/xml/src/generator.rs crates/xml/src/index.rs crates/xml/src/label.rs crates/xml/src/parser.rs crates/xml/src/region.rs crates/xml/src/samples.rs crates/xml/src/serializer.rs crates/xml/src/stats.rs crates/xml/src/tree.rs
+
+/root/repo/target/debug/deps/libxvr_xml-ae3376cc1690d68f.rmeta: crates/xml/src/lib.rs crates/xml/src/dewey.rs crates/xml/src/error.rs crates/xml/src/fragment.rs crates/xml/src/fst.rs crates/xml/src/generator.rs crates/xml/src/index.rs crates/xml/src/label.rs crates/xml/src/parser.rs crates/xml/src/region.rs crates/xml/src/samples.rs crates/xml/src/serializer.rs crates/xml/src/stats.rs crates/xml/src/tree.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/dewey.rs:
+crates/xml/src/error.rs:
+crates/xml/src/fragment.rs:
+crates/xml/src/fst.rs:
+crates/xml/src/generator.rs:
+crates/xml/src/index.rs:
+crates/xml/src/label.rs:
+crates/xml/src/parser.rs:
+crates/xml/src/region.rs:
+crates/xml/src/samples.rs:
+crates/xml/src/serializer.rs:
+crates/xml/src/stats.rs:
+crates/xml/src/tree.rs:

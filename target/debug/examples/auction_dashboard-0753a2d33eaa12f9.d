@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/auction_dashboard-0753a2d33eaa12f9.d: crates/core/../../examples/auction_dashboard.rs
+
+/root/repo/target/debug/examples/auction_dashboard-0753a2d33eaa12f9: crates/core/../../examples/auction_dashboard.rs
+
+crates/core/../../examples/auction_dashboard.rs:

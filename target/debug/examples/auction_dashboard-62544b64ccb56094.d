@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/auction_dashboard-62544b64ccb56094.d: crates/core/../../examples/auction_dashboard.rs Cargo.toml
+
+/root/repo/target/debug/examples/libauction_dashboard-62544b64ccb56094.rmeta: crates/core/../../examples/auction_dashboard.rs Cargo.toml
+
+crates/core/../../examples/auction_dashboard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/book_catalog-077e710cb98ba1d1.d: crates/core/../../examples/book_catalog.rs
+
+/root/repo/target/debug/examples/book_catalog-077e710cb98ba1d1: crates/core/../../examples/book_catalog.rs
+
+crates/core/../../examples/book_catalog.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/book_catalog-29c12b23eb49ea26.d: crates/core/../../examples/book_catalog.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbook_catalog-29c12b23eb49ea26.rmeta: crates/core/../../examples/book_catalog.rs Cargo.toml
+
+crates/core/../../examples/book_catalog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

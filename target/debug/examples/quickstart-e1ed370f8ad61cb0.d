@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e1ed370f8ad61cb0.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e1ed370f8ad61cb0: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/view_advisor-38ac3582857109bf.d: crates/core/../../examples/view_advisor.rs
+
+/root/repo/target/debug/examples/view_advisor-38ac3582857109bf: crates/core/../../examples/view_advisor.rs
+
+crates/core/../../examples/view_advisor.rs:

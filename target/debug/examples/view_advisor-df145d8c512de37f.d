@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/view_advisor-df145d8c512de37f.d: crates/core/../../examples/view_advisor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libview_advisor-df145d8c512de37f.rmeta: crates/core/../../examples/view_advisor.rs Cargo.toml
+
+crates/core/../../examples/view_advisor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-42af21d2b0b3b719.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-42af21d2b0b3b719.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-42af21d2b0b3b719.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-e3793466b774f76d.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-e3793466b774f76d: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-e63607f32a99f93d.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-e63607f32a99f93d.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-e63607f32a99f93d.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

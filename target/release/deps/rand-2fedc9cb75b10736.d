@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-2fedc9cb75b10736.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2fedc9cb75b10736.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2fedc9cb75b10736.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

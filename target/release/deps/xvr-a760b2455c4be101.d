@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/xvr-a760b2455c4be101.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/release/deps/xvr-a760b2455c4be101: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

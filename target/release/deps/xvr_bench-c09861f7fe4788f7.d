@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/xvr_bench-c09861f7fe4788f7.d: crates/bench/src/lib.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/libxvr_bench-c09861f7fe4788f7.rlib: crates/bench/src/lib.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/libxvr_bench-c09861f7fe4788f7.rmeta: crates/bench/src/lib.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/workload.rs:

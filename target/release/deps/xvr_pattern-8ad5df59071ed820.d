@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/xvr_pattern-8ad5df59071ed820.d: crates/pattern/src/lib.rs crates/pattern/src/containment.rs crates/pattern/src/decompose.rs crates/pattern/src/eval.rs crates/pattern/src/generator.rs crates/pattern/src/holistic.rs crates/pattern/src/hom.rs crates/pattern/src/minimize.rs crates/pattern/src/normalize.rs crates/pattern/src/parse.rs crates/pattern/src/paths.rs crates/pattern/src/pattern.rs crates/pattern/src/region_eval.rs
+
+/root/repo/target/release/deps/libxvr_pattern-8ad5df59071ed820.rlib: crates/pattern/src/lib.rs crates/pattern/src/containment.rs crates/pattern/src/decompose.rs crates/pattern/src/eval.rs crates/pattern/src/generator.rs crates/pattern/src/holistic.rs crates/pattern/src/hom.rs crates/pattern/src/minimize.rs crates/pattern/src/normalize.rs crates/pattern/src/parse.rs crates/pattern/src/paths.rs crates/pattern/src/pattern.rs crates/pattern/src/region_eval.rs
+
+/root/repo/target/release/deps/libxvr_pattern-8ad5df59071ed820.rmeta: crates/pattern/src/lib.rs crates/pattern/src/containment.rs crates/pattern/src/decompose.rs crates/pattern/src/eval.rs crates/pattern/src/generator.rs crates/pattern/src/holistic.rs crates/pattern/src/hom.rs crates/pattern/src/minimize.rs crates/pattern/src/normalize.rs crates/pattern/src/parse.rs crates/pattern/src/paths.rs crates/pattern/src/pattern.rs crates/pattern/src/region_eval.rs
+
+crates/pattern/src/lib.rs:
+crates/pattern/src/containment.rs:
+crates/pattern/src/decompose.rs:
+crates/pattern/src/eval.rs:
+crates/pattern/src/generator.rs:
+crates/pattern/src/holistic.rs:
+crates/pattern/src/hom.rs:
+crates/pattern/src/minimize.rs:
+crates/pattern/src/normalize.rs:
+crates/pattern/src/parse.rs:
+crates/pattern/src/paths.rs:
+crates/pattern/src/pattern.rs:
+crates/pattern/src/region_eval.rs:

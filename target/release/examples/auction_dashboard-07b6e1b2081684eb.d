@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/auction_dashboard-07b6e1b2081684eb.d: crates/core/../../examples/auction_dashboard.rs
+
+/root/repo/target/release/examples/auction_dashboard-07b6e1b2081684eb: crates/core/../../examples/auction_dashboard.rs
+
+crates/core/../../examples/auction_dashboard.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-0f132f7cece49a2f.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-0f132f7cece49a2f: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -143,10 +143,8 @@ fn deep_chain_document() {
 
 #[test]
 fn attr_predicates_through_rewriting() {
-    let doc = parse_document(
-        r#"<r><s k="1"><p/><t/></s><s><p/><t/></s><s k="2"><p/></s></r>"#,
-    )
-    .unwrap();
+    let doc =
+        parse_document(r#"<r><s k="1"><p/><t/></s><s><p/><t/></s><s k="2"><p/></s></r>"#).unwrap();
     let mut engine = Engine::new(doc, EngineConfig::default());
     engine.add_view_str("//s[@k]/p").unwrap();
     engine.add_view_str("//s[t]/p").unwrap();

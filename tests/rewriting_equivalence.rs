@@ -5,17 +5,14 @@
 use proptest::prelude::*;
 
 use xvr_core::{AnswerError, Engine, EngineConfig, Strategy};
-use xvr_pattern::generator::{QueryConfig, QueryGenerator};
 use xvr_pattern::distinct_positive_patterns;
+use xvr_pattern::generator::{QueryConfig, QueryGenerator};
 use xvr_xml::generator::{generate, Config};
 
 fn run_trial(doc_seed: u64, view_seed: u64, query_seed: u64, n_views: usize) -> (usize, usize) {
     let doc = generate(&Config::tiny(doc_seed));
-    let views = distinct_positive_patterns(
-        &doc,
-        QueryConfig::paper_view_workload(view_seed),
-        n_views,
-    );
+    let views =
+        distinct_positive_patterns(&doc, QueryConfig::paper_view_workload(view_seed), n_views);
     let mut engine = Engine::new(doc, EngineConfig::default());
     for v in views {
         engine.add_view(v);

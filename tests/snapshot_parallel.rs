@@ -1,0 +1,111 @@
+//! Cross-thread determinism of the read path: one `EngineSnapshot` shared
+//! by many threads must produce byte-identical answers to sequential
+//! execution, for every strategy, on the XMark workload.
+
+use xvr_bench::{build_paper_engine, paper_document, xmark_queries};
+use xvr_core::{AnswerError, EngineSnapshot, Strategy};
+use xvr_pattern::TreePattern;
+
+/// Hand-rolled compile-time proof that the snapshot crosses threads: if
+/// `EngineSnapshot` ever loses `Send + Sync`, this file stops compiling.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EngineSnapshot>();
+    assert_send_sync::<&EngineSnapshot>();
+};
+
+fn xmark_snapshot() -> (EngineSnapshot, Vec<TreePattern>) {
+    let doc = paper_document(0.002, 7);
+    let workload = build_paper_engine(doc, 60, 11, usize::MAX);
+    let mut engine = workload.engine;
+    // Answer the XMark approximations plus Table III's Q1–Q4; every XMark
+    // query is also registered as a view so the view strategies can cover
+    // queries the planted views alone cannot.
+    let mut queries: Vec<TreePattern> = Vec::new();
+    for (_, src) in xmark_queries() {
+        let q = engine.parse(src).unwrap();
+        engine.add_view(q.clone());
+        queries.push(q);
+    }
+    queries.extend(workload.queries.into_iter().map(|(_, q)| q));
+    (engine.snapshot(), queries)
+}
+
+fn codes_of(outcomes: &[Result<xvr_core::Answer, AnswerError>]) -> Vec<Option<Vec<String>>> {
+    outcomes
+        .iter()
+        .map(|o| {
+            o.as_ref()
+                .ok()
+                .map(|a| a.codes.iter().map(|c| c.to_string()).collect())
+        })
+        .collect()
+}
+
+/// `answer_batch` with `jobs >= 2` returns exactly what sequential
+/// execution returns, in the same order, for all six strategies.
+#[test]
+fn batch_answers_are_deterministic_across_jobs() {
+    let (snap, queries) = xmark_snapshot();
+    for strategy in Strategy::all_extended() {
+        let sequential = snap.answer_batch(&queries, strategy, 1);
+        assert_eq!(sequential.jobs, 1);
+        for jobs in [2, 4, 7] {
+            let parallel = snap.answer_batch(&queries, strategy, jobs);
+            assert_eq!(parallel.jobs, jobs.min(queries.len()));
+            assert_eq!(
+                codes_of(&parallel.answers),
+                codes_of(&sequential.answers),
+                "{strategy} with jobs={jobs}"
+            );
+        }
+    }
+}
+
+/// N independent threads hammering one shared snapshot (not through
+/// `answer_batch` — each thread runs the whole query set itself) all see
+/// the sequential answers.
+#[test]
+fn threads_sharing_one_snapshot_agree() {
+    let (snap, queries) = xmark_snapshot();
+    for strategy in [Strategy::Bn, Strategy::Hv, Strategy::Cb] {
+        let expected: Vec<_> = queries
+            .iter()
+            .map(|q| snap.answer(q, strategy).map(|a| a.codes))
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..6 {
+                scope.spawn(|| {
+                    for (q, want) in queries.iter().zip(&expected) {
+                        let got = snap.answer(q, strategy).map(|a| a.codes);
+                        match (&got, want) {
+                            (Ok(g), Ok(w)) => assert_eq!(g, w, "{strategy}"),
+                            (Err(g), Err(w)) => assert_eq!(g, w, "{strategy}"),
+                            _ => panic!("{strategy}: outcome diverged across threads"),
+                        }
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Snapshot clones are as shareable as the original and observe the same
+/// frozen state even while the engine keeps mutating on the main thread.
+#[test]
+fn clones_stay_frozen_while_engine_moves_on() {
+    let doc = paper_document(0.002, 7);
+    let workload = build_paper_engine(doc, 20, 11, usize::MAX);
+    let mut engine = workload.engine;
+    let q = engine
+        .parse("/site/people/person[address/city][profile/age]/name")
+        .unwrap();
+    let snap = engine.snapshot();
+    let clone = snap.clone();
+    let want = snap.answer(&q, Strategy::Hv).unwrap().codes;
+
+    let handle = std::thread::spawn(move || clone.answer(&q, Strategy::Hv).unwrap().codes);
+    // Meanwhile the writer keeps going; the spawned reader must not care.
+    engine.add_view_str("//person[profile]/name").unwrap();
+    assert_eq!(handle.join().unwrap(), want);
+}

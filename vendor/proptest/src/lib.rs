@@ -1,0 +1,810 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! This workspace builds in environments with no access to crates.io, so
+//! the subset of `proptest` its property tests use is vendored here:
+//!
+//! - the [`proptest!`] and [`prop_compose!`] macros (with
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`),
+//! - [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`],
+//! - integer-range strategies, `any::<bool>()`, tuples up to arity 6,
+//!   `prop::collection::vec`, `prop::option::of`, a regex-subset string
+//!   strategy (char classes + `{m,n}` quantifiers), `.prop_map`,
+//!   `.prop_recursive`, and [`strategy::BoxedStrategy`].
+//!
+//! Semantics differ from real proptest in one deliberate way: there is
+//! **no shrinking**. A failing case panics with the assertion message;
+//! inputs are deterministic per test (seeded from the test's module path
+//! and name), so failures reproduce exactly under `cargo test`.
+
+pub mod test_runner {
+    //! Test configuration, RNG, and case outcomes.
+
+    /// Deterministic RNG handed to strategies (SplitMix64).
+    ///
+    /// Seeded from the owning test's fully-qualified name so every run of
+    /// `cargo test` explores the same inputs — failures always reproduce.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from an arbitrary tag (FNV-1a of the bytes).
+        pub fn deterministic(tag: &str) -> TestRng {
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in tag.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: hash }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, n)`; `n` must be positive.
+        pub fn below(&mut self, n: usize) -> usize {
+            debug_assert!(n > 0);
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+
+    /// Runner configuration; only `cases` is honoured here.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of *accepted* (non-rejected) cases each test runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases, otherwise default.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed; aborts the whole test.
+        Fail(String),
+        /// `prop_assume!` filtered the input out; another case is drawn.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    /// Outcome of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators (generate-only, no shrinking).
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree and no shrinking:
+    /// `generate` draws one concrete value.
+    pub trait Strategy {
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Build a recursive strategy: `self` generates leaves, `recurse`
+        /// wraps a strategy for subtrees into one for branches. `depth`
+        /// bounds nesting; the size/branch hints are accepted for API
+        /// compatibility but unused.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(strat).boxed();
+                strat = Choice {
+                    leaf: leaf.clone(),
+                    deeper,
+                }
+                .boxed();
+            }
+            strat
+        }
+
+        /// Type-erase the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Rc::new(self),
+            }
+        }
+    }
+
+    /// Object-safe view of [`Strategy`] for [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn dyn_generate(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Rc<dyn DynStrategy<T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: Rc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.dyn_generate(rng)
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// 50/50 pick between the leaf and the deeper strategy; the building
+    /// block of [`Strategy::prop_recursive`]. The even split plus the
+    /// per-level cap keeps generated trees shallow on average.
+    struct Choice<T> {
+        leaf: BoxedStrategy<T>,
+        deeper: BoxedStrategy<T>,
+    }
+
+    impl<T> Strategy for Choice<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            if rng.next_u64() & 1 == 0 {
+                self.leaf.generate(rng)
+            } else {
+                self.deeper.generate(rng)
+            }
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "strategy range is empty");
+                    let width = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add((rng.next_u64() % width) as $t)
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "strategy range is empty");
+                    let width = (hi as u64).wrapping_sub(lo as u64);
+                    if width == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add((rng.next_u64() % (width + 1)) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident . $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// String strategies from a small regex subset.
+    ///
+    /// Supported: literal characters, `\`-escapes, character classes with
+    /// ranges (`[a-z<&" ]`), and the quantifiers `{n}`, `{m,n}`, `?`, `*`,
+    /// `+` (the open-ended ones capped at 8 repetitions). Anything else
+    /// panics with the offending pattern, loudly, at generation time.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let atoms = compile_regex_subset(self);
+            let mut out = String::new();
+            for atom in &atoms {
+                let count = atom.min + rng.below(atom.max - atom.min + 1);
+                for _ in 0..count {
+                    out.push(atom.chars[rng.below(atom.chars.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    struct Atom {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    fn compile_regex_subset(pattern: &str) -> Vec<Atom> {
+        let mut atoms = Vec::new();
+        let mut input = pattern.chars().peekable();
+        while let Some(c) = input.next() {
+            let chars = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    loop {
+                        match input.next() {
+                            Some(']') => break,
+                            Some('\\') => set.push(input.next().unwrap_or_else(|| {
+                                panic!("unterminated escape in regex {pattern:?}")
+                            })),
+                            Some(lo) => {
+                                if input.peek() == Some(&'-') {
+                                    let mut ahead = input.clone();
+                                    ahead.next();
+                                    match ahead.peek() {
+                                        Some(&hi) if hi != ']' => {
+                                            input.next();
+                                            input.next();
+                                            set.extend(lo..=hi);
+                                        }
+                                        _ => set.push(lo),
+                                    }
+                                } else {
+                                    set.push(lo);
+                                }
+                            }
+                            None => panic!("unterminated character class in regex {pattern:?}"),
+                        }
+                    }
+                    assert!(
+                        !set.is_empty(),
+                        "empty character class in regex {pattern:?}"
+                    );
+                    set
+                }
+                '\\' => vec![input
+                    .next()
+                    .unwrap_or_else(|| panic!("unterminated escape in regex {pattern:?}"))],
+                '(' | ')' | '|' | '.' | '^' | '$' => {
+                    panic!("regex feature {c:?} not supported by vendored proptest: {pattern:?}")
+                }
+                literal => vec![literal],
+            };
+            let (min, max) = match input.peek() {
+                Some('{') => {
+                    input.next();
+                    let mut body = String::new();
+                    for d in input.by_ref() {
+                        if d == '}' {
+                            break;
+                        }
+                        body.push(d);
+                    }
+                    match body.split_once(',') {
+                        None => {
+                            let n = body.trim().parse().unwrap_or_else(|_| {
+                                panic!("bad quantifier {{{body}}} in regex {pattern:?}")
+                            });
+                            (n, n)
+                        }
+                        Some((m, "")) => {
+                            let m: usize = m.trim().parse().unwrap_or_else(|_| {
+                                panic!("bad quantifier {{{body}}} in regex {pattern:?}")
+                            });
+                            (m, m + 8)
+                        }
+                        Some((m, n)) => {
+                            let m = m.trim().parse().unwrap_or_else(|_| {
+                                panic!("bad quantifier {{{body}}} in regex {pattern:?}")
+                            });
+                            let n = n.trim().parse().unwrap_or_else(|_| {
+                                panic!("bad quantifier {{{body}}} in regex {pattern:?}")
+                            });
+                            assert!(m <= n, "bad quantifier {{{body}}} in regex {pattern:?}");
+                            (m, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    input.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    input.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    input.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            atoms.push(Atom { chars, min, max });
+        }
+        atoms
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — canonical strategies per type.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        type Strategy: Strategy<Value = Self>;
+
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    /// Fair coin.
+    #[derive(Clone, Debug)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 0
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                type Strategy = std::ops::RangeInclusive<$t>;
+
+                fn arbitrary() -> Self::Strategy {
+                    <$t>::MIN..=<$t>::MAX
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length bounds for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    /// `Vec<T>` strategy: length drawn from `size`, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.max_inclusive - self.size.min + 1;
+            let len = self.size.min + rng.below(span);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option<T>` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// `Option<T>` strategy: `None` one time in four, else `Some`.
+    pub fn of<S: Strategy>(strategy: S) -> OptionStrategy<S> {
+        OptionStrategy { inner: strategy }
+    }
+
+    /// Output of [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, proptest,
+    };
+
+    /// Module-style access (`prop::collection::vec`, `prop::option::of`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Define property tests. Each `fn` runs `config.cases` accepted cases
+/// with inputs drawn from the given strategies; a failing `prop_assert!`
+/// panics (no shrinking), a `prop_assume!` rejection redraws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(20).max(1_000);
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "proptest: gave up after {} attempts ({} of {} cases accepted) — \
+                     prop_assume! rejects too much",
+                    attempts,
+                    accepted,
+                    config.cases,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: $crate::test_runner::TestCaseResult = (move || {
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => accepted += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(reason)) => {
+                        panic!("proptest case failed: {reason}");
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Define a named strategy as a function: draw the inner bindings, then
+/// map them through the body. Mirrors proptest's `prop_compose!`.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($param:ident: $pty:ty),* $(,)?)
+            ($($arg:pat in $strat:expr),+ $(,)?)
+            -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($param: $pty),*) -> impl $crate::strategy::Strategy<Value = $out> {
+            $crate::strategy::Strategy::prop_map(
+                ($($strat,)+),
+                move |($($arg,)+)| $body,
+            )
+        }
+    };
+}
+
+/// Fail the current case (returns `Err(TestCaseError::Fail)`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}",
+            l,
+            r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}\n{}",
+            l,
+            r,
+            format!($($fmt)+),
+        );
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  left: {:?}\n right: {:?}",
+            l,
+            r,
+        );
+    }};
+}
+
+/// Reject the current case (redraw) unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn pair()(a in 0u8..10, b in 10u8..20) -> (u8, u8) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respected(x in 3usize..9, y in 0u64..=5) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y <= 5);
+        }
+
+        #[test]
+        fn composed_strategies_work(p in pair(), flip in any::<bool>()) {
+            prop_assert!(p.0 < 10 && (10..20).contains(&p.1));
+            prop_assert_eq!(flip, flip);
+        }
+
+        #[test]
+        fn vectors_and_options(v in prop::collection::vec(0u32..4, 1..5), o in prop::option::of(0i32..3)) {
+            prop_assert!((1..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 4));
+            if let Some(x) = o {
+                prop_assert!((0..3).contains(&x));
+            }
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn regex_subset_strings(s in "[a-c<&\" ]{0,8}") {
+            prop_assert!(s.chars().count() <= 8);
+            prop_assert!(s.chars().all(|c| matches!(c, 'a'..='c' | '<' | '&' | '"' | ' ')));
+        }
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tree {
+        Leaf(u8),
+        Node(Vec<Tree>),
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 1,
+            Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn recursive_strategies_bound_depth(
+            t in (0u8..16).prop_map(Tree::Leaf).prop_recursive(4, 32, 4, |inner| {
+                prop::collection::vec(inner, 1..4).prop_map(Tree::Node)
+            })
+        ) {
+            prop_assert!(depth(&t) <= 5, "depth {} for {:?}", depth(&t), t);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! This workspace builds in environments with no access to crates.io, so
+//! the tiny slice of `rand` it actually uses is vendored here:
+//! [`rngs::StdRng`] with [`SeedableRng::seed_from_u64`], and the
+//! [`Rng::gen_range`] / [`Rng::gen_bool`] sampling methods over integer
+//! ranges. The generator is SplitMix64 — fast, passes standard
+//! statistical tests, and fully deterministic from a seed, which is all
+//! the in-repo XMark/query generators need. The byte streams differ from
+//! the real `rand::StdRng` (ChaCha12), so seeds produce *different but
+//! equally stable* workloads.
+//!
+//! Everything is sampled via modulo reduction; the bias is at most
+//! `width / 2^64`, irrelevant for workload synthesis.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of randomness: 64 bits at a time.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Build from a 64-bit seed (the only constructor this workspace uses).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A type that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy {
+    /// Sample uniformly from `[low, high)`. `high > low` required.
+    fn sample_half_open(rng: &mut dyn FnMut() -> u64, low: Self, high: Self) -> Self;
+    /// Sample uniformly from `[low, high]`. `high >= low` required.
+    fn sample_inclusive(rng: &mut dyn FnMut() -> u64, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut dyn FnMut() -> u64, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let width = (high as $wide).wrapping_sub(low as $wide) as u64;
+                low.wrapping_add((rng() % width) as $t)
+            }
+            fn sample_inclusive(rng: &mut dyn FnMut() -> u64, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                let width = (high as $wide).wrapping_sub(low as $wide) as u64;
+                if width == u64::MAX {
+                    return rng() as $t;
+                }
+                low.wrapping_add((rng() % (width + 1)) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64,
+);
+
+/// A range a value can be drawn from (mirrors `rand`'s `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draw one value.
+    fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from `range` (`low..high` or `low..=high`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(&mut || self.next_u64())
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0, 1]");
+        // 53 uniform mantissa bits, the usual float-in-[0,1) construction.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    ///
+    /// Not the real `rand::StdRng` (ChaCha12) — streams differ per seed,
+    /// but determinism and statistical quality hold.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> StdRng {
+            StdRng { state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(5usize..=9);
+            assert!((5..=9).contains(&y));
+            let z = rng.gen_range(-4i32..4);
+            assert!((-4..4).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "{hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64)
+            .filter(|_| a.gen_range(0u64..1 << 32) == b.gen_range(0u64..1 << 32))
+            .count();
+        assert!(same < 4);
+    }
+}
