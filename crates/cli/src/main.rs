@@ -164,15 +164,7 @@ fn eval(argv: &[String]) -> Result<ExitCode, CliError> {
 }
 
 fn strategy_of(name: &str) -> Result<Strategy, CliError> {
-    Ok(match name {
-        "hv" => Strategy::Hv,
-        "mv" => Strategy::Mv,
-        "mn" => Strategy::Mn,
-        "cb" => Strategy::Cb,
-        "bn" => Strategy::Bn,
-        "bf" => Strategy::Bf,
-        other => return Err(CliError::Usage(format!("unknown strategy `{other}`"))),
-    })
+    Strategy::parse(name).ok_or_else(|| CliError::Usage(format!("unknown strategy `{name}`")))
 }
 
 fn answer(argv: &[String]) -> Result<ExitCode, CliError> {

@@ -66,6 +66,20 @@ impl Strategy {
         }
     }
 
+    /// Parse the paper's abbreviation (case-insensitive): `bn`, `bf`,
+    /// `mn`, `mv`, `hv`, `cb`.
+    pub fn parse(s: &str) -> Option<Strategy> {
+        match s.to_ascii_lowercase().as_str() {
+            "bn" => Some(Strategy::Bn),
+            "bf" => Some(Strategy::Bf),
+            "mn" => Some(Strategy::Mn),
+            "mv" => Some(Strategy::Mv),
+            "hv" => Some(Strategy::Hv),
+            "cb" => Some(Strategy::Cb),
+            _ => None,
+        }
+    }
+
     /// The paper's five strategies, in Figure 8 order.
     pub fn all() -> [Strategy; 5] {
         [

@@ -63,6 +63,7 @@ pub mod filter;
 pub mod leafcover;
 pub mod materialize;
 pub mod nfa;
+pub mod oracle;
 pub mod rewrite;
 pub mod select;
 pub mod snapshot;
@@ -78,7 +79,11 @@ pub use filter::{
 pub use leafcover::{leaf_cover, leaf_covers, LeafCover, Obligation, Obligations};
 pub use materialize::{MaterializedStore, MaterializedView};
 pub use nfa::Nfa;
+pub use oracle::{
+    load_corpus, replay, run_case, run_seed, shrink, CaseOutcome, CaseSpec, Injection, Invariant,
+    OracleConfig, Reproducer, RunSummary, Violation,
+};
 pub use rewrite::rewrite;
 pub use select::{select_cost_based, select_heuristic, select_minimum, SelectedView, Selection};
-pub use snapshot::{BatchResult, EngineSnapshot};
+pub use snapshot::{AnswerTrace, BatchResult, EngineSnapshot};
 pub use view::{View, ViewId, ViewSet};

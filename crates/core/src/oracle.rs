@@ -1,0 +1,986 @@
+//! Differential + metamorphic oracle for the six answering strategies.
+//!
+//! The paper's central claim is *equivalent* rewriting: whatever a view
+//! strategy answers must be byte-identical to direct evaluation on the
+//! base document, and VFILTER must never filter a view that could have
+//! participated. This module cross-checks all of that at scale, over
+//! randomized XMark-like documents, view sets, and query workloads, all
+//! derived from a seed:
+//!
+//! * **Differential**: every strategy's answer is diffed against the `Bn`
+//!   ground truth ([`Invariant::Differential`]).
+//! * **Metamorphic** — properties needing no external oracle:
+//!   - VFILTER soundness: a view with a homomorphism into the query must
+//!     survive filtering ([`Invariant::FilterSoundness`]), and a filtered
+//!     view must never be consumed by a rewriting
+//!     ([`Invariant::FilteredViewUsed`], via [`AnswerTrace`]).
+//!   - Leaf-cover answerability ⇒ rewriting success: once selection finds
+//!     a plan over complete materializations, the rewrite stage must not
+//!     fail ([`Invariant::AnswerableMustRewrite`]).
+//!   - Minimal ⊆ exhaustive: if the VFILTER-restricted minimum strategy
+//!     (`Mv`) answers, the unrestricted one (`Mn`) must too — its
+//!     candidate set is a superset ([`Invariant::MinimumMonotonicity`]).
+//!     (The result-set inclusion direction is subsumed by the
+//!     differential check: both must *equal* ground truth.)
+//!   - Containment monotonicity: relaxing the query ([`relax`]) may only
+//!     grow the answer ([`Invariant::ContainmentMonotonicity`]).
+//!   - Snapshot determinism: [`EngineSnapshot::answer_batch`] returns the
+//!     same outcomes at every `jobs` level
+//!     ([`Invariant::JobsDeterminism`]).
+//!
+//! On a violation the oracle **shrinks** the failing case — dropping
+//! views, pruning query branches, truncating the document — and emits a
+//! self-contained text [`Reproducer`] that `tests/oracle_corpus.rs`
+//! replays forever after. [`Injection`] plants deliberate bugs so the
+//! oracle (and its shrinker) can be tested against a known-broken
+//! pipeline.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use xvr_pattern::generator::{relax, QueryConfig, QueryGenerator};
+use xvr_pattern::{contains, parse_pattern, TreePattern};
+use xvr_xml::generator::{generate, Config};
+use xvr_xml::DeweyCode;
+
+use crate::engine::{AnswerError, Engine, EngineConfig, Strategy};
+use crate::snapshot::{AnswerTrace, EngineSnapshot};
+
+/// Which property a violation breaches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Invariant {
+    /// A strategy's answer differs from `Bn` direct evaluation.
+    Differential,
+    /// A view with a homomorphism into the query was filtered out.
+    FilterSoundness,
+    /// A rewriting consumed a view that was not a usable candidate.
+    FilteredViewUsed,
+    /// Selection found a plan but the rewrite stage failed.
+    AnswerableMustRewrite,
+    /// `Mv` answered but `Mn` (superset candidates) did not.
+    MinimumMonotonicity,
+    /// Relaxing the query lost answers: `ans(q) ⊄ ans(relax(q))`.
+    ContainmentMonotonicity,
+    /// `answer_batch` outcomes differ across `jobs` levels.
+    JobsDeterminism,
+}
+
+impl Invariant {
+    /// Stable snake-case name used in reproducer files.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Invariant::Differential => "differential",
+            Invariant::FilterSoundness => "filter_soundness",
+            Invariant::FilteredViewUsed => "filtered_view_used",
+            Invariant::AnswerableMustRewrite => "answerable_must_rewrite",
+            Invariant::MinimumMonotonicity => "minimum_monotonicity",
+            Invariant::ContainmentMonotonicity => "containment_monotonicity",
+            Invariant::JobsDeterminism => "jobs_determinism",
+        }
+    }
+
+    /// Inverse of [`Invariant::as_str`].
+    pub fn parse(s: &str) -> Option<Invariant> {
+        [
+            Invariant::Differential,
+            Invariant::FilterSoundness,
+            Invariant::FilteredViewUsed,
+            Invariant::AnswerableMustRewrite,
+            Invariant::MinimumMonotonicity,
+            Invariant::ContainmentMonotonicity,
+            Invariant::JobsDeterminism,
+        ]
+        .into_iter()
+        .find(|i| i.as_str() == s)
+    }
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A deliberately planted bug, for testing the oracle itself (mutation
+/// check): the oracle must catch each of these and shrink the case.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Injection {
+    /// No bug: the real pipeline.
+    #[default]
+    None,
+    /// Drop the last code from every non-empty `Hv` answer — a rewriting
+    /// that silently loses an answer node.
+    DropLastCode,
+    /// Pretend the `Hv` rewriting joined a view VFILTER rejected.
+    ClaimFilteredView,
+}
+
+/// One self-contained failing (or once-failing) case: everything needed
+/// to rebuild the document, the view set, and the query from scratch.
+#[derive(Clone, Debug)]
+pub struct Reproducer {
+    /// Document generator parameters (seeded, deterministic).
+    pub doc: Config,
+    /// View definitions, as XPath.
+    pub views: Vec<String>,
+    /// The query, as XPath.
+    pub query: String,
+    /// The invariant that failed.
+    pub invariant: Invariant,
+    /// Strategy involved, when the invariant is strategy-specific.
+    pub strategy: Option<Strategy>,
+    /// Human-readable description of the original failure.
+    pub detail: String,
+}
+
+/// One observed invariant violation, carrying its reproducer.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The reproducing case.
+    pub repro: Reproducer,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}): {} [query {}, {} views, doc seed {}]",
+            self.repro.invariant,
+            self.repro
+                .strategy
+                .map(|s| s.as_str())
+                .unwrap_or("strategy-independent"),
+            self.repro.detail,
+            self.repro.query,
+            self.repro.views.len(),
+            self.repro.doc.seed,
+        )
+    }
+}
+
+impl Reproducer {
+    /// Serialize to the corpus text format (parsed by
+    /// [`Reproducer::from_text`]).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# xvr-oracle reproducer — replayed by tests/oracle_corpus.rs\n");
+        out.push_str(&format!("invariant: {}\n", self.invariant));
+        if let Some(s) = self.strategy {
+            out.push_str(&format!("strategy: {}\n", s.as_str().to_ascii_lowercase()));
+        }
+        if !self.detail.is_empty() {
+            out.push_str(&format!("detail: {}\n", self.detail.replace('\n', " ")));
+        }
+        out.push_str(&format!("doc.seed: {}\n", self.doc.seed));
+        out.push_str(&format!("doc.people: {}\n", self.doc.people));
+        out.push_str(&format!("doc.items: {}\n", self.doc.items));
+        out.push_str(&format!("doc.open_auctions: {}\n", self.doc.open_auctions));
+        out.push_str(&format!(
+            "doc.closed_auctions: {}\n",
+            self.doc.closed_auctions
+        ));
+        out.push_str(&format!("doc.categories: {}\n", self.doc.categories));
+        for v in &self.views {
+            out.push_str(&format!("view: {v}\n"));
+        }
+        out.push_str(&format!("query: {}\n", self.query));
+        out
+    }
+
+    /// Parse the corpus text format.
+    pub fn from_text(text: &str) -> Result<Reproducer, String> {
+        let mut doc = Config {
+            people: 0,
+            items: 0,
+            open_auctions: 0,
+            closed_auctions: 0,
+            categories: 0,
+            seed: 0,
+        };
+        let mut views = Vec::new();
+        let mut query = None;
+        let mut invariant = None;
+        let mut strategy = None;
+        let mut detail = String::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once(':')
+                .ok_or_else(|| format!("line {}: expected `key: value`", lineno + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            let parse_num = |v: &str| {
+                v.parse::<usize>()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))
+            };
+            match key {
+                "invariant" => {
+                    invariant = Some(
+                        Invariant::parse(value)
+                            .ok_or_else(|| format!("unknown invariant `{value}`"))?,
+                    )
+                }
+                "strategy" => {
+                    strategy = Some(
+                        Strategy::parse(value)
+                            .ok_or_else(|| format!("unknown strategy `{value}`"))?,
+                    )
+                }
+                "detail" => detail = value.to_string(),
+                "doc.seed" => doc.seed = parse_num(value)? as u64,
+                "doc.people" => doc.people = parse_num(value)?,
+                "doc.items" => doc.items = parse_num(value)?,
+                "doc.open_auctions" => doc.open_auctions = parse_num(value)?,
+                "doc.closed_auctions" => doc.closed_auctions = parse_num(value)?,
+                "doc.categories" => doc.categories = parse_num(value)?,
+                "view" => views.push(value.to_string()),
+                "query" => query = Some(value.to_string()),
+                other => return Err(format!("line {}: unknown key `{other}`", lineno + 1)),
+            }
+        }
+        Ok(Reproducer {
+            doc,
+            views,
+            query: query.ok_or("missing `query:` line")?,
+            invariant: invariant.ok_or("missing `invariant:` line")?,
+            strategy,
+            detail,
+        })
+    }
+
+    /// A stable, content-derived corpus file name.
+    pub fn file_name(&self) -> String {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.to_text().bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        format!("{}-{:08x}.case", self.invariant, hash as u32)
+    }
+
+    /// Write into `dir` (created if absent); returns the path.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_text())?;
+        Ok(path)
+    }
+}
+
+/// Load every `*.case` file under `dir` (sorted by file name). A missing
+/// directory is an empty corpus.
+pub fn load_corpus(dir: &Path) -> io::Result<Vec<(PathBuf, Reproducer)>> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let text = std::fs::read_to_string(&path)?;
+        let repro = Reproducer::from_text(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {e}")))?;
+        out.push((path, repro));
+    }
+    Ok(out)
+}
+
+/// Oracle knobs.
+#[derive(Clone, Debug)]
+pub struct OracleConfig {
+    /// Strategies to cross-check (default: all six).
+    pub strategies: Vec<Strategy>,
+    /// Engine construction knobs for every rebuilt case.
+    pub engine: EngineConfig,
+    /// Planted bug, for testing the oracle itself.
+    pub injection: Injection,
+    /// Parallelism level compared against sequential in the
+    /// jobs-determinism check (0 disables the check).
+    pub jobs: usize,
+}
+
+impl Default for OracleConfig {
+    fn default() -> OracleConfig {
+        OracleConfig {
+            strategies: Strategy::all_extended().to_vec(),
+            engine: EngineConfig::default(),
+            injection: Injection::None,
+            jobs: 4,
+        }
+    }
+}
+
+/// One randomized (document, view set, query workload) instance.
+#[derive(Clone, Debug)]
+pub struct CaseSpec {
+    /// Document generator parameters.
+    pub doc: Config,
+    /// Seed of the view-set generator.
+    pub view_seed: u64,
+    /// Seed of the query generator.
+    pub query_seed: u64,
+    /// Views to materialize.
+    pub n_views: usize,
+    /// Queries to generate (each is one (doc, views, query) case).
+    pub n_queries: usize,
+}
+
+/// SplitMix64, used to derive independent sub-seeds from a master seed.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl CaseSpec {
+    /// Derive the `index`-th case of `master_seed`: independent document,
+    /// view, and query seeds, with the document size cycling through three
+    /// variants so truncation-sensitive behavior gets exercised.
+    pub fn derive(master_seed: u64, index: usize, n_views: usize, n_queries: usize) -> CaseSpec {
+        let base = mix(master_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut doc = Config::tiny(mix(base));
+        match index % 3 {
+            0 => {}
+            1 => {
+                // Slimmer: fewer deep auction subtrees, denser people.
+                doc.people = 40;
+                doc.items = 15;
+                doc.open_auctions = 8;
+                doc.closed_auctions = 5;
+                doc.categories = 4;
+            }
+            _ => {
+                // Wider: more recursion-heavy items.
+                doc.people = 15;
+                doc.items = 60;
+                doc.open_auctions = 30;
+                doc.closed_auctions = 20;
+                doc.categories = 10;
+            }
+        }
+        CaseSpec {
+            doc,
+            view_seed: mix(base ^ 1),
+            query_seed: mix(base ^ 2),
+            n_views,
+            n_queries,
+        }
+    }
+}
+
+/// Outcome of checking one [`CaseSpec`] (or one replayed reproducer).
+#[derive(Clone, Debug, Default)]
+pub struct CaseOutcome {
+    /// (document, view set, query) triples checked.
+    pub queries: usize,
+    /// Per-strategy successful view answers (guards against vacuity).
+    pub answered: usize,
+    /// Invariant violations, each with a reproducer.
+    pub violations: Vec<Violation>,
+}
+
+impl CaseOutcome {
+    fn merge(&mut self, other: CaseOutcome) {
+        self.queries += other.queries;
+        self.answered += other.answered;
+        self.violations.extend(other.violations);
+    }
+}
+
+/// Apply the planted bug to an `Hv` result/trace pair.
+fn inject(
+    injection: Injection,
+    strategy: Strategy,
+    result: &mut Result<crate::engine::Answer, AnswerError>,
+    trace: &mut AnswerTrace,
+    all_views: &[crate::view::ViewId],
+) {
+    if strategy != Strategy::Hv {
+        return;
+    }
+    match injection {
+        Injection::None => {}
+        Injection::DropLastCode => {
+            if let Ok(a) = result {
+                a.codes.pop();
+            }
+        }
+        Injection::ClaimFilteredView => {
+            if result.is_ok() {
+                // Claim a unit on some view selection was *not* allowed to
+                // use; if every view is usable there is nothing to claim.
+                if let Some(&v) = all_views.iter().find(|v| !trace.usable.contains(v)) {
+                    let m = trace
+                        .units
+                        .first()
+                        .map(|u| u.1)
+                        .unwrap_or(xvr_pattern::PNodeId(0));
+                    trace.units.push((v, m));
+                }
+            }
+        }
+    }
+}
+
+/// Run every check for a single query against a prepared snapshot.
+/// `view_srcs` are the XPath renderings used for reproducers.
+fn check_query(
+    snap: &EngineSnapshot,
+    doc_cfg: &Config,
+    view_srcs: &[String],
+    q: &TreePattern,
+    relax_seed: u64,
+    cfg: &OracleConfig,
+) -> CaseOutcome {
+    let labels = snap.labels();
+    let query_src = q.display(labels).to_string();
+    let mut out = CaseOutcome {
+        queries: 1,
+        ..CaseOutcome::default()
+    };
+    let fail = |invariant: Invariant, strategy: Option<Strategy>, detail: String| Violation {
+        repro: Reproducer {
+            doc: doc_cfg.clone(),
+            views: view_srcs.to_vec(),
+            query: query_src.clone(),
+            invariant,
+            strategy,
+            detail,
+        },
+    };
+    let ground = snap
+        .answer(q, Strategy::Bn)
+        .expect("Bn always answers")
+        .codes;
+
+    // VFILTER soundness: any view with a homomorphism into the query must
+    // survive the filter.
+    let filter = snap.filter(q);
+    for view in snap.views().iter() {
+        if contains(&view.pattern, q) && !filter.candidates.contains(&view.id) {
+            out.violations.push(fail(
+                Invariant::FilterSoundness,
+                None,
+                format!(
+                    "view {} contains the query but was filtered",
+                    view.pattern.display(labels)
+                ),
+            ));
+        }
+    }
+
+    let all_ids: Vec<crate::view::ViewId> = snap.views().ids().collect();
+    let mut answerable = [false; 6];
+    let strategy_slot = |s: Strategy| Strategy::all_extended().iter().position(|&x| x == s);
+    for &s in &cfg.strategies {
+        if s == Strategy::Bn {
+            continue; // the ground truth itself
+        }
+        let (mut result, mut trace) = snap.answer_traced(q, s);
+        inject(cfg.injection, s, &mut result, &mut trace, &all_ids);
+        if !trace.units_within_candidates() {
+            out.violations.push(fail(
+                Invariant::FilteredViewUsed,
+                Some(s),
+                "rewriting consumed a view outside the usable candidates".into(),
+            ));
+        }
+        match result {
+            Ok(a) => {
+                if let Some(i) = strategy_slot(s) {
+                    answerable[i] = true;
+                }
+                out.answered += usize::from(!matches!(s, Strategy::Bf));
+                if a.codes != ground {
+                    out.violations.push(fail(
+                        Invariant::Differential,
+                        Some(s),
+                        format!(
+                            "answer has {} codes, direct evaluation {}",
+                            a.codes.len(),
+                            ground.len()
+                        ),
+                    ));
+                }
+            }
+            Err(AnswerError::NotAnswerable) => {}
+            Err(AnswerError::Rewrite(e)) => {
+                // Selection committed to a plan; with complete
+                // materializations the rewrite stage must not fail.
+                if trace.selection_found() {
+                    out.violations.push(fail(
+                        Invariant::AnswerableMustRewrite,
+                        Some(s),
+                        format!("selection found a plan but rewriting failed: {e}"),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Minimal ⊆ exhaustive (answerability direction): Mv's candidates are
+    // a subset of Mn's, so Mv answering implies Mn answering.
+    let (mv, mn) = (strategy_slot(Strategy::Mv), strategy_slot(Strategy::Mn));
+    if let (Some(mv), Some(mn)) = (mv, mn) {
+        if answerable[mv]
+            && !answerable[mn]
+            && cfg.strategies.contains(&Strategy::Mv)
+            && cfg.strategies.contains(&Strategy::Mn)
+        {
+            out.violations.push(fail(
+                Invariant::MinimumMonotonicity,
+                Some(Strategy::Mn),
+                "Mv answered but Mn (superset candidates) did not".into(),
+            ));
+        }
+    }
+
+    // Containment monotonicity: a sound generalization of the query may
+    // only grow the answer set.
+    if let Some(wider) = relax(q, relax_seed) {
+        if contains(&wider, q) {
+            let wide: BTreeSet<DeweyCode> = snap
+                .answer(&wider, Strategy::Bn)
+                .expect("Bn always answers")
+                .codes
+                .into_iter()
+                .collect();
+            if let Some(lost) = ground.iter().find(|c| !wide.contains(c)) {
+                out.violations.push(fail(
+                    Invariant::ContainmentMonotonicity,
+                    Some(Strategy::Bn),
+                    format!(
+                        "code {lost} answers {} but not the relaxation {}",
+                        query_src,
+                        wider.display(labels)
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Batch determinism: for each strategy, `answer_batch` at `jobs` must
+/// reproduce the sequential outcomes exactly, in input order.
+fn check_jobs_determinism(
+    snap: &EngineSnapshot,
+    doc_cfg: &Config,
+    view_srcs: &[String],
+    queries: &[TreePattern],
+    cfg: &OracleConfig,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if cfg.jobs <= 1 || queries.is_empty() {
+        return violations;
+    }
+    for &s in &cfg.strategies {
+        let sequential = snap.answer_batch(queries, s, 1);
+        let parallel = snap.answer_batch(queries, s, cfg.jobs);
+        for (i, (a, b)) in sequential.answers.iter().zip(&parallel.answers).enumerate() {
+            let same = match (a, b) {
+                (Ok(x), Ok(y)) => x.codes == y.codes,
+                (Err(x), Err(y)) => x == y,
+                _ => false,
+            };
+            if !same {
+                violations.push(Violation {
+                    repro: Reproducer {
+                        doc: doc_cfg.clone(),
+                        views: view_srcs.to_vec(),
+                        query: queries[i].display(snap.labels()).to_string(),
+                        invariant: Invariant::JobsDeterminism,
+                        strategy: Some(s),
+                        detail: format!("jobs=1 and jobs={} disagree", cfg.jobs),
+                    },
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// Run all checks for one [`CaseSpec`]: generate the document, the view
+/// set (paper workload), and `n_queries` queries (alternating the paper's
+/// workload with the adversarial one), then cross-check every strategy.
+pub fn run_case(spec: &CaseSpec, cfg: &OracleConfig) -> CaseOutcome {
+    let doc = generate(&spec.doc);
+    let views = xvr_pattern::distinct_positive_patterns(
+        &doc,
+        QueryConfig::paper_view_workload(spec.view_seed),
+        spec.n_views,
+    );
+    let view_srcs: Vec<String> = views
+        .iter()
+        .map(|v| v.display(&doc.labels).to_string())
+        .collect();
+    let mut paper =
+        QueryGenerator::new(&doc.fst, QueryConfig::paper_query_workload(spec.query_seed));
+    let mut adversarial = QueryGenerator::new(
+        &doc.fst,
+        QueryConfig::adversarial_workload(mix(spec.query_seed)),
+    );
+    let mut queries: Vec<TreePattern> = Vec::with_capacity(spec.n_queries);
+    for i in 0..spec.n_queries {
+        let gen = if i % 2 == 0 {
+            &mut paper
+        } else {
+            &mut adversarial
+        };
+        // Prefer positive queries; keep negatives occasionally (empty
+        // answers are a legitimate differential case).
+        match gen.generate_positive(&doc, 20) {
+            Some(q) => queries.push(q),
+            None => queries.push(gen.generate()),
+        }
+    }
+    let mut engine = Engine::new(doc, cfg.engine.clone());
+    for v in views {
+        engine.add_view(v);
+    }
+    let snap = engine.snapshot();
+    let mut out = CaseOutcome::default();
+    for (i, q) in queries.iter().enumerate() {
+        out.merge(check_query(
+            &snap,
+            &spec.doc,
+            &view_srcs,
+            q,
+            mix(spec.query_seed ^ (i as u64)),
+            cfg,
+        ));
+    }
+    out.violations.extend(check_jobs_determinism(
+        &snap, &spec.doc, &view_srcs, &queries, cfg,
+    ));
+    out
+}
+
+/// Replay a reproducer: rebuild its document, views, and query, and re-run
+/// every check. Returns the violations observed (empty = the case holds,
+/// i.e. the regression stays fixed).
+pub fn replay(repro: &Reproducer, cfg: &OracleConfig) -> Result<Vec<Violation>, String> {
+    let doc = generate(&repro.doc);
+    let mut engine = Engine::new(doc, cfg.engine.clone());
+    for v in &repro.views {
+        engine
+            .add_view_str(v)
+            .map_err(|e| format!("view `{v}`: {e}"))?;
+    }
+    let q = engine
+        .parse(&repro.query)
+        .map_err(|e| format!("query `{}`: {e}", repro.query))?;
+    let snap = engine.snapshot();
+    let mut out = check_query(&snap, &repro.doc, &repro.views, &q, repro.doc.seed, cfg);
+    // Exercise batch determinism too (duplicate the query so jobs > 1
+    // actually fans out).
+    let batch: Vec<TreePattern> = vec![q.clone(), q.clone(), q];
+    out.violations.extend(check_jobs_determinism(
+        &snap,
+        &repro.doc,
+        &repro.views,
+        &batch,
+        cfg,
+    ));
+    Ok(out.violations)
+}
+
+/// Does replaying `repro` still violate its recorded invariant?
+fn still_fails(repro: &Reproducer, cfg: &OracleConfig) -> bool {
+    replay(repro, cfg)
+        .map(|vs| vs.iter().any(|v| v.repro.invariant == repro.invariant))
+        .unwrap_or(false)
+}
+
+/// Shrink a failing reproducer: greedily drop views, truncate the
+/// document, and prune query branches, keeping every step that still
+/// violates the same invariant. Deterministic and bounded.
+pub fn shrink(repro: &Reproducer, cfg: &OracleConfig) -> Reproducer {
+    let mut best = repro.clone();
+    // Pass 1 + 4: drop views one at a time until a fixpoint.
+    let drop_views = |best: &mut Reproducer| loop {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < best.views.len() {
+            if best.views.len() == 1 {
+                break;
+            }
+            let mut candidate = best.clone();
+            candidate.views.remove(i);
+            if still_fails(&candidate, cfg) {
+                *best = candidate;
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    };
+    drop_views(&mut best);
+    // Pass 2: truncate the document (halving each knob, then floor 1).
+    let fields: [fn(&mut Config) -> &mut usize; 5] = [
+        |c| &mut c.people,
+        |c| &mut c.items,
+        |c| &mut c.open_auctions,
+        |c| &mut c.closed_auctions,
+        |c| &mut c.categories,
+    ];
+    loop {
+        let mut progressed = false;
+        for field in fields {
+            loop {
+                let current = {
+                    let mut probe = best.doc.clone();
+                    *field(&mut probe)
+                };
+                if current <= 1 {
+                    break;
+                }
+                let mut candidate = best.clone();
+                *field(&mut candidate.doc) = (current / 2).max(1);
+                if still_fails(&candidate, cfg) {
+                    best = candidate;
+                    progressed = true;
+                } else {
+                    break;
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    // Pass 3: prune query branches (subtrees off the answer's root path).
+    if let Ok((q, labels)) = parse_pattern(&best.query) {
+        let mut q = q;
+        loop {
+            let prunable: Vec<_> = q
+                .ids()
+                .filter(|&n| n != q.root() && !q.is_ancestor_or_self(n, q.answer()))
+                .collect();
+            let mut progressed = false;
+            for n in prunable {
+                let candidate_pattern = q.without_subtree(n);
+                let mut candidate = best.clone();
+                candidate.query = candidate_pattern.display(&labels).to_string();
+                if still_fails(&candidate, cfg) {
+                    best = candidate;
+                    q = candidate_pattern;
+                    progressed = true;
+                    break; // node ids shifted; re-enumerate
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+    drop_views(&mut best);
+    best
+}
+
+/// Summary of a whole seed sweep.
+#[derive(Clone, Debug, Default)]
+pub struct RunSummary {
+    /// Case specs (documents × view sets) built.
+    pub cases: usize,
+    /// (document, view set, query) triples checked.
+    pub queries: usize,
+    /// Successful view-strategy answers across all triples.
+    pub answered: usize,
+    /// Violations, already shrunk.
+    pub violations: Vec<Violation>,
+}
+
+/// Sweep one master seed: `docs` derived cases, each with its own view
+/// set and `queries`-query workload. Violations are shrunk before being
+/// returned (at most `max_shrunk` are shrunk; the rest are returned
+/// as-is to bound runtime on catastrophic regressions).
+pub fn run_seed(
+    master_seed: u64,
+    docs: usize,
+    n_views: usize,
+    n_queries: usize,
+    cfg: &OracleConfig,
+) -> RunSummary {
+    let mut summary = RunSummary::default();
+    const MAX_SHRUNK: usize = 4;
+    for index in 0..docs {
+        let spec = CaseSpec::derive(master_seed, index, n_views, n_queries);
+        let outcome = run_case(&spec, cfg);
+        summary.cases += 1;
+        summary.queries += outcome.queries;
+        summary.answered += outcome.answered;
+        for v in outcome.violations {
+            if summary.violations.len() < MAX_SHRUNK {
+                summary.violations.push(Violation {
+                    repro: shrink(&v.repro, cfg),
+                });
+            } else {
+                summary.violations.push(v);
+            }
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> OracleConfig {
+        OracleConfig::default()
+    }
+
+    fn small_spec(seed: u64) -> CaseSpec {
+        CaseSpec::derive(seed, 0, 12, 6)
+    }
+
+    #[test]
+    fn clean_pipeline_has_no_violations() {
+        for seed in [1u64, 2, 3] {
+            let outcome = run_case(&small_spec(seed), &small_cfg());
+            assert!(
+                outcome.violations.is_empty(),
+                "seed {seed}: {}",
+                outcome.violations[0]
+            );
+            assert_eq!(outcome.queries, 6);
+        }
+    }
+
+    #[test]
+    fn oracle_answers_are_nonvacuous() {
+        let mut answered = 0;
+        for seed in 0..4u64 {
+            answered += run_case(&small_spec(seed), &small_cfg()).answered;
+        }
+        assert!(answered > 0, "no query was ever answered from views");
+    }
+
+    #[test]
+    fn injected_rewriting_bug_is_caught_and_shrunk() {
+        let cfg = OracleConfig {
+            injection: Injection::DropLastCode,
+            ..OracleConfig::default()
+        };
+        let mut caught = None;
+        for seed in 0..12u64 {
+            let outcome = run_case(&small_spec(seed), &cfg);
+            if let Some(v) = outcome
+                .violations
+                .iter()
+                .find(|v| v.repro.invariant == Invariant::Differential)
+            {
+                caught = Some(v.clone());
+                break;
+            }
+        }
+        let v = caught.expect("DropLastCode must trip the differential check");
+        assert_eq!(v.repro.strategy, Some(Strategy::Hv));
+        let shrunk = shrink(&v.repro, &cfg);
+        assert!(shrunk.views.len() <= v.repro.views.len());
+        assert!(
+            still_fails(&shrunk, &cfg),
+            "shrunk case no longer reproduces"
+        );
+        // The same case must pass once the bug is gone — corpus semantics.
+        assert!(
+            !still_fails(&shrunk, &small_cfg()),
+            "case fails even without the injection"
+        );
+    }
+
+    #[test]
+    fn injected_filter_claim_is_caught() {
+        let cfg = OracleConfig {
+            injection: Injection::ClaimFilteredView,
+            ..OracleConfig::default()
+        };
+        let caught = (0..12u64).any(|seed| {
+            run_case(&small_spec(seed), &cfg)
+                .violations
+                .iter()
+                .any(|v| v.repro.invariant == Invariant::FilteredViewUsed)
+        });
+        assert!(caught, "ClaimFilteredView must trip the usage check");
+    }
+
+    #[test]
+    fn reproducer_text_round_trips() {
+        let repro = Reproducer {
+            doc: Config::tiny(99),
+            views: vec!["//site//item[name]/location".into(), "//person/name".into()],
+            query: "/site/people/person[profile/age]/name".into(),
+            invariant: Invariant::Differential,
+            strategy: Some(Strategy::Hv),
+            detail: "answer has 3 codes, direct evaluation 4".into(),
+        };
+        let text = repro.to_text();
+        let back = Reproducer::from_text(&text).unwrap();
+        assert_eq!(back.to_text(), text);
+        assert_eq!(back.invariant, Invariant::Differential);
+        assert_eq!(back.strategy, Some(Strategy::Hv));
+        assert_eq!(back.views, repro.views);
+        assert_eq!(back.doc.seed, 99);
+    }
+
+    #[test]
+    fn replay_of_clean_case_is_clean() {
+        // Any reproducer built from a healthy pipeline must replay clean.
+        let spec = small_spec(7);
+        let doc = generate(&spec.doc);
+        let views = xvr_pattern::distinct_positive_patterns(
+            &doc,
+            QueryConfig::paper_view_workload(spec.view_seed),
+            8,
+        );
+        let srcs: Vec<String> = views
+            .iter()
+            .map(|v| v.display(&doc.labels).to_string())
+            .collect();
+        let mut gen = QueryGenerator::new(&doc.fst, QueryConfig::paper_query_workload(3));
+        let q = gen.generate_positive(&doc, 50).unwrap();
+        let repro = Reproducer {
+            doc: spec.doc.clone(),
+            views: srcs,
+            query: q.display(&doc.labels).to_string(),
+            invariant: Invariant::Differential,
+            strategy: Some(Strategy::Hv),
+            detail: String::new(),
+        };
+        let violations = replay(&repro, &small_cfg()).unwrap();
+        assert!(violations.is_empty(), "{}", violations[0]);
+    }
+
+    #[test]
+    fn corpus_io_round_trips() {
+        let dir = std::env::temp_dir().join(format!("xvr-oracle-corpus-{}", std::process::id()));
+        let repro = Reproducer {
+            doc: Config::tiny(5),
+            views: vec!["//site//name".into()],
+            query: "//site//name".into(),
+            invariant: Invariant::JobsDeterminism,
+            strategy: Some(Strategy::Mv),
+            detail: String::new(),
+        };
+        let path = repro.write_to(&dir).unwrap();
+        let loaded = load_corpus(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].0, path);
+        assert_eq!(loaded[0].1.to_text(), repro.to_text());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

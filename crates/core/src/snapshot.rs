@@ -64,6 +64,40 @@ const _: () = {
     assert_send_sync::<EngineSnapshot>();
 };
 
+/// Provenance of one answering attempt: which views the pipeline was
+/// allowed to touch and which ones the rewriting actually consumed.
+///
+/// This is the introspection hook of the differential/metamorphic oracle
+/// ([`crate::oracle`]): VFILTER soundness is checked as "every unit the
+/// rewriting joined appears among the usable candidates", and answerability
+/// invariants compare `selection_found` across strategies. For the base
+/// strategies (`Bn`, `Bf`) every field is empty.
+#[derive(Clone, Debug, Default)]
+pub struct AnswerTrace {
+    /// Views selection was allowed to use: filter survivors (all views for
+    /// `Mn`) that have a complete materialization, ascending by id.
+    pub usable: Vec<ViewId>,
+    /// The `(view, m)` units the selected rewriting joins — each selected
+    /// view paired with the query node its answers bind to. A view joined
+    /// at two positions appears twice.
+    pub units: Vec<(ViewId, xvr_pattern::PNodeId)>,
+    /// Index into `units` of the anchor unit (the one whose fragments the
+    /// final answer is extracted from), when a selection exists.
+    pub anchor: Option<usize>,
+}
+
+impl AnswerTrace {
+    /// Whether selection produced a rewriting plan.
+    pub fn selection_found(&self) -> bool {
+        self.anchor.is_some()
+    }
+
+    /// Every view a unit consumed is among the usable candidates.
+    pub fn units_within_candidates(&self) -> bool {
+        self.units.iter().all(|(v, _)| self.usable.contains(v))
+    }
+}
+
 /// Result of [`EngineSnapshot::answer_batch`]: per-query outcomes plus
 /// aggregate accounting.
 #[derive(Clone, Debug)]
@@ -159,6 +193,17 @@ impl EngineSnapshot {
         q: &TreePattern,
         strategy: Strategy,
     ) -> (Option<Selection>, StageTimings, usize) {
+        let (selection, timings, usable) = self.lookup_full(q, strategy);
+        (selection, timings, usable.len())
+    }
+
+    /// [`Self::lookup`] returning the usable candidate list itself rather
+    /// than its size (the oracle's trace needs the ids).
+    fn lookup_full(
+        &self,
+        q: &TreePattern,
+        strategy: Strategy,
+    ) -> (Option<Selection>, StageTimings, Vec<ViewId>) {
         let obligations = Obligations::of(q);
         let mut timings = StageTimings::default();
         let (candidates, lists): (Vec<ViewId>, Option<FilterOutcome>) = match strategy {
@@ -205,7 +250,7 @@ impl EngineSnapshot {
             _ => unreachable!(),
         };
         timings.selection_us = t0.elapsed().as_micros();
-        (selection, timings, usable.len())
+        (selection, timings, usable)
     }
 
     /// Produce a human-readable plan for answering `q` under a view
@@ -259,19 +304,57 @@ impl EngineSnapshot {
                 })
             }
             Strategy::Mn | Strategy::Mv | Strategy::Hv | Strategy::Cb => {
-                let (selection, mut timings, candidates) = self.lookup(q, strategy);
-                let selection = selection.ok_or(AnswerError::NotAnswerable)?;
+                self.answer_traced(q, strategy).0
+            }
+        }
+    }
+
+    /// Answer `q` under `strategy`, also reporting the [`AnswerTrace`] —
+    /// which views selection was allowed to use and which `(view, m)`
+    /// units the rewriting actually joined.
+    ///
+    /// The trace is returned even when answering fails (it then records
+    /// the usable candidates and no units), which is what lets the oracle
+    /// distinguish "filtered away" from "selection gave up". For the base
+    /// strategies the trace is empty.
+    pub fn answer_traced(
+        &self,
+        q: &TreePattern,
+        strategy: Strategy,
+    ) -> (Result<Answer, AnswerError>, AnswerTrace) {
+        match strategy {
+            Strategy::Bn | Strategy::Bf => (self.answer(q, strategy), AnswerTrace::default()),
+            Strategy::Mn | Strategy::Mv | Strategy::Hv | Strategy::Cb => {
+                let (selection, mut timings, usable) = self.lookup_full(q, strategy);
+                let mut trace = AnswerTrace {
+                    usable,
+                    units: Vec::new(),
+                    anchor: None,
+                };
+                let Some(selection) = selection else {
+                    return (Err(AnswerError::NotAnswerable), trace);
+                };
+                trace.units = selection
+                    .units
+                    .iter()
+                    .map(|u| (u.view, u.cover.m))
+                    .collect();
+                trace.anchor = Some(selection.anchor);
+                let candidates = trace.usable.len();
                 let t0 = Instant::now();
-                let codes = rewrite(q, &selection, &self.views, &self.store, &self.doc.fst)
-                    .map_err(AnswerError::Rewrite)?;
+                let codes = match rewrite(q, &selection, &self.views, &self.store, &self.doc.fst) {
+                    Ok(codes) => codes,
+                    Err(e) => return (Err(AnswerError::Rewrite(e)), trace),
+                };
                 timings.rewrite_us = t0.elapsed().as_micros();
-                Ok(Answer {
+                let answer = Answer {
                     codes,
                     strategy,
                     timings,
                     views_used: selection.view_ids(),
                     candidates,
-                })
+                };
+                (Ok(answer), trace)
             }
         }
     }

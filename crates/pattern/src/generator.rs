@@ -78,6 +78,25 @@ impl QueryConfig {
         }
     }
 
+    /// Adversarial shapes for the differential oracle: deeper trunks,
+    /// heavy `//` and `*` use, and several multi-step predicates — the
+    /// corners where normalization (`s//*/t ≡ s/*//t`), VFILTER matching,
+    /// and leaf-cover composition earn their keep. Much harder on the
+    /// containment machinery than the paper's workloads.
+    pub fn adversarial_workload(seed: u64) -> QueryConfig {
+        QueryConfig {
+            max_depth: 6,
+            prob_wild: 0.35,
+            prob_desc: 0.45,
+            num_pred: 3,
+            nested_path_len: 3,
+            prob_attr: 0.0,
+            attr_name: None,
+            attr_labels: Vec::new(),
+            seed,
+        }
+    }
+
     /// Enable attribute predicates: attach `[@name]` with probability
     /// `prob` to generated nodes whose backbone label is in `labels`.
     pub fn with_attrs(mut self, prob: f64, name: Label, labels: Vec<Label>) -> QueryConfig {
@@ -287,6 +306,60 @@ pub fn distinct_positive_patterns(
     out
 }
 
+/// One sound generalization move applicable to a pattern.
+#[derive(Clone, Copy, Debug)]
+enum RelaxMove {
+    /// Render a labeled node as `*`.
+    Widen(PNodeId),
+    /// Turn the `/` edge entering a node into `//`.
+    Loosen(PNodeId),
+    /// Drop a whole branch (a subtree not containing the answer).
+    Prune(PNodeId),
+    /// Drop a node's attribute predicates.
+    Unattr(PNodeId),
+}
+
+/// Produce a pattern `q'` with `q ⊑ q'` by one random *sound
+/// generalization* of `q`: relabel a node to `*`, turn a `/` edge into
+/// `//`, drop a branch predicate, or drop an attribute predicate. Every
+/// move only widens the set of matching embeddings (the identity mapping
+/// of the remaining nodes is a homomorphism from `q'` into `q`), so
+/// `ans(q) ⊆ ans(q')` must hold on every document — the oracle's
+/// containment-monotonicity invariant.
+///
+/// Returns `None` when the pattern is already fully general (`//*` chains
+/// with no branches or attributes).
+pub fn relax(p: &TreePattern, seed: u64) -> Option<TreePattern> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut moves: Vec<RelaxMove> = Vec::new();
+    for n in p.ids() {
+        if matches!(p.label(n), PLabel::Lab(_)) {
+            moves.push(RelaxMove::Widen(n));
+        }
+        if p.axis(n) == Axis::Child {
+            moves.push(RelaxMove::Loosen(n));
+        }
+        if n != p.root() && !p.is_ancestor_or_self(n, p.answer()) {
+            moves.push(RelaxMove::Prune(n));
+        }
+        if !p.node(n).attrs.is_empty() {
+            moves.push(RelaxMove::Unattr(n));
+        }
+    }
+    if moves.is_empty() {
+        return None;
+    }
+    let mv = moves[rng.gen_range(0..moves.len())];
+    let mut out = p.clone();
+    match mv {
+        RelaxMove::Widen(n) => out.set_label(n, PLabel::Wild),
+        RelaxMove::Loosen(n) => out.set_axis(n, Axis::Descendant),
+        RelaxMove::Prune(n) => out = p.without_subtree(n),
+        RelaxMove::Unattr(n) => out.clear_attrs(n),
+    }
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,6 +409,37 @@ mod tests {
         for p in &ps {
             assert!(seen.insert(p.display(&doc.labels).to_string()));
         }
+    }
+
+    #[test]
+    fn relax_is_a_sound_generalization() {
+        let doc = generate(&Config::tiny(21));
+        let mut g = QueryGenerator::new(&doc.fst, QueryConfig::adversarial_workload(3));
+        let mut relaxed_any = false;
+        for i in 0..60u64 {
+            let q = g.generate();
+            let Some(wider) = relax(&q, i) else { continue };
+            relaxed_any = true;
+            assert!(
+                crate::containment::contains(&wider, &q),
+                "{} does not contain {}",
+                wider.display(&doc.labels),
+                q.display(&doc.labels)
+            );
+            let narrow = eval(&q, &doc.tree);
+            let wide = eval(&wider, &doc.tree);
+            for n in &narrow {
+                assert!(wide.contains(n), "answer lost by relaxing");
+            }
+        }
+        assert!(relaxed_any, "no pattern admitted a relaxation move");
+    }
+
+    #[test]
+    fn relax_exhausts_on_fully_general_patterns() {
+        // //* with no branches or attributes: nothing left to generalize.
+        let p = TreePattern::with_root(Axis::Descendant, PLabel::Wild);
+        assert!(relax(&p, 0).is_none());
     }
 
     #[test]

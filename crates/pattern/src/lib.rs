@@ -35,7 +35,9 @@ pub use containment::{
 };
 pub use decompose::{decompose, Decomposition};
 pub use eval::{eval, eval_anchored, eval_bn, eval_restricted, matches_anchored, matches_boolean};
-pub use generator::{distinct_patterns, distinct_positive_patterns, QueryConfig, QueryGenerator};
+pub use generator::{
+    distinct_patterns, distinct_positive_patterns, relax, QueryConfig, QueryGenerator,
+};
 pub use holistic::{eval_bf, twig_join};
 pub use hom::{exists_hom, homomorphisms, homomorphisms_capped, Hom};
 pub use minimize::minimize;

@@ -302,6 +302,22 @@ impl TreePattern {
         self.ids().all(|n| self.children(n).len() <= 1)
     }
 
+    /// Replace the label of `node` (pattern surgery for generators and the
+    /// oracle's relaxation moves).
+    pub fn set_label(&mut self, node: PNodeId, label: PLabel) {
+        self.nodes[node.index()].label = label;
+    }
+
+    /// Replace the axis of the edge entering `node`.
+    pub fn set_axis(&mut self, node: PNodeId, axis: Axis) {
+        self.nodes[node.index()].axis = axis;
+    }
+
+    /// Remove every attribute predicate from `node`.
+    pub fn clear_attrs(&mut self, node: PNodeId) {
+        self.nodes[node.index()].attrs.clear();
+    }
+
     /// Rebuild the pattern without the subtree rooted at `drop`, keeping the
     /// answer node (which must not be inside the dropped subtree).
     ///

@@ -166,3 +166,110 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Named regressions. These cases were once discovered by the property tests
+// above and recorded in `filtering_soundness.proptest-regressions`; the
+// vendored proptest stand-in does not read that file, so the shrunk inputs
+// are reconstructed here as deterministic tests that always run.
+// ---------------------------------------------------------------------------
+
+fn lab(i: usize) -> PLabel {
+    PLabel::Lab(Label::from_index(i))
+}
+
+fn vfilter_candidates_cover(view: &TreePattern, q: &TreePattern) {
+    let labels = alphabet();
+    let mut views = ViewSet::new();
+    views.add(view.clone());
+    let nfa = build_nfa(&views);
+    let outcome = filter_views(q, &views, &nfa);
+    for v in views.iter() {
+        if contains(&v.pattern, q) {
+            assert!(
+                outcome.candidates.contains(&v.id),
+                "view {} contains {} but was filtered",
+                v.pattern.display(&labels),
+                q.display(&labels)
+            );
+        }
+    }
+}
+
+/// `/*` vs `//*`: homomorphism path containment must agree with the complete
+/// canonical-model decision in both orientations. (First entry of the old
+/// proptest-regressions file, from `path_containment_is_exact`.)
+#[test]
+fn regression_path_containment_child_vs_descendant_wildcard() {
+    let labels = alphabet();
+    let child_wild = PathPattern::new(vec![Step {
+        axis: Axis::Child,
+        label: PLabel::Wild,
+    }]);
+    let desc_wild = PathPattern::new(vec![Step {
+        axis: Axis::Descendant,
+        label: PLabel::Wild,
+    }]);
+    for (sup, sub) in [(&child_wild, &desc_wild), (&desc_wild, &child_wild)] {
+        let hom = path_contains(sup, sub);
+        let complete = contains_complete(&TreePattern::from(sup), &TreePattern::from(sub), &labels);
+        assert_eq!(
+            hom,
+            complete,
+            "{} vs {}",
+            sup.display(&labels),
+            sub.display(&labels)
+        );
+    }
+    // Sanity on the actual decisions: as boolean patterns `/*` and `//*`
+    // are equivalent (a document has a descendant iff it has a child), and
+    // the original failure was the homomorphism test missing exactly that.
+    assert!(path_contains(&desc_wild, &child_wild));
+    assert!(path_contains(&child_wild, &desc_wild));
+}
+
+/// View `//*//a` (answer at `a`) vs query `/a[.//a]` (answer at the root):
+/// the view has a homomorphism into the query, so VFILTER must keep it.
+/// (Second entry of the old proptest-regressions file.)
+#[test]
+fn regression_vfilter_keeps_descendant_wild_view() {
+    let mut view = TreePattern::with_root(Axis::Descendant, PLabel::Wild);
+    let a = view.add_child(view.root(), Axis::Descendant, lab(0));
+    view.set_answer(a);
+
+    let mut q = TreePattern::with_root(Axis::Child, lab(0));
+    q.add_child(q.root(), Axis::Descendant, lab(0));
+    q.set_answer(q.root());
+
+    assert!(contains(&view, &q), "shrunk case premise: view ⊒ query");
+    vfilter_candidates_cover(&view, &q);
+}
+
+/// A branchy all-child view against an all-descendant query with three
+/// `.//a//a` branches. The homomorphism needs to map distinct view branches
+/// into overlapping query branches; VFILTER must not lose the view.
+/// (Third entry of the old proptest-regressions file.)
+#[test]
+fn regression_vfilter_keeps_branchy_child_view() {
+    // view = /a[a]/c[a/a]/a  with the answer on the trunk leaf `a`.
+    let mut view = TreePattern::with_root(Axis::Child, lab(0));
+    let c1 = view.add_child(view.root(), Axis::Child, lab(2));
+    let answer = view.add_child(c1, Axis::Child, lab(0));
+    view.add_child(view.root(), Axis::Child, lab(0));
+    let a4 = view.add_child(c1, Axis::Child, lab(0));
+    view.add_child(a4, Axis::Child, lab(0));
+    view.set_answer(answer);
+
+    // q = //a[.//a//a][.//a//a]//a//a with the answer two levels down the
+    // first branch.
+    let mut q = TreePattern::with_root(Axis::Descendant, lab(0));
+    let b1 = q.add_child(q.root(), Axis::Descendant, lab(0));
+    let answer = q.add_child(b1, Axis::Descendant, lab(0));
+    let b2 = q.add_child(q.root(), Axis::Descendant, lab(0));
+    q.add_child(b2, Axis::Descendant, lab(0));
+    let b3 = q.add_child(q.root(), Axis::Descendant, lab(0));
+    q.add_child(b3, Axis::Descendant, lab(0));
+    q.set_answer(answer);
+
+    vfilter_candidates_cover(&view, &q);
+}

@@ -104,6 +104,63 @@ fn repeated_appends_stay_consistent() {
     assert_eq!(direct.len(), 8 + 5);
 }
 
+/// Label-table sync across `append_xml`: a snapshot taken *before* an
+/// append that interns a brand-new label must keep decoding the old label
+/// space unchanged, while the writer resolves the new label immediately.
+/// (Regression guard: the writer mutates its label table via
+/// `Arc::make_mut`, which must copy-on-write rather than mutate the table
+/// the frozen snapshot shares.)
+#[test]
+fn append_with_new_label_leaves_snapshot_frozen() {
+    let mut engine = Engine::new(book_document(), EngineConfig::default());
+    engine.add_view_str("//s[t]/p").unwrap();
+    let frozen = engine.snapshot();
+    let q_old = frozen.parse("//s[t]/p").unwrap();
+    let before: Vec<String> = frozen
+        .answer(&q_old, Strategy::Hv)
+        .unwrap()
+        .codes
+        .iter()
+        .map(|c| c.to_string())
+        .collect();
+
+    // `z` is not in the book alphabet: the append interns a new label.
+    let root: DeweyCode = "0".parse().unwrap();
+    engine.append_xml(&root, "<z><p>appendix</p></z>").unwrap();
+
+    // The frozen snapshot neither sees the appended subtree nor the new
+    // label: its answers are byte-identical, and parsing `//z` resolves to
+    // a fresh non-matching label, so it evaluates to the empty answer.
+    let after: Vec<String> = frozen
+        .answer(&q_old, Strategy::Hv)
+        .unwrap()
+        .codes
+        .iter()
+        .map(|c| c.to_string())
+        .collect();
+    assert_eq!(after, before);
+    let q_new = frozen.parse("//z/p").unwrap();
+    assert!(frozen
+        .answer(&q_new, Strategy::Bn)
+        .unwrap()
+        .codes
+        .is_empty());
+
+    // The writer resolves the new label: direct evaluation finds the
+    // appended node, and a post-append snapshot decodes it too.
+    let q_new = engine.parse("//z/p").unwrap();
+    assert_eq!(engine.answer(&q_new, Strategy::Bn).unwrap().codes.len(), 1);
+    let thawed = engine.snapshot();
+    assert_eq!(thawed.answer(&q_new, Strategy::Bn).unwrap().codes.len(), 1);
+    // And the old query now also covers the appended <p> via its view
+    // (the append rematerializes affected views in the writer).
+    let q_old_w = engine.parse("//s[t]/p").unwrap();
+    assert_eq!(
+        engine.answer(&q_old_w, Strategy::Hv).unwrap().codes,
+        engine.answer(&q_old_w, Strategy::Bn).unwrap().codes
+    );
+}
+
 #[test]
 fn update_errors() {
     let mut engine = Engine::new(book_document(), EngineConfig::default());

@@ -3,8 +3,9 @@
 //! execution, for every strategy, on the XMark workload.
 
 use xvr_bench::{build_paper_engine, paper_document, xmark_queries};
-use xvr_core::{AnswerError, EngineSnapshot, Strategy};
+use xvr_core::{AnswerError, Engine, EngineConfig, EngineSnapshot, Strategy};
 use xvr_pattern::TreePattern;
+use xvr_xml::samples::book_document;
 
 /// Hand-rolled compile-time proof that the snapshot crosses threads: if
 /// `EngineSnapshot` ever loses `Send + Sync`, this file stops compiling.
@@ -108,4 +109,69 @@ fn clones_stay_frozen_while_engine_moves_on() {
     // Meanwhile the writer keeps going; the spawned reader must not care.
     engine.add_view_str("//person[profile]/name").unwrap();
     assert_eq!(handle.join().unwrap(), want);
+}
+
+fn book_snapshot(views: &[&str], queries: &[&str]) -> (EngineSnapshot, Vec<TreePattern>) {
+    let mut engine = Engine::new(book_document(), EngineConfig::default());
+    for v in views {
+        engine.add_view_str(v).unwrap();
+    }
+    let queries = queries
+        .iter()
+        .map(|src| engine.parse(src).unwrap())
+        .collect();
+    (engine.snapshot(), queries)
+}
+
+/// Degenerate `jobs` values: an empty query slice spawns nothing, `jobs = 0`
+/// runs inline like `jobs = 1`, and `jobs` far beyond the query count is
+/// clamped to it — all with identical answers.
+#[test]
+fn batch_jobs_edge_values_are_clamped() {
+    let (snap, queries) = book_snapshot(&["//s[t]/p"], &["//s[t]/p", "/b//p", "//s/t"]);
+
+    let empty = snap.answer_batch(&[], Strategy::Hv, 8);
+    assert!(empty.answers.is_empty());
+    assert_eq!(empty.jobs, 1);
+    assert_eq!(empty.answered(), 0);
+
+    let zero = snap.answer_batch(&queries, Strategy::Hv, 0);
+    assert_eq!(zero.jobs, 1);
+
+    let oversubscribed = snap.answer_batch(&queries, Strategy::Hv, queries.len() + 61);
+    assert_eq!(oversubscribed.jobs, queries.len());
+    assert_eq!(codes_of(&oversubscribed.answers), codes_of(&zero.answers));
+}
+
+/// A query erroring mid-batch must not disturb its neighbours: outcomes stay
+/// in input order with errors in exactly the slots of the failing queries,
+/// at every `jobs` level.
+#[test]
+fn batch_keeps_input_order_when_queries_error() {
+    // The only view answers `p` nodes, so the `//f/i` queries are not
+    // answerable by rewriting and fail under every view strategy.
+    let (snap, queries) = book_snapshot(
+        &["//s[t]/p"],
+        &["//s[t]/p", "//f/i", "/b/s[t]/p", "//s//p", "/b//s[t]/p"],
+    );
+    let expected: Vec<_> = queries
+        .iter()
+        .map(|q| snap.answer(q, Strategy::Hv).map(|a| a.codes))
+        .collect();
+    assert!(expected[0].is_ok() && expected[2].is_ok() && expected[4].is_ok());
+    assert_eq!(expected[1], Err(AnswerError::NotAnswerable));
+    assert_eq!(expected[3], Err(AnswerError::NotAnswerable));
+
+    for jobs in [1, 2, 3, 5] {
+        let batch = snap.answer_batch(&queries, Strategy::Hv, jobs);
+        assert_eq!(batch.answers.len(), queries.len());
+        assert_eq!(batch.answered(), 3, "jobs={jobs}");
+        for (i, (got, want)) in batch.answers.iter().zip(&expected).enumerate() {
+            match (got, want) {
+                (Ok(a), Ok(w)) => assert_eq!(&a.codes, w, "slot {i}, jobs={jobs}"),
+                (Err(e), Err(w)) => assert_eq!(e, w, "slot {i}, jobs={jobs}"),
+                _ => panic!("slot {i}, jobs={jobs}: outcome moved out of input order"),
+            }
+        }
+    }
 }
