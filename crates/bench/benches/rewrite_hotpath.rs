@@ -1,0 +1,274 @@
+//! Rewrite hot-path benchmark: uncached reference rewriter vs. the
+//! per-snapshot [`RewriteCache`], measured three ways —
+//!
+//! 1. **rewrite_only** — direct `rewrite()` vs `rewrite_cached()` calls
+//!    on a pre-built (query, selection, store) pipeline, isolating the
+//!    refinement + join + extraction stage.
+//! 2. **answer_single** — end-to-end `EngineSnapshot::answer` (filter +
+//!    selection + rewrite) against `answer_uncached`.
+//! 3. **answer_batch** — repeated-workload batch throughput: the same
+//!    Table III queries submitted over and over, answered by a snapshot
+//!    with the cache on vs. a snapshot built with `rewrite_cache: false`.
+//!
+//! Results are printed and written as JSON (for CI artifacts and the
+//! committed baseline) to `BENCH_rewrite.json` at the repo root; override
+//! with `XVR_BENCH_OUT`. `XVR_BENCH_FAST=1` shrinks the document, the
+//! view set, and the sample counts for smoke runs. `XVR_BENCH_SCALE` and
+//! `XVR_BENCH_VIEWS` override the workload size.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use criterion::black_box;
+use xvr_bench::{paper_document, planted_views, test_queries};
+use xvr_core::{
+    build_nfa, filter_views, rewrite, rewrite_cached, select_heuristic, Engine, EngineConfig,
+    MaterializedStore, Obligations, RewriteCache, Strategy, ViewSet,
+};
+use xvr_pattern::generator::QueryConfig;
+use xvr_pattern::{distinct_positive_patterns, parse_pattern_with, TreePattern};
+use xvr_xml::{DocStats, Document};
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Median ns/call over `samples` batched samples (vendored-criterion
+/// style: one warm-up call sizes batches to keep each sample ~5 ms).
+fn bench_ns<F: FnMut()>(samples: usize, mut f: F) -> f64 {
+    let t0 = Instant::now();
+    f();
+    let est = t0.elapsed().as_nanos().max(1);
+    let batch = (5_000_000 / est).clamp(1, 100_000) as usize;
+    let mut per_call: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            black_box(&mut f)();
+        }
+        per_call.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    per_call.sort_by(|a, b| a.total_cmp(b));
+    per_call[per_call.len() / 2]
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+/// The workload's view set: the planted Table III views plus random
+/// positive views, sharing the document's label table.
+fn build_views(doc: &Document, n_views: usize) -> ViewSet {
+    let mut labels = doc.labels.clone();
+    let mut views = ViewSet::new();
+    for src in planted_views() {
+        views.add(parse_pattern_with(src, &mut labels).expect("planted view parses"));
+    }
+    for v in distinct_positive_patterns(
+        doc,
+        QueryConfig::paper_view_workload(42),
+        n_views.saturating_sub(views.len()),
+    ) {
+        views.add(v);
+    }
+    views
+}
+
+struct PairResult {
+    name: String,
+    uncached_ns: f64,
+    cached_ns: f64,
+}
+
+impl PairResult {
+    fn speedup(&self) -> f64 {
+        self.uncached_ns / self.cached_ns
+    }
+}
+
+fn main() {
+    let fast = std::env::var("XVR_BENCH_FAST").is_ok_and(|v| v == "1");
+    let scale = env_f64("XVR_BENCH_SCALE", if fast { 0.003 } else { 0.01 });
+    let n_views = env_usize("XVR_BENCH_VIEWS", if fast { 16 } else { 48 });
+    let samples = if fast { 5 } else { 20 };
+    let batch_repeats = if fast { 16 } else { 64 };
+    let jobs = 4;
+
+    let doc = paper_document(scale, 0x5eed);
+    let stats = DocStats::compute(&doc.tree, &doc.labels);
+    println!(
+        "rewrite_hotpath: mode={} scale={scale} nodes={} views={n_views}",
+        if fast { "fast" } else { "full" },
+        stats.nodes
+    );
+
+    // --- 1. rewrite_only: the rewrite stage in isolation. ---------------
+    let views = build_views(&doc, n_views);
+    let nfa = build_nfa(&views);
+    let store = MaterializedStore::materialize_all(&doc, &views, usize::MAX);
+    let mut labels = doc.labels.clone();
+    let mut rewrite_only: Vec<PairResult> = Vec::new();
+    for tq in test_queries() {
+        let q = parse_pattern_with(tq.xpath, &mut labels).expect("test query parses");
+        let filter = filter_views(&q, &views, &nfa);
+        let ob = Obligations::of(&q);
+        let Some(sel) = select_heuristic(&q, &views, &filter, &ob) else {
+            println!("rewrite_only/{:<26} skipped (not answerable)", tq.name);
+            continue;
+        };
+        let uncached_ns = bench_ns(samples, || {
+            rewrite(&q, &sel, &views, &store, &doc.fst).unwrap();
+        });
+        let cache = RewriteCache::new();
+        rewrite_cached(&q, &sel, &views, &store, &doc.fst, &cache).unwrap();
+        let cached_ns = bench_ns(samples, || {
+            rewrite_cached(&q, &sel, &views, &store, &doc.fst, &cache).unwrap();
+        });
+        let r = PairResult {
+            name: tq.name.to_string(),
+            uncached_ns,
+            cached_ns,
+        };
+        println!(
+            "rewrite_only/{:<26} uncached {:>10} | cached {:>10} | {:.2}x",
+            r.name,
+            fmt_ns(r.uncached_ns),
+            fmt_ns(r.cached_ns),
+            r.speedup()
+        );
+        rewrite_only.push(r);
+    }
+
+    // --- 2. answer_single: end-to-end, one query at a time. -------------
+    let mut engine = Engine::new(doc.clone(), EngineConfig::default());
+    for src in planted_views() {
+        engine.add_view_str(src).expect("planted view parses");
+    }
+    for v in distinct_positive_patterns(
+        &doc,
+        QueryConfig::paper_view_workload(42),
+        n_views.saturating_sub(planted_views().len()),
+    ) {
+        engine.add_view(v);
+    }
+    let queries: Vec<(String, TreePattern)> = test_queries()
+        .iter()
+        .map(|tq| (tq.name.to_string(), engine.parse(tq.xpath).unwrap()))
+        .collect();
+    let snap = engine.snapshot();
+    let mut answer_single: Vec<PairResult> = Vec::new();
+    for (name, q) in &queries {
+        if snap.answer(q, Strategy::Hv).is_err() {
+            println!("answer_single/{:<25} skipped (not answerable)", name);
+            continue;
+        }
+        let uncached_ns = bench_ns(samples, || {
+            snap.answer_uncached(q, Strategy::Hv).unwrap();
+        });
+        let cached_ns = bench_ns(samples, || {
+            snap.answer(q, Strategy::Hv).unwrap();
+        });
+        let r = PairResult {
+            name: name.clone(),
+            uncached_ns,
+            cached_ns,
+        };
+        println!(
+            "answer_single/{:<25} uncached {:>10} | cached {:>10} | {:.2}x",
+            r.name,
+            fmt_ns(r.uncached_ns),
+            fmt_ns(r.cached_ns),
+            r.speedup()
+        );
+        answer_single.push(r);
+    }
+
+    // --- 3. answer_batch: repeated workload throughput. ------------------
+    // The same four queries resubmitted over and over — the shape the
+    // per-snapshot cache is built for: every rewrite after the first four
+    // is a pure cache hit.
+    let mut engine_off = Engine::new(doc.clone(), {
+        EngineConfig {
+            rewrite_cache: false,
+            ..EngineConfig::default()
+        }
+    });
+    for src in planted_views() {
+        engine_off.add_view_str(src).expect("planted view parses");
+    }
+    for v in distinct_positive_patterns(
+        &doc,
+        QueryConfig::paper_view_workload(42),
+        n_views.saturating_sub(planted_views().len()),
+    ) {
+        engine_off.add_view(v);
+    }
+    let snap_off = engine_off.snapshot();
+    let batch: Vec<TreePattern> = (0..batch_repeats)
+        .flat_map(|_| queries.iter().map(|(_, q)| q.clone()))
+        .collect();
+    let batch_qps = |s: &xvr_core::EngineSnapshot| {
+        // Warm once (populates the cache when enabled), then best-of-3.
+        s.answer_batch(&batch, Strategy::Hv, jobs);
+        (0..3)
+            .map(|_| s.answer_batch(&batch, Strategy::Hv, jobs).qps())
+            .fold(0.0_f64, f64::max)
+    };
+    let uncached_qps = batch_qps(&snap_off);
+    let cached_qps = batch_qps(&snap);
+    let batch_speedup = cached_qps / uncached_qps;
+    println!(
+        "answer_batch/{} queries x{jobs} jobs   uncached {uncached_qps:>8.0} q/s | cached {cached_qps:>8.0} q/s | {batch_speedup:.2}x",
+        batch.len()
+    );
+
+    // --- JSON baseline. ---------------------------------------------------
+    let mut json = String::new();
+    let pair_json = |r: &PairResult| {
+        format!(
+            "{{\"name\": \"{}\", \"uncached_ns\": {:.0}, \"cached_ns\": {:.0}, \"speedup\": {:.2}}}",
+            r.name,
+            r.uncached_ns,
+            r.cached_ns,
+            r.speedup()
+        )
+    };
+    let join = |rs: &[PairResult]| {
+        rs.iter()
+            .map(pair_json)
+            .collect::<Vec<_>>()
+            .join(",\n      ")
+    };
+    write!(
+        json,
+        "{{\n  \"benchmark\": \"rewrite_hotpath\",\n  \"mode\": \"{}\",\n  \"doc\": {{\"scale\": {scale}, \"nodes\": {}}},\n  \"views\": {},\n  \"strategy\": \"HV\",\n  \"results\": {{\n    \"rewrite_only\": [\n      {}\n    ],\n    \"answer_single\": [\n      {}\n    ],\n    \"answer_batch\": {{\"queries\": {}, \"jobs\": {jobs}, \"uncached_qps\": {uncached_qps:.0}, \"cached_qps\": {cached_qps:.0}, \"speedup\": {batch_speedup:.2}}}\n  }}\n}}\n",
+        if fast { "fast" } else { "full" },
+        stats.nodes,
+        views.len(),
+        join(&rewrite_only),
+        join(&answer_single),
+        batch.len(),
+    )
+    .unwrap();
+
+    let out = std::env::var("XVR_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_rewrite.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, &json).expect("write benchmark baseline");
+    println!("wrote {out}");
+}

@@ -21,6 +21,7 @@
 //! answerable, 2 usage error, 3 input error.
 
 use std::fmt::Write as _;
+use std::io::Write as _;
 use std::process::ExitCode;
 
 use xvr_core::{AnswerError, Engine, EngineConfig, EngineSnapshot, Strategy};
@@ -33,8 +34,19 @@ use args::{ArgError, Parsed};
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match run(&argv) {
+    let result = run(&argv).and_then(|code| {
+        // Surface a broken pipe hiding in the stdout buffer before
+        // claiming success.
+        match std::io::stdout().flush() {
+            Ok(()) => Ok(code),
+            Err(e) => Err(CliError::from_io(e)),
+        }
+    });
+    match result {
         Ok(code) => code,
+        // Downstream closed its end (e.g. `xvr eval ... | head -1`).
+        // That's how pipelines normally end — exit 0, print nothing.
+        Err(CliError::Pipe) => ExitCode::SUCCESS,
         Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}\n");
             eprintln!("{}", USAGE);
@@ -63,12 +75,50 @@ const USAGE: &str = "usage:
 enum CliError {
     Usage(String),
     Input(String),
+    /// Stdout's reader went away (`EPIPE`). Not an error: pipelines like
+    /// `xvr eval ... | head -1` close our pipe as soon as they have what
+    /// they need, so this maps to a quiet, successful exit.
+    Pipe,
+}
+
+impl CliError {
+    fn from_io(e: std::io::Error) -> CliError {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            CliError::Pipe
+        } else {
+            CliError::Input(format!("stdout: {e}"))
+        }
+    }
 }
 
 impl From<ArgError> for CliError {
     fn from(e: ArgError) -> CliError {
         CliError::Usage(e.0)
     }
+}
+
+/// Write to stdout, mapping io errors (notably `EPIPE`) into [`CliError`]
+/// instead of the panic `outln!` raises.
+fn out_fmt(args: std::fmt::Arguments<'_>, newline: bool) -> Result<(), CliError> {
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    let res = if newline {
+        lock.write_fmt(format_args!("{args}\n"))
+    } else {
+        lock.write_fmt(args)
+    };
+    res.map_err(CliError::from_io)
+}
+
+/// `outln!` onto stdout that propagates a closed pipe as
+/// [`CliError::Pipe`] (use inside functions returning `Result<_, CliError>`).
+macro_rules! outln {
+    ($($arg:tt)*) => { out_fmt(format_args!($($arg)*), true)? };
+}
+
+/// `out!` counterpart of [`outln!`].
+macro_rules! out {
+    ($($arg:tt)*) => { out_fmt(format_args!($($arg)*), false)? };
 }
 
 fn run(argv: &[String]) -> Result<ExitCode, CliError> {
@@ -84,7 +134,7 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
         "materialize" => materialize(rest),
         "append" => append(rest),
         "--help" | "-h" | "help" => {
-            println!("{USAGE}");
+            outln!("{USAGE}");
             Ok(ExitCode::SUCCESS)
         }
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
@@ -117,18 +167,18 @@ fn info(argv: &[String]) -> Result<ExitCode, CliError> {
     let parsed = Parsed::parse(argv, &["doc"], &[], &[], &[])?;
     let doc = load_doc(parsed.req("doc")?)?;
     let stats = DocStats::compute(&doc.tree, &doc.labels);
-    println!("nodes:            {}", stats.nodes);
-    println!("height:           {}", stats.height);
-    println!("avg depth:        {:.2}", stats.avg_depth);
-    println!("leaves:           {}", stats.leaves);
-    println!("max fanout:       {}", stats.max_fanout);
-    println!("avg fanout:       {:.2}", stats.avg_fanout);
-    println!("text nodes:       {}", stats.text_nodes);
-    println!("attributed nodes: {}", stats.attributed_nodes);
-    println!("distinct labels:  {}", stats.label_histogram.len());
-    println!("top labels:");
+    outln!("nodes:            {}", stats.nodes);
+    outln!("height:           {}", stats.height);
+    outln!("avg depth:        {:.2}", stats.avg_depth);
+    outln!("leaves:           {}", stats.leaves);
+    outln!("max fanout:       {}", stats.max_fanout);
+    outln!("avg fanout:       {:.2}", stats.avg_fanout);
+    outln!("text nodes:       {}", stats.text_nodes);
+    outln!("attributed nodes: {}", stats.attributed_nodes);
+    outln!("distinct labels:  {}", stats.label_histogram.len());
+    outln!("top labels:");
     for &(label, count) in stats.label_histogram.iter().take(10) {
-        println!("  {:<20} {}", doc.labels.name(label), count);
+        outln!("  {:<20} {}", doc.labels.name(label), count);
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -153,7 +203,7 @@ fn eval(argv: &[String]) -> Result<ExitCode, CliError> {
         other => return Err(CliError::Usage(format!("unknown engine `{other}`"))),
     };
     for n in &nodes {
-        println!(
+        outln!(
             "{}\t{}",
             doc.dewey.code_of(&doc.tree, *n),
             serialize_subtree(&doc.tree, &doc.labels, *n)
@@ -249,9 +299,9 @@ fn answer_single(
                         .node_by_code(code)
                         .map(|n| serialize_subtree(&doc.tree, &doc.labels, n))
                         .unwrap_or_default();
-                    println!("{code}\t{shown}");
+                    outln!("{code}\t{shown}");
                 } else {
-                    println!("{code}");
+                    outln!("{code}");
                 }
             }
             let mut summary = String::new();
@@ -334,11 +384,11 @@ fn answer_batch(
         match outcome {
             Ok(a) => {
                 let codes: Vec<String> = a.codes.iter().map(|c| c.to_string()).collect();
-                println!("{src}\t{}\t{}", a.codes.len(), codes.join(" "));
+                outln!("{src}\t{}\t{}", a.codes.len(), codes.join(" "));
             }
             Err(AnswerError::NotAnswerable) => {
                 unanswerable += 1;
-                println!("{src}\tunanswerable\t");
+                outln!("{src}\tunanswerable\t");
             }
             Err(e) => return Err(CliError::Input(format!("query `{src}`: {e}"))),
         }
@@ -377,13 +427,13 @@ fn filter(argv: &[String]) -> Result<ExitCode, CliError> {
         .parse(query_src)
         .map_err(|e| CliError::Input(format!("query: {e}")))?;
     let outcome = engine.filter(&q);
-    println!(
+    outln!(
         "{} of {} views survive filtering:",
         outcome.candidates.len(),
         engine.views().len()
     );
     for &v in &outcome.candidates {
-        println!(
+        outln!(
             "  {}",
             engine.views().view(v).pattern.display(engine.labels())
         );
@@ -485,7 +535,7 @@ fn generate(argv: &[String]) -> Result<ExitCode, CliError> {
                 .map_err(|e| CliError::Input(format!("cannot write {path}: {e}")))?;
             eprintln!("wrote {} nodes to {path}", doc.len());
         }
-        None => print!("{xml}"),
+        None => out!("{xml}"),
     }
     Ok(ExitCode::SUCCESS)
 }

@@ -328,6 +328,53 @@ fn answer_batch_rejects_positional_query() {
 }
 
 #[test]
+fn broken_pipe_exits_zero() {
+    use std::io::Read as _;
+    use std::process::Stdio;
+
+    // A document big enough that `xvr eval` emits far more than the
+    // 64 KiB pipe buffer, so the write hits EPIPE once we close our end.
+    let gen = xvr()
+        .args(["generate", "--scale", "0.02", "--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(gen.status.success());
+    let doc = tempfile::write(&String::from_utf8_lossy(&gen.stdout));
+
+    for argv in [
+        vec!["eval", "--engine", "bf", "//*"],
+        vec!["generate", "--scale", "0.02", "--seed", "7"],
+    ] {
+        let mut cmd = xvr();
+        if argv[0] == "eval" {
+            cmd.args(["eval", "--doc"]).arg(doc.path()).args(&argv[1..]);
+        } else {
+            cmd.args(&argv);
+        }
+        let mut child = cmd
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap();
+        // Read a single byte (head -1 style), then drop our end of the pipe.
+        let mut stdout = child.stdout.take().unwrap();
+        let mut byte = [0u8; 1];
+        stdout.read_exact(&mut byte).unwrap();
+        drop(stdout);
+        let status = child.wait().unwrap();
+        let mut stderr = String::new();
+        child
+            .stderr
+            .take()
+            .unwrap()
+            .read_to_string(&mut stderr)
+            .ok();
+        assert_eq!(status.code(), Some(0), "{argv:?}: {stderr}");
+        assert!(!stderr.contains("panic"), "{argv:?}: {stderr}");
+    }
+}
+
+#[test]
 fn filter_lists_candidates() {
     let doc = write_doc();
     let out = xvr()

@@ -29,7 +29,7 @@ use xvr_xml::{CodeStability, DeweyCode, Document, Label, LabelTable, NodeIndex, 
 use crate::filter::{build_nfa, FilterOutcome};
 use crate::materialize::MaterializedStore;
 use crate::nfa::{AcceptEntry, Nfa};
-use crate::rewrite::RewriteError;
+use crate::rewrite::{RewriteCache, RewriteError};
 use crate::select::Selection;
 use crate::snapshot::EngineSnapshot;
 use crate::view::{ViewId, ViewSet};
@@ -218,6 +218,11 @@ pub struct EngineConfig {
     /// Per-view overhead (in byte-equivalents) charged by the cost-based
     /// strategy for each additional distinct view.
     pub cost_view_overhead: usize,
+    /// Use the per-snapshot [`RewriteCache`] (memoized refinement + prefix
+    /// trees, single-unit fast path) on the answer path. Disable to force
+    /// every answer through the uncached reference rewriter — the two are
+    /// checked identical by the determinism tests and the oracle.
+    pub rewrite_cache: bool,
 }
 
 impl Default for EngineConfig {
@@ -226,6 +231,7 @@ impl Default for EngineConfig {
             fragment_budget: usize::MAX,
             max_minimum_views: 4,
             cost_view_overhead: 1024,
+            rewrite_cache: true,
         }
     }
 }
@@ -272,6 +278,9 @@ impl Engine {
     /// Costs eight reference-count bumps — no data is copied. Later
     /// engine mutations copy-on-write only the components they touch, so
     /// outstanding snapshots keep observing exactly the state they froze.
+    /// Every snapshot starts with a fresh [`RewriteCache`] (shared by its
+    /// clones), so cached rewriting can never observe state from before a
+    /// mutation: cache invalidation *is* taking a new snapshot.
     pub fn snapshot(&self) -> EngineSnapshot {
         EngineSnapshot {
             doc: Arc::clone(&self.doc),
@@ -282,6 +291,7 @@ impl Engine {
             node_index: Arc::clone(&self.node_index),
             path_index: Arc::clone(&self.path_index),
             config: self.config.clone(),
+            rewrite_cache: Arc::new(RewriteCache::new()),
         }
     }
 

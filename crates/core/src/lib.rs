@@ -80,10 +80,10 @@ pub use leafcover::{leaf_cover, leaf_covers, LeafCover, Obligation, Obligations}
 pub use materialize::{MaterializedStore, MaterializedView};
 pub use nfa::Nfa;
 pub use oracle::{
-    load_corpus, replay, run_case, run_seed, shrink, CaseOutcome, CaseSpec, Injection, Invariant,
-    OracleConfig, Reproducer, RunSummary, Violation,
+    load_corpus, replay, run_case, run_seed, shrink, BudgetSpec, CaseOutcome, CaseSpec, Injection,
+    Invariant, OracleConfig, Reproducer, RunSummary, Violation,
 };
-pub use rewrite::rewrite;
+pub use rewrite::{rewrite, rewrite_cached, RewriteCache, RewriteError};
 pub use select::{select_cost_based, select_heuristic, select_minimum, SelectedView, Selection};
 pub use snapshot::{AnswerTrace, BatchResult, EngineSnapshot};
 pub use view::{View, ViewId, ViewSet};

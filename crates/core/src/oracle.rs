@@ -27,6 +27,15 @@
 //!   - Snapshot determinism: [`EngineSnapshot::answer_batch`] returns the
 //!     same outcomes at every `jobs` level
 //!     ([`Invariant::JobsDeterminism`]).
+//!   - Cache determinism: the cached rewrite path must be byte-identical
+//!     to the uncached reference rewriter for every view strategy
+//!     ([`Invariant::CacheDeterminism`]).
+//!
+//! Cases additionally sweep the per-view **byte budget** (ample, zero, a
+//! tight constant, and exact fit — the budget resolved to precisely the
+//! largest view's unbounded size), so truncation boundaries are exercised
+//! continuously; the resolved budget is recorded in reproducers and is a
+//! shrinking dimension of its own.
 //!
 //! On a violation the oracle **shrinks** the failing case — dropping
 //! views, pruning query branches, truncating the document — and emits a
@@ -65,6 +74,8 @@ pub enum Invariant {
     ContainmentMonotonicity,
     /// `answer_batch` outcomes differ across `jobs` levels.
     JobsDeterminism,
+    /// The cached rewrite path disagrees with the uncached reference.
+    CacheDeterminism,
 }
 
 impl Invariant {
@@ -78,6 +89,7 @@ impl Invariant {
             Invariant::MinimumMonotonicity => "minimum_monotonicity",
             Invariant::ContainmentMonotonicity => "containment_monotonicity",
             Invariant::JobsDeterminism => "jobs_determinism",
+            Invariant::CacheDeterminism => "cache_determinism",
         }
     }
 
@@ -91,6 +103,7 @@ impl Invariant {
             Invariant::MinimumMonotonicity,
             Invariant::ContainmentMonotonicity,
             Invariant::JobsDeterminism,
+            Invariant::CacheDeterminism,
         ]
         .into_iter()
         .find(|i| i.as_str() == s)
@@ -127,6 +140,9 @@ pub struct Reproducer {
     pub views: Vec<String>,
     /// The query, as XPath.
     pub query: String,
+    /// Per-view materialization budget in bytes (`usize::MAX` = ample,
+    /// the historical default; omitted from the text format when ample).
+    pub budget: usize,
     /// The invariant that failed.
     pub invariant: Invariant,
     /// Strategy involved, when the invariant is strategy-specific.
@@ -182,6 +198,9 @@ impl Reproducer {
             self.doc.closed_auctions
         ));
         out.push_str(&format!("doc.categories: {}\n", self.doc.categories));
+        if self.budget != usize::MAX {
+            out.push_str(&format!("budget: {}\n", self.budget));
+        }
         for v in &self.views {
             out.push_str(&format!("view: {v}\n"));
         }
@@ -201,6 +220,7 @@ impl Reproducer {
         };
         let mut views = Vec::new();
         let mut query = None;
+        let mut budget = usize::MAX;
         let mut invariant = None;
         let mut strategy = None;
         let mut detail = String::new();
@@ -237,6 +257,7 @@ impl Reproducer {
                 "doc.open_auctions" => doc.open_auctions = parse_num(value)?,
                 "doc.closed_auctions" => doc.closed_auctions = parse_num(value)?,
                 "doc.categories" => doc.categories = parse_num(value)?,
+                "budget" => budget = parse_num(value)?,
                 "view" => views.push(value.to_string()),
                 "query" => query = Some(value.to_string()),
                 other => return Err(format!("line {}: unknown key `{other}`", lineno + 1)),
@@ -246,6 +267,7 @@ impl Reproducer {
             doc,
             views,
             query: query.ok_or("missing `query:` line")?,
+            budget,
             invariant: invariant.ok_or("missing `invariant:` line")?,
             strategy,
             detail,
@@ -319,6 +341,22 @@ impl Default for OracleConfig {
     }
 }
 
+/// Per-view byte-budget regime of a case, resolved to a concrete budget
+/// by [`run_case`] (exact fit needs the generated document to measure).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum BudgetSpec {
+    /// Unlimited (`usize::MAX`): every view materializes completely.
+    #[default]
+    Ample,
+    /// Zero bytes: every view is empty and truncated.
+    Zero,
+    /// A small constant that truncates most non-trivial views.
+    Tight,
+    /// Exactly the largest view's unbounded size: every view fits, with
+    /// the biggest one landing precisely on the boundary.
+    ExactFit,
+}
+
 /// One randomized (document, view set, query workload) instance.
 #[derive(Clone, Debug)]
 pub struct CaseSpec {
@@ -332,6 +370,8 @@ pub struct CaseSpec {
     pub n_views: usize,
     /// Queries to generate (each is one (doc, views, query) case).
     pub n_queries: usize,
+    /// Materialization budget regime.
+    pub budget: BudgetSpec,
 }
 
 /// SplitMix64, used to derive independent sub-seeds from a master seed.
@@ -345,7 +385,9 @@ fn mix(mut z: u64) -> u64 {
 impl CaseSpec {
     /// Derive the `index`-th case of `master_seed`: independent document,
     /// view, and query seeds, with the document size cycling through three
-    /// variants so truncation-sensitive behavior gets exercised.
+    /// variants and the byte budget through four ([`BudgetSpec`]; index 0
+    /// is always ample, so single-case callers stay non-vacuous). The
+    /// cycles are coprime: 12 consecutive indices cover every combination.
     pub fn derive(master_seed: u64, index: usize, n_views: usize, n_queries: usize) -> CaseSpec {
         let base = mix(master_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut doc = Config::tiny(mix(base));
@@ -368,15 +410,27 @@ impl CaseSpec {
                 doc.categories = 10;
             }
         }
+        let budget = match index % 4 {
+            0 => BudgetSpec::Ample,
+            1 => BudgetSpec::Zero,
+            2 => BudgetSpec::Tight,
+            _ => BudgetSpec::ExactFit,
+        };
         CaseSpec {
             doc,
             view_seed: mix(base ^ 1),
             query_seed: mix(base ^ 2),
             n_views,
             n_queries,
+            budget,
         }
     }
 }
+
+/// Byte budget [`BudgetSpec::Tight`] resolves to: small enough to truncate
+/// most non-trivial views on the oracle's documents, large enough to keep
+/// some fragments so the truncated-view paths are non-vacuous.
+const TIGHT_BUDGET: usize = 512;
 
 /// Outcome of checking one [`CaseSpec`] (or one replayed reproducer).
 #[derive(Clone, Debug, Default)]
@@ -394,6 +448,14 @@ impl CaseOutcome {
         self.queries += other.queries;
         self.answered += other.answered;
         self.violations.extend(other.violations);
+    }
+}
+
+/// One-line rendering of an answer outcome, for violation details.
+fn describe(r: &Result<crate::engine::Answer, AnswerError>) -> String {
+    match r {
+        Ok(a) => format!("{} codes", a.codes.len()),
+        Err(e) => format!("{e}"),
     }
 }
 
@@ -438,6 +500,7 @@ fn check_query(
     snap: &EngineSnapshot,
     doc_cfg: &Config,
     view_srcs: &[String],
+    budget: usize,
     q: &TreePattern,
     relax_seed: u64,
     cfg: &OracleConfig,
@@ -453,6 +516,7 @@ fn check_query(
             doc: doc_cfg.clone(),
             views: view_srcs.to_vec(),
             query: query_src.clone(),
+            budget,
             invariant,
             strategy,
             detail,
@@ -487,6 +551,29 @@ fn check_query(
             continue; // the ground truth itself
         }
         let (mut result, mut trace) = snap.answer_traced(q, s);
+        // Cache determinism: the cached path (just taken by answer_traced)
+        // must agree with the uncached reference rewriter. Checked against
+        // the pre-injection result, on purpose: injections model pipeline
+        // bugs and should trip only their own invariant.
+        if !matches!(s, Strategy::Bf) {
+            let uncached = snap.answer_uncached(q, s);
+            let same = match (&result, &uncached) {
+                (Ok(a), Ok(b)) => a.codes == b.codes,
+                (Err(a), Err(b)) => a == b,
+                _ => false,
+            };
+            if !same {
+                out.violations.push(fail(
+                    Invariant::CacheDeterminism,
+                    Some(s),
+                    format!(
+                        "cached rewrite ({}) disagrees with uncached reference ({})",
+                        describe(&result),
+                        describe(&uncached)
+                    ),
+                ));
+            }
+        }
         inject(cfg.injection, s, &mut result, &mut trace, &all_ids);
         if !trace.units_within_candidates() {
             out.violations.push(fail(
@@ -577,6 +664,7 @@ fn check_jobs_determinism(
     snap: &EngineSnapshot,
     doc_cfg: &Config,
     view_srcs: &[String],
+    budget: usize,
     queries: &[TreePattern],
     cfg: &OracleConfig,
 ) -> Vec<Violation> {
@@ -599,6 +687,7 @@ fn check_jobs_determinism(
                         doc: doc_cfg.clone(),
                         views: view_srcs.to_vec(),
                         query: queries[i].display(snap.labels()).to_string(),
+                        budget,
                         invariant: Invariant::JobsDeterminism,
                         strategy: Some(s),
                         detail: format!("jobs=1 and jobs={} disagree", cfg.jobs),
@@ -608,6 +697,29 @@ fn check_jobs_determinism(
         }
     }
     violations
+}
+
+/// Resolve a [`BudgetSpec`] to concrete bytes. Exact fit measures each
+/// view's unbounded materialization and takes the maximum, so every view
+/// fits and the largest lands exactly on the boundary.
+fn resolve_budget(spec: BudgetSpec, doc: &xvr_xml::Document, views: &[TreePattern]) -> usize {
+    match spec {
+        BudgetSpec::Ample => usize::MAX,
+        BudgetSpec::Zero => 0,
+        BudgetSpec::Tight => TIGHT_BUDGET,
+        BudgetSpec::ExactFit => {
+            let mut set = crate::view::ViewSet::new();
+            for v in views {
+                set.add(v.clone());
+            }
+            let store =
+                crate::materialize::MaterializedStore::materialize_all(doc, &set, usize::MAX);
+            set.ids()
+                .filter_map(|id| store.get(id).map(|mv| mv.fragments.total_bytes()))
+                .max()
+                .unwrap_or(0)
+        }
+    }
 }
 
 /// Run all checks for one [`CaseSpec`]: generate the document, the view
@@ -624,6 +736,7 @@ pub fn run_case(spec: &CaseSpec, cfg: &OracleConfig) -> CaseOutcome {
         .iter()
         .map(|v| v.display(&doc.labels).to_string())
         .collect();
+    let budget = resolve_budget(spec.budget, &doc, &views);
     let mut paper =
         QueryGenerator::new(&doc.fst, QueryConfig::paper_query_workload(spec.query_seed));
     let mut adversarial = QueryGenerator::new(
@@ -644,7 +757,9 @@ pub fn run_case(spec: &CaseSpec, cfg: &OracleConfig) -> CaseOutcome {
             None => queries.push(gen.generate()),
         }
     }
-    let mut engine = Engine::new(doc, cfg.engine.clone());
+    let mut engine_cfg = cfg.engine.clone();
+    engine_cfg.fragment_budget = budget;
+    let mut engine = Engine::new(doc, engine_cfg);
     for v in views {
         engine.add_view(v);
     }
@@ -655,13 +770,14 @@ pub fn run_case(spec: &CaseSpec, cfg: &OracleConfig) -> CaseOutcome {
             &snap,
             &spec.doc,
             &view_srcs,
+            budget,
             q,
             mix(spec.query_seed ^ (i as u64)),
             cfg,
         ));
     }
     out.violations.extend(check_jobs_determinism(
-        &snap, &spec.doc, &view_srcs, &queries, cfg,
+        &snap, &spec.doc, &view_srcs, budget, &queries, cfg,
     ));
     out
 }
@@ -671,7 +787,11 @@ pub fn run_case(spec: &CaseSpec, cfg: &OracleConfig) -> CaseOutcome {
 /// i.e. the regression stays fixed).
 pub fn replay(repro: &Reproducer, cfg: &OracleConfig) -> Result<Vec<Violation>, String> {
     let doc = generate(&repro.doc);
-    let mut engine = Engine::new(doc, cfg.engine.clone());
+    // The recorded budget is part of the case: it overrides whatever the
+    // caller's engine config says.
+    let mut engine_cfg = cfg.engine.clone();
+    engine_cfg.fragment_budget = repro.budget;
+    let mut engine = Engine::new(doc, engine_cfg);
     for v in &repro.views {
         engine
             .add_view_str(v)
@@ -681,7 +801,15 @@ pub fn replay(repro: &Reproducer, cfg: &OracleConfig) -> Result<Vec<Violation>, 
         .parse(&repro.query)
         .map_err(|e| format!("query `{}`: {e}", repro.query))?;
     let snap = engine.snapshot();
-    let mut out = check_query(&snap, &repro.doc, &repro.views, &q, repro.doc.seed, cfg);
+    let mut out = check_query(
+        &snap,
+        &repro.doc,
+        &repro.views,
+        repro.budget,
+        &q,
+        repro.doc.seed,
+        cfg,
+    );
     // Exercise batch determinism too (duplicate the query so jobs > 1
     // actually fans out).
     let batch: Vec<TreePattern> = vec![q.clone(), q.clone(), q];
@@ -689,6 +817,7 @@ pub fn replay(repro: &Reproducer, cfg: &OracleConfig) -> Result<Vec<Violation>, 
         &snap,
         &repro.doc,
         &repro.views,
+        repro.budget,
         &batch,
         cfg,
     ));
@@ -729,6 +858,20 @@ pub fn shrink(repro: &Reproducer, cfg: &OracleConfig) -> Reproducer {
         }
     };
     drop_views(&mut best);
+    // Budget pass: prefer the simplest budget that still reproduces —
+    // ample (drops the budget line from the reproducer entirely), else
+    // zero (empty stores). Failing both, the recorded budget stays.
+    for probe in [usize::MAX, 0] {
+        if best.budget == probe {
+            break; // already the simplest reproducing form
+        }
+        let mut candidate = best.clone();
+        candidate.budget = probe;
+        if still_fails(&candidate, cfg) {
+            best = candidate;
+            break;
+        }
+    }
     // Pass 2: truncate the document (halving each knob, then floor 1).
     let fields: [fn(&mut Config) -> &mut usize; 5] = [
         |c| &mut c.people,
@@ -919,11 +1062,64 @@ mod tests {
     }
 
     #[test]
+    fn derive_cycles_budget_with_index_zero_ample() {
+        let budgets: Vec<BudgetSpec> = (0..4)
+            .map(|i| CaseSpec::derive(1, i, 1, 1).budget)
+            .collect();
+        assert_eq!(
+            budgets,
+            [
+                BudgetSpec::Ample,
+                BudgetSpec::Zero,
+                BudgetSpec::Tight,
+                BudgetSpec::ExactFit
+            ]
+        );
+    }
+
+    #[test]
+    fn clean_pipeline_is_clean_across_budget_regimes() {
+        for index in 0..4 {
+            let spec = CaseSpec::derive(5, index, 10, 4);
+            let outcome = run_case(&spec, &small_cfg());
+            assert!(
+                outcome.violations.is_empty(),
+                "budget {:?}: {}",
+                spec.budget,
+                outcome.violations[0]
+            );
+        }
+    }
+
+    #[test]
+    fn reproducer_budget_round_trips_and_defaults_ample() {
+        let mut repro = Reproducer {
+            doc: Config::tiny(3),
+            views: vec!["//person/name".into()],
+            query: "//person/name".into(),
+            budget: 1234,
+            invariant: Invariant::CacheDeterminism,
+            strategy: Some(Strategy::Hv),
+            detail: String::new(),
+        };
+        let text = repro.to_text();
+        assert!(text.contains("budget: 1234"), "{text}");
+        assert_eq!(Reproducer::from_text(&text).unwrap().budget, 1234);
+        // Ample budgets are omitted, so pre-budget corpus files (no
+        // `budget:` line) keep parsing — and default to ample.
+        repro.budget = usize::MAX;
+        let text = repro.to_text();
+        assert!(!text.contains("budget:"), "{text}");
+        assert_eq!(Reproducer::from_text(&text).unwrap().budget, usize::MAX);
+    }
+
+    #[test]
     fn reproducer_text_round_trips() {
         let repro = Reproducer {
             doc: Config::tiny(99),
             views: vec!["//site//item[name]/location".into(), "//person/name".into()],
             query: "/site/people/person[profile/age]/name".into(),
+            budget: usize::MAX,
             invariant: Invariant::Differential,
             strategy: Some(Strategy::Hv),
             detail: "answer has 3 codes, direct evaluation 4".into(),
@@ -957,6 +1153,7 @@ mod tests {
             doc: spec.doc.clone(),
             views: srcs,
             query: q.display(&doc.labels).to_string(),
+            budget: usize::MAX,
             invariant: Invariant::Differential,
             strategy: Some(Strategy::Hv),
             detail: String::new(),
@@ -972,6 +1169,7 @@ mod tests {
             doc: Config::tiny(5),
             views: vec!["//site//name".into()],
             query: "//site//name".into(),
+            budget: usize::MAX,
             invariant: Invariant::JobsDeterminism,
             strategy: Some(Strategy::Mv),
             detail: String::new(),

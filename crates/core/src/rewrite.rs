@@ -27,13 +27,17 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, RwLock};
 
-use xvr_pattern::{eval_anchored, eval_restricted, Axis, PNodeId, TreePattern};
-use xvr_xml::{DeweyCode, Fst, NodeId, XmlTree};
+use xvr_pattern::{
+    eval_anchored_in, eval_restricted_in, matches_anchored_in, Axis, EvalScratch, PNodeId,
+    TreePattern,
+};
+use xvr_xml::{DeweyCode, Fst, Label, NodeId, XmlTree};
 
-use crate::materialize::MaterializedStore;
+use crate::materialize::{MaterializedStore, MaterializedView};
 use crate::select::Selection;
-use crate::view::ViewSet;
+use crate::view::{ViewId, ViewSet};
 
 /// Rewriting failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -64,6 +68,12 @@ impl std::error::Error for RewriteError {}
 
 /// Rewrite `q` using the selected views; returns the answer codes in
 /// document order.
+///
+/// This is the uncached reference path: every call re-refines fragments
+/// and rebuilds the code prefix tree from scratch. The hot path used by
+/// [`crate::EngineSnapshot`] is [`rewrite_cached`]; the two are checked
+/// byte-identical by the determinism tests and the oracle's
+/// `CacheDeterminism` invariant.
 pub fn rewrite(
     q: &TreePattern,
     selection: &Selection,
@@ -71,11 +81,254 @@ pub fn rewrite(
     store: &MaterializedStore,
     fst: &Fst,
 ) -> Result<Vec<DeweyCode>, RewriteError> {
+    rewrite_impl(q, selection, views, store, fst, None)
+}
+
+/// [`rewrite`] with a per-snapshot [`RewriteCache`]: refinement results
+/// and code prefix trees are memoized across calls, and single-unit
+/// selections skip the holistic join entirely (chain matching on the
+/// FST-decoded code itself).
+pub fn rewrite_cached(
+    q: &TreePattern,
+    selection: &Selection,
+    views: &ViewSet,
+    store: &MaterializedStore,
+    fst: &Fst,
+    cache: &RewriteCache,
+) -> Result<Vec<DeweyCode>, RewriteError> {
+    rewrite_impl(q, selection, views, store, fst, Some(cache))
+}
+
+/// Surviving fragment codes paired with the answer codes extracted from
+/// each fragment, sorted ascending by fragment code.
+type AnchorPairs = Vec<(DeweyCode, Vec<DeweyCode>)>;
+
+/// Per-snapshot memoization for the rewriting stage.
+///
+/// All three maps are insert-only and keyed by data frozen with the
+/// snapshot, so there is no invalidation protocol: a new snapshot starts
+/// with a fresh cache, and clones of one snapshot share it.
+///
+/// * **Refinement** — keyed by `(view, compensating-pattern fingerprint)`:
+///   the fragment codes surviving the compensating predicate (and, for
+///   anchor use, the answer codes extracted per fragment). Repeated
+///   queries in a batch stop re-evaluating identical predicates over the
+///   same fragments.
+/// * **Prefix trees** — keyed by the *sorted distinct view set* of a
+///   selection, built over **all** fragment codes of those views. That
+///   superset tree is query-independent yet join-equivalent: every
+///   skeleton binding in a valid embedding is an ancestor-or-self of a
+///   unit binding, unit bindings are restricted to refined codes, and all
+///   prefixes of refined codes exist in both the superset tree and the
+///   per-query tree — so restricting the join (the `admissible`
+///   predicate) yields identical anchors.
+///
+/// Concurrent misses may compute a value twice; the first insert wins and
+/// every thread observes that one (the computation is deterministic, so
+/// the race is benign).
+#[derive(Default)]
+pub struct RewriteCache {
+    /// `"view:fingerprint"` → surviving codes (non-anchor refinement).
+    refined: RwLock<HashMap<String, Arc<Vec<DeweyCode>>>>,
+    /// `"view:fingerprint"` → surviving codes + extracted answers.
+    anchors: RwLock<HashMap<String, Arc<AnchorPairs>>>,
+    /// Sorted distinct views of a selection → superset code prefix tree.
+    trees: RwLock<HashMap<Vec<ViewId>, Arc<PrefixTree>>>,
+}
+
+impl RewriteCache {
+    /// Fresh, empty cache.
+    pub fn new() -> RewriteCache {
+        RewriteCache::default()
+    }
+
+    fn refined_codes(
+        &self,
+        key: &str,
+        compensating: &TreePattern,
+        mv: &MaterializedView,
+        scratch: &mut EvalScratch,
+    ) -> Arc<Vec<DeweyCode>> {
+        if let Some(hit) = self.refined.read().unwrap().get(key) {
+            return Arc::clone(hit);
+        }
+        let val = Arc::new(compute_refined(compensating, mv, scratch));
+        Arc::clone(
+            self.refined
+                .write()
+                .unwrap()
+                .entry(key.to_string())
+                .or_insert(val),
+        )
+    }
+
+    fn anchor_pairs(
+        &self,
+        key: &str,
+        compensating: &TreePattern,
+        mv: &MaterializedView,
+        scratch: &mut EvalScratch,
+    ) -> Arc<AnchorPairs> {
+        if let Some(hit) = self.anchors.read().unwrap().get(key) {
+            return Arc::clone(hit);
+        }
+        let val = Arc::new(compute_anchor_pairs(compensating, mv, scratch));
+        Arc::clone(
+            self.anchors
+                .write()
+                .unwrap()
+                .entry(key.to_string())
+                .or_insert(val),
+        )
+    }
+
+    fn prefix_tree(
+        &self,
+        selection: &Selection,
+        store: &MaterializedStore,
+        fst: &Fst,
+    ) -> Result<Arc<PrefixTree>, RewriteError> {
+        let mut key: Vec<ViewId> = selection.units.iter().map(|u| u.view).collect();
+        key.sort();
+        key.dedup();
+        if let Some(hit) = self.trees.read().unwrap().get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        let codes = key.iter().flat_map(|&v| {
+            store
+                .get(v)
+                .expect("selected views are materialized")
+                .fragments
+                .codes()
+        });
+        let val = Arc::new(PrefixTree::build(codes, fst)?);
+        Ok(Arc::clone(
+            self.trees.write().unwrap().entry(key).or_insert(val),
+        ))
+    }
+}
+
+/// A compensating pattern that constrains nothing beyond its root label:
+/// a single node with no attribute predicates. Refinement then reduces to
+/// a label check on the fragment root.
+fn is_trivial(compensating: &TreePattern) -> bool {
+    compensating.len() == 1 && compensating.node(compensating.root()).attrs.is_empty()
+}
+
+/// Non-anchor refinement: fragment codes surviving the compensating
+/// pattern, ascending (fragments are stored code-sorted).
+fn compute_refined(
+    compensating: &TreePattern,
+    mv: &MaterializedView,
+    scratch: &mut EvalScratch,
+) -> Vec<DeweyCode> {
+    let label = compensating.label(compensating.root());
+    let mut codes = Vec::new();
+    for frag in mv.fragments.fragments() {
+        let keep = if is_trivial(compensating) {
+            // matches_anchored on a single attr-free node is exactly a
+            // root label check.
+            label.matches(frag.tree.label(frag.tree.root()))
+        } else {
+            matches_anchored_in(compensating, &frag.tree, frag.tree.root(), scratch)
+        };
+        if keep {
+            codes.push(frag.code.clone());
+        }
+    }
+    codes
+}
+
+/// Anchor refinement + extraction: surviving codes paired with the global
+/// answer codes found inside each fragment, ascending by fragment code.
+fn compute_anchor_pairs(
+    compensating: &TreePattern,
+    mv: &MaterializedView,
+    scratch: &mut EvalScratch,
+) -> AnchorPairs {
+    let label = compensating.label(compensating.root());
+    let trivial_answer_is_root =
+        is_trivial(compensating) && compensating.answer() == compensating.root();
+    let mut pairs = Vec::new();
+    for (fi, frag) in mv.fragments.fragments().iter().enumerate() {
+        if trivial_answer_is_root {
+            if label.matches(frag.tree.label(frag.tree.root())) {
+                let global = mv.global_code(fi, frag.tree.root());
+                pairs.push((frag.code.clone(), vec![global]));
+            }
+            continue;
+        }
+        let answers = eval_anchored_in(compensating, &frag.tree, frag.tree.root(), scratch);
+        if answers.is_empty() {
+            continue;
+        }
+        let globals: Vec<DeweyCode> = answers.into_iter().map(|n| mv.global_code(fi, n)).collect();
+        pairs.push((frag.code.clone(), globals));
+    }
+    pairs
+}
+
+/// Does the trunk chain `root → m` (as `chain`, from [`TreePattern::root_path`])
+/// embed into the label path `path` with the last chain node bound to the
+/// final position? Equivalent to the holistic join for single-unit
+/// selections: the decoded code path *is* the fragment root's ancestor
+/// chain in the base document.
+fn chain_matches(q: &TreePattern, chain: &[PNodeId], path: &[Label]) -> bool {
+    let n = path.len();
+    if n == 0 {
+        return false;
+    }
+    // cur[i] = the current chain node can bind path position i.
+    let first = chain[0];
+    let mut cur = vec![false; n];
+    match q.axis(first) {
+        // Root axis `/` anchors at the document element = position 0.
+        Axis::Child => cur[0] = q.label(first).matches(path[0]),
+        Axis::Descendant => {
+            for (i, &l) in path.iter().enumerate() {
+                cur[i] = q.label(first).matches(l);
+            }
+        }
+    }
+    for &s in &chain[1..] {
+        let mut next = vec![false; n];
+        match q.axis(s) {
+            Axis::Child => {
+                for i in 0..n - 1 {
+                    if cur[i] && q.label(s).matches(path[i + 1]) {
+                        next[i + 1] = true;
+                    }
+                }
+            }
+            Axis::Descendant => {
+                // Any strictly later position after an occupied one.
+                let mut seen = false;
+                for i in 0..n {
+                    if seen && q.label(s).matches(path[i]) {
+                        next[i] = true;
+                    }
+                    seen = seen || cur[i];
+                }
+            }
+        }
+        cur = next;
+    }
+    cur[n - 1]
+}
+
+fn rewrite_impl(
+    q: &TreePattern,
+    selection: &Selection,
+    views: &ViewSet,
+    store: &MaterializedStore,
+    fst: &Fst,
+    cache: Option<&RewriteCache>,
+) -> Result<Vec<DeweyCode>, RewriteError> {
     let _ = views; // selection already carries everything pattern-level
-                   // Stage 1: refine each unit's fragments with its compensating pattern.
-    let mut refined: Vec<Vec<DeweyCode>> = Vec::with_capacity(selection.units.len());
-    // Anchor extraction cache: fragment root code → answer codes inside.
-    let mut anchor_answers: HashMap<DeweyCode, Vec<DeweyCode>> = HashMap::new();
+    let mut scratch = EvalScratch::new();
+    // Stage 1: refine each unit's fragments with its compensating pattern.
+    let mut refined: Vec<Arc<Vec<DeweyCode>>> = Vec::with_capacity(selection.units.len());
+    let mut anchor_pairs: Option<Arc<AnchorPairs>> = None;
     for (i, unit) in selection.units.iter().enumerate() {
         let mv = store
             .get(unit.view)
@@ -84,29 +337,57 @@ pub fn rewrite(
             return Err(RewriteError::IncompleteMaterialization(unit.view));
         }
         let compensating = q.subtree_pattern(unit.cover.m, Axis::Descendant);
-        let mut codes = Vec::new();
-        for (fi, frag) in mv.fragments.fragments().iter().enumerate() {
-            if i == selection.anchor {
-                // Extraction doubles as refinement for the anchor.
-                let answers = eval_anchored(&compensating, &frag.tree, frag.tree.root());
-                if answers.is_empty() {
-                    continue;
+        if i == selection.anchor {
+            let pairs = match cache {
+                Some(c) => {
+                    let key = format!("{}:{}", unit.view.0, compensating.fingerprint());
+                    c.anchor_pairs(&key, &compensating, mv, &mut scratch)
                 }
-                let globals: Vec<DeweyCode> =
-                    answers.into_iter().map(|n| mv.global_code(fi, n)).collect();
-                anchor_answers.insert(frag.code.clone(), globals);
-                codes.push(frag.code.clone());
-            } else if xvr_pattern::matches_anchored(&compensating, &frag.tree, frag.tree.root()) {
-                codes.push(frag.code.clone());
+                None => Arc::new(compute_anchor_pairs(&compensating, mv, &mut scratch)),
+            };
+            refined.push(Arc::new(pairs.iter().map(|(c, _)| c.clone()).collect()));
+            anchor_pairs = Some(pairs);
+        } else {
+            let codes = match cache {
+                Some(c) => {
+                    let key = format!("{}:{}", unit.view.0, compensating.fingerprint());
+                    c.refined_codes(&key, &compensating, mv, &mut scratch)
+                }
+                None => Arc::new(compute_refined(&compensating, mv, &mut scratch)),
+            };
+            refined.push(codes);
+        }
+    }
+    let anchor_pairs = anchor_pairs.expect("selection has an anchor unit");
+
+    // Fast path: a single unit needs no holistic join — the skeleton is
+    // the bare trunk chain, so each surviving fragment code passes iff
+    // the chain embeds into its FST-decoded ancestor label path.
+    if cache.is_some() && selection.units.len() == 1 {
+        let chain = q.root_path(selection.units[0].cover.m);
+        let mut out: Vec<DeweyCode> = Vec::new();
+        for (code, answers) in anchor_pairs.iter() {
+            let path = fst
+                .decode(code.components())
+                .ok_or_else(|| RewriteError::UndecodableCode(code.clone()))?;
+            if chain_matches(q, &chain, &path) {
+                out.extend(answers.iter().cloned());
             }
         }
-        codes.sort();
-        refined.push(codes);
+        out.sort();
+        out.dedup();
+        return Ok(out);
     }
 
     // Stage 2: join over the code prefix tree.
     let skeleton = Skeleton::build(q, selection);
-    let prefix_tree = PrefixTree::build(refined.iter().flatten(), fst)?;
+    let prefix_tree: Arc<PrefixTree> = match cache {
+        Some(c) => c.prefix_tree(selection, store, fst)?,
+        None => Arc::new(PrefixTree::build(
+            refined.iter().flat_map(|codes| codes.iter()),
+            fst,
+        )?),
+    };
     if prefix_tree.tree.is_empty() {
         return Ok(Vec::new());
     }
@@ -120,14 +401,19 @@ pub fn rewrite(
             }
         }
     };
-    let anchors = eval_restricted(&skeleton.pattern, &prefix_tree.tree, &admissible);
+    let anchors = eval_restricted_in(
+        &skeleton.pattern,
+        &prefix_tree.tree,
+        &admissible,
+        &mut scratch,
+    );
 
     // Stage 3: extract from the anchor's fragments.
     let mut out: Vec<DeweyCode> = Vec::new();
     for a in anchors {
         let code = &prefix_tree.codes[a.index()];
-        if let Some(answers) = anchor_answers.get(code) {
-            out.extend(answers.iter().cloned());
+        if let Ok(idx) = anchor_pairs.binary_search_by(|(c, _)| c.cmp(code)) {
+            out.extend(anchor_pairs[idx].1.iter().cloned());
         }
     }
     out.sort();
@@ -176,7 +462,7 @@ impl Skeleton {
     fn restrictions<'a>(
         &self,
         selection: &Selection,
-        refined: &'a [Vec<DeweyCode>],
+        refined: &'a [Arc<Vec<DeweyCode>>],
     ) -> HashMap<PNodeId, Vec<&'a [DeweyCode]>> {
         let mut map: HashMap<PNodeId, Vec<&'a [DeweyCode]>> = HashMap::new();
         for (unit, codes) in selection.units.iter().zip(refined.iter()) {
@@ -363,6 +649,71 @@ mod tests {
         let store = MaterializedStore::materialize_all(&doc, &views, 60);
         let err = rewrite(&q, &selection, &views, &store, &doc.fst).unwrap_err();
         assert!(matches!(err, RewriteError::IncompleteMaterialization(_)));
+    }
+
+    /// Like [`answer_with_views`] but returning the raw pipeline pieces so
+    /// tests can call both rewrite paths on the same selection.
+    fn pipeline(
+        doc: &Document,
+        view_srcs: &[&str],
+        qsrc: &str,
+    ) -> Option<(TreePattern, Selection, ViewSet, MaterializedStore)> {
+        let mut labels = doc.labels.clone();
+        let mut views = ViewSet::new();
+        for src in view_srcs {
+            views.add(parse_pattern_with(src, &mut labels).unwrap());
+        }
+        let q = parse_pattern_with(qsrc, &mut labels).unwrap();
+        let nfa = build_nfa(&views);
+        let filter = filter_views(&q, &views, &nfa);
+        let ob = Obligations::of(&q);
+        let selection = select_heuristic(&q, &views, &filter, &ob)?;
+        let store = MaterializedStore::materialize_all(doc, &views, usize::MAX);
+        Some((q, selection, views, store))
+    }
+
+    #[test]
+    fn cached_rewrite_is_byte_identical_to_uncached() {
+        let doc = book_document();
+        // Multi-unit joins, single-unit fast path (trivial and non-trivial
+        // compensating patterns), wildcard views, anchored answers below
+        // the view root.
+        let cases: [(&[&str], &str); 6] = [
+            (&["//s[t]/p", "//s[p]/f"], "//s[f//i][t]/p"),
+            (&["//s[t]/p"], "//s[t]/p"),
+            (&["//s//p"], "//s/s/p"),
+            (&["//s[.//i]"], "//s[.//i]"),
+            (&["//s[t]", "//s[p]/f"], "//s[f//i][t]/p"),
+            (&["//f/i"], "//f/i"),
+        ];
+        let cache = RewriteCache::new();
+        for (views_src, qsrc) in cases {
+            let Some((q, sel, views, store)) = pipeline(&doc, views_src, qsrc) else {
+                panic!("{qsrc}: expected answerable");
+            };
+            let want = rewrite(&q, &sel, &views, &store, &doc.fst).unwrap();
+            // Cold and warm cache must both reproduce the reference.
+            for pass in 0..2 {
+                let got = rewrite_cached(&q, &sel, &views, &store, &doc.fst, &cache).unwrap();
+                assert_eq!(got, want, "{qsrc} (pass {pass})");
+            }
+        }
+        // The sweep above mixes view sets; the shared cache must have
+        // memoized at least one refinement and one prefix tree.
+        assert!(!cache.anchors.read().unwrap().is_empty());
+    }
+
+    #[test]
+    fn chain_fast_path_respects_root_anchoring() {
+        let doc = book_document();
+        let cache = RewriteCache::new();
+        // `/s` never matches (document element is b) even though the `//s`
+        // view has fragments everywhere — the chain must pin `/` roots to
+        // position 0 of the decoded path.
+        let (q, sel, views, store) = pipeline(&doc, &["//s"], "/s").unwrap();
+        let got = rewrite_cached(&q, &sel, &views, &store, &doc.fst, &cache).unwrap();
+        assert_eq!(got, rewrite(&q, &sel, &views, &store, &doc.fst).unwrap());
+        assert!(got.is_empty());
     }
 
     #[test]

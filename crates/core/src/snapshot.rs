@@ -33,7 +33,7 @@ use crate::filter::{filter_views, FilterOutcome};
 use crate::leafcover::Obligations;
 use crate::materialize::MaterializedStore;
 use crate::nfa::Nfa;
-use crate::rewrite::rewrite;
+use crate::rewrite::{rewrite, rewrite_cached, RewriteCache};
 use crate::select::{select_cost_based, select_heuristic, select_minimum, Selection};
 use crate::view::{ViewId, ViewSet};
 
@@ -54,6 +54,9 @@ pub struct EngineSnapshot {
     pub(crate) node_index: Arc<NodeIndex>,
     pub(crate) path_index: Arc<PathIndex>,
     pub(crate) config: EngineConfig,
+    /// Per-snapshot rewrite memoization (see [`RewriteCache`]); created
+    /// fresh at freeze time and shared by clones of this snapshot.
+    pub(crate) rewrite_cache: Arc<RewriteCache>,
 }
 
 // Compile-time guarantee: the snapshot is shareable across threads. If a
@@ -309,6 +312,26 @@ impl EngineSnapshot {
         }
     }
 
+    /// Answer `q` under `strategy`, bypassing the snapshot's
+    /// [`RewriteCache`]: view strategies run the uncached reference
+    /// rewriter regardless of [`EngineConfig::rewrite_cache`]. Base
+    /// strategies are identical to [`Self::answer`] (they never rewrite).
+    ///
+    /// The determinism tests and the oracle's `CacheDeterminism`
+    /// invariant compare this against [`Self::answer`] byte-for-byte.
+    pub fn answer_uncached(
+        &self,
+        q: &TreePattern,
+        strategy: Strategy,
+    ) -> Result<Answer, AnswerError> {
+        match strategy {
+            Strategy::Bn | Strategy::Bf => self.answer(q, strategy),
+            Strategy::Mn | Strategy::Mv | Strategy::Hv | Strategy::Cb => {
+                self.answer_traced_impl(q, strategy, false).0
+            }
+        }
+    }
+
     /// Answer `q` under `strategy`, also reporting the [`AnswerTrace`] —
     /// which views selection was allowed to use and which `(view, m)`
     /// units the rewriting actually joined.
@@ -321,6 +344,15 @@ impl EngineSnapshot {
         &self,
         q: &TreePattern,
         strategy: Strategy,
+    ) -> (Result<Answer, AnswerError>, AnswerTrace) {
+        self.answer_traced_impl(q, strategy, self.config.rewrite_cache)
+    }
+
+    fn answer_traced_impl(
+        &self,
+        q: &TreePattern,
+        strategy: Strategy,
+        use_cache: bool,
     ) -> (Result<Answer, AnswerError>, AnswerTrace) {
         match strategy {
             Strategy::Bn | Strategy::Bf => (self.answer(q, strategy), AnswerTrace::default()),
@@ -342,7 +374,19 @@ impl EngineSnapshot {
                 trace.anchor = Some(selection.anchor);
                 let candidates = trace.usable.len();
                 let t0 = Instant::now();
-                let codes = match rewrite(q, &selection, &self.views, &self.store, &self.doc.fst) {
+                let result = if use_cache {
+                    rewrite_cached(
+                        q,
+                        &selection,
+                        &self.views,
+                        &self.store,
+                        &self.doc.fst,
+                        &self.rewrite_cache,
+                    )
+                } else {
+                    rewrite(q, &selection, &self.views, &self.store, &self.doc.fst)
+                };
+                let codes = match result {
                     Ok(codes) => codes,
                     Err(e) => return (Err(AnswerError::Rewrite(e)), trace),
                 };
@@ -484,6 +528,40 @@ mod tests {
             snap.answer(&q, Strategy::Hv).unwrap_err(),
             AnswerError::NotAnswerable
         );
+    }
+
+    #[test]
+    fn cached_answers_byte_identical_to_uncached_across_strategies() {
+        let snap = snapshot_with_views(&["//s[t]/p", "//s[p]/f", "//s//p", "//s[.//i]", "//*[i]"]);
+        assert!(snap.config().rewrite_cache, "cache on by default");
+        let queries = [
+            "//s[f//i][t]/p",
+            "//s[t]/p",
+            "/b/s//p",
+            "//s[p]/f",
+            "//s[.//i]",
+            "//nosuchlabel",
+        ];
+        for strategy in Strategy::all_extended() {
+            for qsrc in queries {
+                let q = snap.parse(qsrc).unwrap();
+                let uncached = snap.answer_uncached(&q, strategy);
+                // Twice: cold cache, then warm cache.
+                for pass in 0..2 {
+                    match (&snap.answer(&q, strategy), &uncached) {
+                        (Ok(a), Ok(b)) => {
+                            assert_eq!(a.codes, b.codes, "{strategy} {qsrc} (pass {pass})");
+                            let render = |c: &[DeweyCode]| -> Vec<String> {
+                                c.iter().map(|x| x.to_string()).collect()
+                            };
+                            assert_eq!(render(&a.codes), render(&b.codes), "{strategy} {qsrc}");
+                        }
+                        (Err(a), Err(b)) => assert_eq!(a, b, "{strategy} {qsrc} (pass {pass})"),
+                        (a, b) => panic!("{strategy} {qsrc}: cached {a:?} vs uncached {b:?}"),
+                    }
+                }
+            }
+        }
     }
 
     #[test]

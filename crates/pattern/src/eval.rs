@@ -10,6 +10,51 @@ use xvr_xml::{NodeId, NodeIndex, XmlTree};
 
 use crate::pattern::{Axis, PLabel, PNodeId, TreePattern};
 
+/// Reusable scratch buffers for the match-set computation.
+///
+/// Every evaluation allocates `O(|P|)` boolean vectors of length `|T|`;
+/// in hot loops (the rewriter refining hundreds of fragments with the
+/// same compensating pattern) those allocations dominate. A scratch pool
+/// keeps the vectors alive across calls: pass the same `EvalScratch` to
+/// the `*_in` entry points ([`eval_anchored_in`], [`matches_anchored_in`],
+/// [`eval_restricted_in`]) and steady-state evaluation becomes
+/// allocation-free. The pool is plain data — create one per thread.
+#[derive(Default)]
+pub struct EvalScratch {
+    pool: Vec<Vec<bool>>,
+}
+
+impl EvalScratch {
+    /// Fresh, empty pool.
+    pub fn new() -> EvalScratch {
+        EvalScratch::default()
+    }
+
+    /// Borrow a zeroed boolean vector of length `n`.
+    fn take(&mut self, n: usize) -> Vec<bool> {
+        match self.pool.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.resize(n, false);
+                v
+            }
+            None => vec![false; n],
+        }
+    }
+
+    /// Return a vector to the pool.
+    fn give(&mut self, v: Vec<bool>) {
+        self.pool.push(v);
+    }
+
+    /// Return a whole match-set table to the pool.
+    fn give_all(&mut self, d: Vec<Vec<bool>>) {
+        for v in d {
+            self.pool.push(v);
+        }
+    }
+}
+
 /// Evaluate `pattern` over `tree`, returning answer-node bindings in
 /// document order.
 pub fn eval(pattern: &TreePattern, tree: &XmlTree) -> Vec<NodeId> {
@@ -25,24 +70,50 @@ pub fn eval_bn(pattern: &TreePattern, tree: &XmlTree, index: &NodeIndex) -> Vec<
 /// axis is ignored). Used to run compensating queries *inside* materialized
 /// fragments, where the fragment root plays the part of the pattern root.
 pub fn eval_anchored(pattern: &TreePattern, tree: &XmlTree, root_binding: NodeId) -> Vec<NodeId> {
+    eval_anchored_in(pattern, tree, root_binding, &mut EvalScratch::new())
+}
+
+/// [`eval_anchored`] with caller-provided scratch buffers (see
+/// [`EvalScratch`]).
+pub fn eval_anchored_in(
+    pattern: &TreePattern,
+    tree: &XmlTree,
+    root_binding: NodeId,
+    scratch: &mut EvalScratch,
+) -> Vec<NodeId> {
     if tree.is_empty() {
         return Vec::new();
     }
-    let d = match_sets(pattern, tree, None);
+    let d = match_sets(pattern, tree, None, scratch);
     if !d[pattern.root().index()][root_binding.index()] {
+        scratch.give_all(d);
         return Vec::new();
     }
-    let mut allowed = vec![false; tree.len()];
+    let mut allowed = scratch.take(tree.len());
     allowed[root_binding.index()] = true;
-    refine_trunk(pattern, tree, &d, allowed)
+    let out = refine_trunk(pattern, tree, &d, allowed, scratch);
+    scratch.give_all(d);
+    out
 }
 
 /// Boolean form of [`eval_anchored`]: does the pattern match with its root
 /// bound to `root_binding`?
 pub fn matches_anchored(pattern: &TreePattern, tree: &XmlTree, root_binding: NodeId) -> bool {
+    matches_anchored_in(pattern, tree, root_binding, &mut EvalScratch::new())
+}
+
+/// [`matches_anchored`] with caller-provided scratch buffers.
+pub fn matches_anchored_in(
+    pattern: &TreePattern,
+    tree: &XmlTree,
+    root_binding: NodeId,
+    scratch: &mut EvalScratch,
+) -> bool {
     !tree.is_empty() && {
-        let d = match_sets(pattern, tree, None);
-        d[pattern.root().index()][root_binding.index()]
+        let d = match_sets(pattern, tree, None, scratch);
+        let hit = d[pattern.root().index()][root_binding.index()];
+        scratch.give_all(d);
+        hit
     }
 }
 
@@ -51,7 +122,8 @@ pub fn matches_boolean(pattern: &TreePattern, tree: &XmlTree) -> bool {
     if tree.is_empty() {
         return false;
     }
-    let d = match_sets(pattern, tree, None);
+    let mut scratch = EvalScratch::new();
+    let d = match_sets(pattern, tree, None, &mut scratch);
     let found = root_bindings(pattern, tree, &d).next().is_some();
     found
 }
@@ -65,15 +137,27 @@ pub fn eval_restricted(
     tree: &XmlTree,
     admissible: &dyn Fn(PNodeId, NodeId) -> bool,
 ) -> Vec<NodeId> {
+    eval_restricted_in(pattern, tree, admissible, &mut EvalScratch::new())
+}
+
+/// [`eval_restricted`] with caller-provided scratch buffers.
+pub fn eval_restricted_in(
+    pattern: &TreePattern,
+    tree: &XmlTree,
+    admissible: &dyn Fn(PNodeId, NodeId) -> bool,
+    scratch: &mut EvalScratch,
+) -> Vec<NodeId> {
     if tree.is_empty() {
         return Vec::new();
     }
-    let d = match_sets_filtered(pattern, tree, admissible);
-    let mut allowed = vec![false; tree.len()];
+    let d = match_sets_filtered(pattern, tree, admissible, scratch);
+    let mut allowed = scratch.take(tree.len());
     for x in root_bindings(pattern, tree, &d) {
         allowed[x.index()] = true;
     }
-    refine_trunk(pattern, tree, &d, allowed)
+    let out = refine_trunk(pattern, tree, &d, allowed, scratch);
+    scratch.give_all(d);
+    out
 }
 
 /// `match_sets` with an admissibility predicate.
@@ -81,14 +165,15 @@ fn match_sets_filtered(
     pattern: &TreePattern,
     tree: &XmlTree,
     admissible: &dyn Fn(PNodeId, NodeId) -> bool,
+    scratch: &mut EvalScratch,
 ) -> Vec<Vec<bool>> {
     let mut d: Vec<Vec<bool>> = vec![Vec::new(); pattern.len()];
     for &pn in &pattern.postorder() {
-        let mut set = vec![false; tree.len()];
+        let mut set = scratch.take(tree.len());
         let mut desc_flags: Vec<(PNodeId, Vec<bool>)> = Vec::new();
         for &pc in pattern.children(pn) {
             if pattern.axis(pc) == Axis::Descendant {
-                desc_flags.push((pc, has_descendant_in(tree, &d[pc.index()])));
+                desc_flags.push((pc, has_descendant_in(tree, &d[pc.index()], scratch)));
             }
         }
         'cand: for x in tree.iter() {
@@ -119,6 +204,9 @@ fn match_sets_filtered(
             }
             set[x.index()] = true;
         }
+        for (_, flags) in desc_flags {
+            scratch.give(flags);
+        }
         d[pn.index()] = set;
     }
     d
@@ -126,17 +214,22 @@ fn match_sets_filtered(
 
 /// Match sets for every pattern node: `d[pn][x]` = the subtree of `pattern`
 /// rooted at `pn` embeds with `pn ↦ x`.
-fn match_sets(pattern: &TreePattern, tree: &XmlTree, index: Option<&NodeIndex>) -> Vec<Vec<bool>> {
+fn match_sets(
+    pattern: &TreePattern,
+    tree: &XmlTree,
+    index: Option<&NodeIndex>,
+    scratch: &mut EvalScratch,
+) -> Vec<Vec<bool>> {
     let nt = tree.len();
     let mut d: Vec<Vec<bool>> = vec![Vec::new(); pattern.len()];
     for &pn in &pattern.postorder() {
-        let mut set = vec![false; nt];
+        let mut set = scratch.take(nt);
         // Precompute "has proper descendant matching pc" arrays for the
         // descendant-axis children of pn.
         let mut desc_flags: Vec<(PNodeId, Vec<bool>)> = Vec::new();
         for &pc in pattern.children(pn) {
             if pattern.axis(pc) == Axis::Descendant {
-                desc_flags.push((pc, has_descendant_in(tree, &d[pc.index()])));
+                desc_flags.push((pc, has_descendant_in(tree, &d[pc.index()], scratch)));
             }
         }
         let candidates: Box<dyn Iterator<Item = NodeId>> = match (index, pattern.label(pn)) {
@@ -171,14 +264,17 @@ fn match_sets(pattern: &TreePattern, tree: &XmlTree, index: Option<&NodeIndex>) 
             }
             set[x.index()] = true;
         }
+        for (_, flags) in desc_flags {
+            scratch.give(flags);
+        }
         d[pn.index()] = set;
     }
     d
 }
 
 /// `out[x]` = some proper descendant `y` of `x` has `set[y]`.
-fn has_descendant_in(tree: &XmlTree, set: &[bool]) -> Vec<bool> {
-    let mut out = vec![false; tree.len()];
+fn has_descendant_in(tree: &XmlTree, set: &[bool], scratch: &mut EvalScratch) -> Vec<bool> {
+    let mut out = scratch.take(tree.len());
     // Post-order via reversed pre-order (children have larger arena ids than
     // parents is NOT guaranteed in general trees built by hand, so walk
     // explicitly).
@@ -211,26 +307,29 @@ fn eval_inner(pattern: &TreePattern, tree: &XmlTree, index: Option<&NodeIndex>) 
     if tree.is_empty() {
         return Vec::new();
     }
-    let d = match_sets(pattern, tree, index);
-    let mut allowed = vec![false; tree.len()];
+    let mut scratch = EvalScratch::new();
+    let d = match_sets(pattern, tree, index, &mut scratch);
+    let mut allowed = scratch.take(tree.len());
     for x in root_bindings(pattern, tree, &d) {
         allowed[x.index()] = true;
     }
-    refine_trunk(pattern, tree, &d, allowed)
+    refine_trunk(pattern, tree, &d, allowed, &mut scratch)
 }
 
 /// Top-down refinement along the trunk only: branch conditions are already
-/// folded into the match sets. `allowed` holds the admissible root bindings.
+/// folded into the match sets. `allowed` holds the admissible root bindings
+/// (taken from `scratch`, and returned to it before this function exits).
 fn refine_trunk(
     pattern: &TreePattern,
     tree: &XmlTree,
     d: &[Vec<bool>],
     mut allowed: Vec<bool>,
+    scratch: &mut EvalScratch,
 ) -> Vec<NodeId> {
     let trunk = pattern.trunk();
     for win in trunk.windows(2) {
         let (_prev, next) = (win[0], win[1]);
-        let mut next_allowed = vec![false; tree.len()];
+        let mut next_allowed = scratch.take(tree.len());
         match pattern.axis(next) {
             Axis::Child => {
                 for x in tree.iter() {
@@ -245,7 +344,7 @@ fn refine_trunk(
             }
             Axis::Descendant => {
                 // under[x] = some proper ancestor of x is allowed.
-                let mut under = vec![false; tree.len()];
+                let mut under = scratch.take(tree.len());
                 for x in tree.iter() {
                     if let Some(p) = tree.parent(x) {
                         under[x.index()] = allowed[p.index()] || under[p.index()];
@@ -256,11 +355,14 @@ fn refine_trunk(
                         next_allowed[x.index()] = true;
                     }
                 }
+                scratch.give(under);
             }
         }
-        allowed = next_allowed;
+        scratch.give(std::mem::replace(&mut allowed, next_allowed));
     }
-    tree.iter().filter(|x| allowed[x.index()]).collect()
+    let out = tree.iter().filter(|x| allowed[x.index()]).collect();
+    scratch.give(allowed);
+    out
 }
 
 #[cfg(test)]
@@ -374,6 +476,37 @@ mod tests {
         assert_eq!(eval(&p1, &doc.tree).len(), 2);
         let p2 = parse_pattern_with(r#"/a/b[@id="2"]"#, &mut labels).unwrap();
         assert_eq!(eval(&p2, &doc.tree).len(), 1);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_allocation() {
+        let doc = book_document();
+        let mut labels = doc.labels.clone();
+        let mut scratch = EvalScratch::new();
+        let root = doc.tree.root();
+        for src in ["//s[t]/p", "//s[f//i][t]/p", "/b//f", "//*[i]", "/b[a]/t"] {
+            let p = parse_pattern_with(src, &mut labels).unwrap();
+            // Run twice through the same pool: second pass recycles buffers.
+            for _ in 0..2 {
+                assert_eq!(
+                    eval_anchored_in(&p, &doc.tree, root, &mut scratch),
+                    eval_anchored(&p, &doc.tree, root),
+                    "{src}"
+                );
+                assert_eq!(
+                    matches_anchored_in(&p, &doc.tree, root, &mut scratch),
+                    matches_anchored(&p, &doc.tree, root),
+                    "{src}"
+                );
+                let all = |_: PNodeId, _: NodeId| true;
+                assert_eq!(
+                    eval_restricted_in(&p, &doc.tree, &all, &mut scratch),
+                    eval_restricted(&p, &doc.tree, &all),
+                    "{src}"
+                );
+            }
+        }
+        assert!(!scratch.pool.is_empty(), "buffers returned to the pool");
     }
 
     #[test]

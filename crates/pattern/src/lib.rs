@@ -34,7 +34,10 @@ pub use containment::{
     contains, contains_complete, equivalent, equivalent_complete, try_contains_complete,
 };
 pub use decompose::{decompose, Decomposition};
-pub use eval::{eval, eval_anchored, eval_bn, eval_restricted, matches_anchored, matches_boolean};
+pub use eval::{
+    eval, eval_anchored, eval_anchored_in, eval_bn, eval_restricted, eval_restricted_in,
+    matches_anchored, matches_anchored_in, matches_boolean, EvalScratch,
+};
 pub use generator::{
     distinct_patterns, distinct_positive_patterns, relax, QueryConfig, QueryGenerator,
 };

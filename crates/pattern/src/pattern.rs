@@ -377,6 +377,54 @@ impl TreePattern {
         out
     }
 
+    /// Stable structural key for caching.
+    ///
+    /// Encodes, per node in creation order: parent index, entering axis,
+    /// label (table index or `*`), and attribute predicates, followed by
+    /// the answer-node index. Two patterns built over the *same*
+    /// [`LabelTable`] get equal fingerprints iff they have identical node
+    /// arrays — which is exactly the syntactic identity the rewriter's
+    /// refinement cache needs, because compensating patterns are produced
+    /// by [`TreePattern::subtree_pattern`] whose construction order is a
+    /// deterministic DFS of the source pattern.
+    pub fn fingerprint(&self) -> String {
+        use fmt::Write;
+        let mut s = String::with_capacity(self.nodes.len() * 8);
+        for n in &self.nodes {
+            match n.parent {
+                Some(p) => {
+                    let _ = write!(s, "{}", p.0);
+                }
+                None => s.push('r'),
+            }
+            s.push(match n.axis {
+                Axis::Child => '/',
+                Axis::Descendant => 'd',
+            });
+            match n.label {
+                PLabel::Wild => s.push('*'),
+                PLabel::Lab(l) => {
+                    let _ = write!(s, "{}", l.index());
+                }
+            }
+            for a in &n.attrs {
+                match &a.value {
+                    None => {
+                        let _ = write!(s, "@{}", a.name.index());
+                    }
+                    Some(v) => {
+                        // Value length guards against delimiter collisions
+                        // from user-controlled attribute strings.
+                        let _ = write!(s, "@{}={}:{}", a.name.index(), v.len(), v);
+                    }
+                }
+            }
+            s.push(';');
+        }
+        let _ = write!(s, "!{}", self.answer.0);
+        s
+    }
+
     /// Render as an XPath expression (parseable by [`crate::parse`]).
     pub fn display<'a>(&'a self, labels: &'a LabelTable) -> PatternDisplay<'a> {
         PatternDisplay {
@@ -616,6 +664,40 @@ mod tests {
         q.add_child(q.root(), Axis::Child, PLabel::Lab(b));
         // q's answer is its root.
         assert!(!p.structurally_equal(&q));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_structure() {
+        let (_, a, b, c) = labs();
+        let mut p = TreePattern::with_root(Axis::Child, PLabel::Lab(a));
+        let pb = p.add_child(p.root(), Axis::Child, PLabel::Lab(b));
+        p.add_child(pb, Axis::Descendant, PLabel::Lab(c));
+
+        // Identical reconstruction → identical fingerprint.
+        let mut q = TreePattern::with_root(Axis::Child, PLabel::Lab(a));
+        let qb = q.add_child(q.root(), Axis::Child, PLabel::Lab(b));
+        q.add_child(qb, Axis::Descendant, PLabel::Lab(c));
+        assert_eq!(p.fingerprint(), q.fingerprint());
+
+        // Axis, label, answer position, and attrs all change the key.
+        let mut ax = q.clone();
+        ax.set_axis(PNodeId(2), Axis::Child);
+        assert_ne!(p.fingerprint(), ax.fingerprint());
+        let mut lb = q.clone();
+        lb.set_label(PNodeId(2), PLabel::Wild);
+        assert_ne!(p.fingerprint(), lb.fingerprint());
+        let mut an = q.clone();
+        an.set_answer(PNodeId(2));
+        assert_ne!(p.fingerprint(), an.fingerprint());
+        let mut at = q.clone();
+        at.add_attr_pred(
+            PNodeId(1),
+            AttrPred {
+                name: a,
+                value: Some("v".into()),
+            },
+        );
+        assert_ne!(p.fingerprint(), at.fingerprint());
     }
 
     #[test]

@@ -46,8 +46,15 @@ pub struct FragmentSet {
 
 impl FragmentSet {
     /// Materialize fragments for `roots` (answer-node bindings, document
-    /// order), stopping once `byte_budget` is exceeded — the paper caps each
-    /// view's materialization at 128 KB.
+    /// order), stopping once `byte_budget` would be exceeded — the paper
+    /// caps each view's materialization at 128 KB.
+    ///
+    /// The budget is a hard cap: a fragment is admitted only if the set's
+    /// total stays at or under `byte_budget` (an exact fit is admitted).
+    /// Any rejected fragment — including the very first one, and including
+    /// `byte_budget == 0`, which stores nothing — marks the set truncated,
+    /// so `total_bytes() <= byte_budget` holds unconditionally and
+    /// `!truncated()` really means "every binding is here".
     ///
     /// Returns the set even when truncated; check [`FragmentSet::truncated`]
     /// before using a truncated set for *equivalent* rewriting.
@@ -56,7 +63,7 @@ impl FragmentSet {
         for &r in roots {
             let frag = Fragment::extract(doc, r);
             let sz = frag.size_bytes(&doc.labels);
-            if set.total_bytes + sz > byte_budget && !set.fragments.is_empty() {
+            if set.total_bytes + sz > byte_budget {
                 set.truncated = true;
                 break;
             }
@@ -162,7 +169,49 @@ mod tests {
         let set = FragmentSet::materialize(&doc, &roots, 40);
         assert!(set.truncated());
         assert!(set.len() < 8);
-        assert!(!set.is_empty(), "at least one fragment is always kept");
+        assert!(set.total_bytes() <= 40, "budget is a hard cap");
+    }
+
+    #[test]
+    fn budget_zero_stores_nothing_and_truncates() {
+        let doc = book_document();
+        let roots = p_nodes(&doc);
+        let set = FragmentSet::materialize(&doc, &roots, 0);
+        assert!(set.is_empty(), "budget 0 must admit no fragment");
+        assert_eq!(set.total_bytes(), 0);
+        assert!(set.truncated(), "an empty-by-budget set is incomplete");
+    }
+
+    #[test]
+    fn single_oversized_fragment_flags_truncated() {
+        let doc = book_document();
+        let roots = p_nodes(&doc);
+        let first_sz = Fragment::extract(&doc, roots[0]).size_bytes(&doc.labels);
+        assert!(first_sz > 1);
+        // Budget below the first fragment: nothing stored, truncated set.
+        let set = FragmentSet::materialize(&doc, &roots, first_sz - 1);
+        assert!(set.is_empty());
+        assert!(
+            set.truncated(),
+            "a rejected first fragment must not report a complete set"
+        );
+    }
+
+    #[test]
+    fn exact_fit_budget_is_complete() {
+        let doc = book_document();
+        let roots = p_nodes(&doc);
+        let full = FragmentSet::materialize(&doc, &roots, usize::MAX);
+        assert!(!full.truncated());
+        // total_bytes == byte_budget admits everything and stays complete.
+        let exact = FragmentSet::materialize(&doc, &roots, full.total_bytes());
+        assert_eq!(exact.len(), full.len());
+        assert_eq!(exact.total_bytes(), full.total_bytes());
+        assert!(!exact.truncated());
+        // One byte less drops the last fragment and flags truncation.
+        let short = FragmentSet::materialize(&doc, &roots, full.total_bytes() - 1);
+        assert!(short.len() < full.len());
+        assert!(short.truncated());
     }
 
     #[test]
