@@ -4,11 +4,15 @@
 //! 1. **rewrite_only** — direct `rewrite()` vs `rewrite_cached()` calls
 //!    on a pre-built (query, selection, store) pipeline, isolating the
 //!    refinement + join + extraction stage.
-//! 2. **answer_single** — end-to-end `EngineSnapshot::answer` (filter +
-//!    selection + rewrite) against `answer_uncached`.
-//! 3. **answer_batch** — repeated-workload batch throughput: the same
-//!    Table III queries submitted over and over, answered by a snapshot
-//!    with the cache on vs. a snapshot built with `rewrite_cache: false`.
+//! 2. **answer_single** — end-to-end `EngineSnapshot::query` (filter +
+//!    selection + rewrite) with the cache on vs.
+//!    `QueryOptions::with_cache(false)`.
+//! 3. **answer_batch** — repeated-workload batch throughput via
+//!    `query_batch`: the same Table III queries submitted over and over,
+//!    answered by a snapshot with the cache on vs. a snapshot built with
+//!    `rewrite_cache: false`. A final metered pass records the per-stage
+//!    wall-clock split and pipeline counters (`stage_breakdown` in the
+//!    JSON).
 //!
 //! Results are printed and written as JSON (for CI artifacts and the
 //! committed baseline) to `BENCH_rewrite.json` at the repo root; override
@@ -22,8 +26,9 @@ use std::time::Instant;
 use criterion::black_box;
 use xvr_bench::{paper_document, planted_views, test_queries};
 use xvr_core::{
-    build_nfa, filter_views, rewrite, rewrite_cached, select_heuristic, Engine, EngineConfig,
-    MaterializedStore, Obligations, RewriteCache, Strategy, ViewSet,
+    build_nfa, filter_views, rewrite, rewrite_cached, select_heuristic, Counter, Engine,
+    EngineConfig, MaterializedStore, Obligations, QueryOptions, RewriteCache, StageTimings,
+    Strategy, ViewSet,
 };
 use xvr_pattern::generator::QueryConfig;
 use xvr_pattern::{distinct_positive_patterns, parse_pattern_with, TreePattern};
@@ -94,6 +99,9 @@ struct PairResult {
     name: String,
     uncached_ns: f64,
     cached_ns: f64,
+    /// Per-stage wall-clock of one (cached) end-to-end run, when the
+    /// measured operation goes through the full pipeline.
+    stages: Option<StageTimings>,
 }
 
 impl PairResult {
@@ -144,6 +152,7 @@ fn main() {
             name: tq.name.to_string(),
             uncached_ns,
             cached_ns,
+            stages: None,
         };
         println!(
             "rewrite_only/{:<26} uncached {:>10} | cached {:>10} | {:.2}x",
@@ -173,21 +182,29 @@ fn main() {
         .collect();
     let snap = engine.snapshot();
     let mut answer_single: Vec<PairResult> = Vec::new();
+    let cached = QueryOptions::strategy(Strategy::Hv);
+    let uncached = QueryOptions::strategy(Strategy::Hv).with_cache(false);
     for (name, q) in &queries {
-        if snap.answer(q, Strategy::Hv).is_err() {
+        if snap.query(q, &cached).answer.is_err() {
             println!("answer_single/{:<25} skipped (not answerable)", name);
             continue;
         }
         let uncached_ns = bench_ns(samples, || {
-            snap.answer_uncached(q, Strategy::Hv).unwrap();
+            snap.query(q, &uncached).answer.unwrap();
         });
         let cached_ns = bench_ns(samples, || {
-            snap.answer(q, Strategy::Hv).unwrap();
+            snap.query(q, &cached).answer.unwrap();
         });
+        // One metered run for the per-stage wall-clock split.
+        let stages = snap
+            .query(q, &QueryOptions::strategy(Strategy::Hv).with_metrics())
+            .report
+            .map(|r| r.timings);
         let r = PairResult {
             name: name.clone(),
             uncached_ns,
             cached_ns,
+            stages,
         };
         println!(
             "answer_single/{:<25} uncached {:>10} | cached {:>10} | {:.2}x",
@@ -225,9 +242,10 @@ fn main() {
         .collect();
     let batch_qps = |s: &xvr_core::EngineSnapshot| {
         // Warm once (populates the cache when enabled), then best-of-3.
-        s.answer_batch(&batch, Strategy::Hv, jobs);
+        let options = QueryOptions::strategy(Strategy::Hv);
+        s.query_batch(&batch, &options, jobs);
         (0..3)
-            .map(|_| s.answer_batch(&batch, Strategy::Hv, jobs).qps())
+            .map(|_| s.query_batch(&batch, &options, jobs).qps())
             .fold(0.0_f64, f64::max)
     };
     let uncached_qps = batch_qps(&snap_off);
@@ -238,16 +256,47 @@ fn main() {
         batch.len()
     );
 
+    // One metered pass over the cached snapshot for the stage-level
+    // breakdown: summed per-stage wall-clock plus the pipeline counters
+    // that explain where the cache wins (hits vs misses, fast path vs
+    // holistic joins).
+    let metered = snap.query_batch(
+        &batch,
+        &QueryOptions::strategy(Strategy::Hv).with_metrics(),
+        jobs,
+    );
+    let stage_total = metered.total;
+    let counters = metered.counters.clone();
+    println!(
+        "stage_breakdown: filter {}µs | selection {}µs | rewrite {}µs (cache {} hit / {} miss, {} fast-path / {} holistic)",
+        stage_total.filter_us,
+        stage_total.selection_us,
+        stage_total.rewrite_us,
+        counters.get(Counter::RewriteCacheHits),
+        counters.get(Counter::RewriteCacheMisses),
+        counters.get(Counter::RewriteFastPath),
+        counters.get(Counter::RewriteHolisticJoins),
+    );
+
     // --- JSON baseline. ---------------------------------------------------
     let mut json = String::new();
     let pair_json = |r: &PairResult| {
-        format!(
-            "{{\"name\": \"{}\", \"uncached_ns\": {:.0}, \"cached_ns\": {:.0}, \"speedup\": {:.2}}}",
+        let mut entry = format!(
+            "{{\"name\": \"{}\", \"uncached_ns\": {:.0}, \"cached_ns\": {:.0}, \"speedup\": {:.2}",
             r.name,
             r.uncached_ns,
             r.cached_ns,
             r.speedup()
-        )
+        );
+        if let Some(t) = &r.stages {
+            let _ = write!(
+                entry,
+                ", \"stages\": {{\"filter_us\": {}, \"selection_us\": {}, \"rewrite_us\": {}}}",
+                t.filter_us, t.selection_us, t.rewrite_us
+            );
+        }
+        entry.push('}');
+        entry
     };
     let join = |rs: &[PairResult]| {
         rs.iter()
@@ -255,15 +304,30 @@ fn main() {
             .collect::<Vec<_>>()
             .join(",\n      ")
     };
+    let stage_breakdown = format!(
+        "{{\"filter_us\": {}, \"selection_us\": {}, \"rewrite_us\": {}, \"total_us\": {}, \
+         \"cache_hits\": {}, \"cache_misses\": {}, \"fast_path\": {}, \"holistic_joins\": {}, \
+         \"dewey_comparisons\": {}}}",
+        stage_total.filter_us,
+        stage_total.selection_us,
+        stage_total.rewrite_us,
+        stage_total.total_us(),
+        counters.get(Counter::RewriteCacheHits),
+        counters.get(Counter::RewriteCacheMisses),
+        counters.get(Counter::RewriteFastPath),
+        counters.get(Counter::RewriteHolisticJoins),
+        counters.get(Counter::RewriteDeweyComparisons),
+    );
     write!(
         json,
-        "{{\n  \"benchmark\": \"rewrite_hotpath\",\n  \"mode\": \"{}\",\n  \"doc\": {{\"scale\": {scale}, \"nodes\": {}}},\n  \"views\": {},\n  \"strategy\": \"HV\",\n  \"results\": {{\n    \"rewrite_only\": [\n      {}\n    ],\n    \"answer_single\": [\n      {}\n    ],\n    \"answer_batch\": {{\"queries\": {}, \"jobs\": {jobs}, \"uncached_qps\": {uncached_qps:.0}, \"cached_qps\": {cached_qps:.0}, \"speedup\": {batch_speedup:.2}}}\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"rewrite_hotpath\",\n  \"mode\": \"{}\",\n  \"doc\": {{\"scale\": {scale}, \"nodes\": {}}},\n  \"views\": {},\n  \"strategy\": \"HV\",\n  \"results\": {{\n    \"rewrite_only\": [\n      {}\n    ],\n    \"answer_single\": [\n      {}\n    ],\n    \"answer_batch\": {{\"queries\": {}, \"jobs\": {jobs}, \"uncached_qps\": {uncached_qps:.0}, \"cached_qps\": {cached_qps:.0}, \"speedup\": {batch_speedup:.2}, \"stage_breakdown\": {}}}\n  }}\n}}\n",
         if fast { "fast" } else { "full" },
         stats.nodes,
         views.len(),
         join(&rewrite_only),
         join(&answer_single),
         batch.len(),
+        stage_breakdown,
     )
     .unwrap();
 

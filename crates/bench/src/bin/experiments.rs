@@ -21,7 +21,7 @@ use std::time::Instant;
 
 use xvr_bench::{build_paper_engine, paper_document, test_queries, view_sets};
 use xvr_core::filter::{build_nfa, build_nfa_raw, filter_views, filter_views_opts, FilterOptions};
-use xvr_core::{Strategy, ViewSet};
+use xvr_core::{QueryOptions, Strategy, ViewSet};
 use xvr_pattern::generator::QueryConfig;
 use xvr_pattern::{distinct_positive_patterns, exists_hom, parse_pattern_with, TreePattern};
 use xvr_xml::{Document, NodeIndex, PathIndex};
@@ -427,7 +427,8 @@ fn throughput(w: &xvr_bench::PaperWorkload, reps: usize) {
             .iter()
             .map(|&jobs| {
                 time_us(reps, || {
-                    snap.answer_batch(&batch, strategy, jobs).answered()
+                    snap.query_batch(&batch, &QueryOptions::strategy(strategy), jobs)
+                        .answered()
                 })
             })
             .collect();

@@ -155,17 +155,27 @@ fn main() -> ExitCode {
     let mut total_cases = 0usize;
     let mut total_answered = 0usize;
     let mut total_violations = 0usize;
+    let mut total_candidates = 0usize;
+    let mut total_false_positives = 0usize;
     for &seed in &args.seeds {
         let t0 = Instant::now();
         let summary = run_seed(seed, args.docs, args.views, args.queries, &cfg);
         total_cases += summary.queries;
         total_answered += summary.answered;
         total_violations += summary.violations.len();
+        total_candidates += summary.filter_candidates;
+        total_false_positives += summary.filter_false_positives;
         println!(
-            "seed {seed:>4}: {} cases, {} view answers, {} violation(s), {:.1}s",
+            "seed {seed:>4}: {} cases, {} view answers, {} violation(s), vfilter fp {}/{} ({}), {:.1}s",
             summary.queries,
             summary.answered,
             summary.violations.len(),
+            summary.filter_false_positives,
+            summary.filter_candidates,
+            summary
+                .filter_fp_rate()
+                .map(|r| format!("{:.2}%", r * 100.0))
+                .unwrap_or_else(|| "n/a".into()),
             t0.elapsed().as_secs_f64()
         );
         for v in &summary.violations {
@@ -179,8 +189,17 @@ fn main() -> ExitCode {
             }
         }
     }
+    let fp_rate = if total_candidates > 0 {
+        format!(
+            "{:.2}%",
+            total_false_positives as f64 / total_candidates as f64 * 100.0
+        )
+    } else {
+        "n/a".into()
+    };
     println!(
-        "total: {total_cases} cases, {total_answered} view answers, {total_violations} violation(s)"
+        "total: {total_cases} cases, {total_answered} view answers, {total_violations} violation(s), \
+         measured vfilter false-positive rate {fp_rate} ({total_false_positives}/{total_candidates} admitted views)"
     );
     if failed {
         ExitCode::FAILURE

@@ -24,7 +24,7 @@ use std::fmt::Write as _;
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use xvr_core::{AnswerError, Engine, EngineConfig, EngineSnapshot, Strategy};
+use xvr_core::{AnswerError, Engine, EngineConfig, EngineSnapshot, QueryOptions, Strategy};
 use xvr_xml::serializer::serialize_subtree;
 use xvr_xml::{parse_document, DocStats, Document};
 
@@ -64,8 +64,11 @@ const USAGE: &str = "usage:
   xvr eval        --doc FILE [--engine naive|bn|bf] QUERY
   xvr answer      --doc FILE [(--view XPATH)...] [--views-file FILE]
                   [--views-dir DIR] [--strategy bn|bf|mn|mv|hv|cb]
-                  [--budget BYTES] [--show] [--explain]
+                  [--budget BYTES] [--show] [--explain] [--report]
                   (QUERY | --queries-file FILE [--jobs N])
+  xvr stats       --doc FILE [(--view XPATH)...] [--views-file FILE]
+                  [--views-dir DIR] [--strategy bn|bf|mn|mv|hv|cb]
+                  [--budget BYTES] --queries-file FILE [--jobs N]
   xvr filter      --doc FILE [--views-file FILE] (--view XPATH)... QUERY
   xvr materialize --doc FILE (--view XPATH)... [--views-file FILE]
                   [--budget BYTES] --out DIR
@@ -129,6 +132,7 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
         "info" => info(rest),
         "eval" => eval(rest),
         "answer" => answer(rest),
+        "stats" => stats(rest),
         "filter" => filter(rest),
         "generate" => generate(rest),
         "materialize" => materialize(rest),
@@ -213,36 +217,53 @@ fn eval(argv: &[String]) -> Result<ExitCode, CliError> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn strategy_of(name: &str) -> Result<Strategy, CliError> {
-    Strategy::parse(name).ok_or_else(|| CliError::Usage(format!("unknown strategy `{name}`")))
+/// The strategy vocabulary, for the near-miss suggestions below.
+const STRATEGY_NAMES: [&str; 6] = ["bn", "bf", "mn", "mv", "hv", "cb"];
+
+/// Levenshtein distance, for suggesting a strategy on a typo. Inputs are
+/// tiny (strategy names), so the quadratic DP is fine.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let subst = prev[j] + usize::from(ca != cb);
+            row.push(subst.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
 }
 
-fn answer(argv: &[String]) -> Result<ExitCode, CliError> {
-    let parsed = Parsed::parse(
-        argv,
-        &["doc"],
-        &[
-            "strategy",
-            "budget",
-            "views-file",
-            "views-dir",
-            "queries-file",
-            "jobs",
-        ],
-        &["view"],
-        &["show", "explain"],
-    )?;
-    let doc = load_doc(parsed.req("doc")?)?;
-    let views = collect_views(&parsed)?;
-    let strategy = strategy_of(parsed.opt("strategy").unwrap_or("hv"))?;
-    let base = matches!(strategy, Strategy::Bn | Strategy::Bf);
-    if views.is_empty() && parsed.opt("views-dir").is_none() && !base {
-        return Err(CliError::Usage(
-            "answer needs --view, --views-file or --views-dir \
-             (only bn/bf answer from the document alone)"
-                .into(),
-        ));
+/// Parse a strategy name: whitespace- and case-insensitive, with a
+/// "did you mean" suggestion when the name is one edit away from a
+/// valid one (`"MV"`, `"mv "`, `"nv"` all resolve or explain themselves).
+fn strategy_of(name: &str) -> Result<Strategy, CliError> {
+    let canon = name.trim().to_ascii_lowercase();
+    if let Some(s) = Strategy::parse(&canon) {
+        return Ok(s);
     }
+    let mut msg = format!(
+        "unknown strategy `{name}` (expected one of {})",
+        STRATEGY_NAMES.join(", ")
+    );
+    let near = STRATEGY_NAMES
+        .iter()
+        .map(|c| (edit_distance(&canon, c), *c))
+        .min()
+        .filter(|&(d, _)| d <= 1);
+    if let Some((_, suggestion)) = near {
+        let _ = write!(msg, " — did you mean `{suggestion}`?");
+    }
+    Err(CliError::Usage(msg))
+}
+
+/// Build an engine from the shared `--doc`/`--view`/`--views-file`/
+/// `--views-dir`/`--budget` flags (used by `answer` and `stats`).
+fn engine_with_views(parsed: &Parsed) -> Result<Engine, CliError> {
+    let doc = load_doc(parsed.req("doc")?)?;
+    let views = collect_views(parsed)?;
     let budget = match parsed.opt("budget") {
         Some(b) => b
             .parse()
@@ -267,6 +288,34 @@ fn answer(argv: &[String]) -> Result<ExitCode, CliError> {
             .map_err(|e| CliError::Input(format!("loading views from {dir}: {e}")))?;
         eprintln!("loaded {} view(s) from {dir}", loaded.len());
     }
+    Ok(engine)
+}
+
+fn answer(argv: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = Parsed::parse(
+        argv,
+        &["doc"],
+        &[
+            "strategy",
+            "budget",
+            "views-file",
+            "views-dir",
+            "queries-file",
+            "jobs",
+        ],
+        &["view"],
+        &["show", "explain", "report"],
+    )?;
+    let strategy = strategy_of(parsed.opt("strategy").unwrap_or("hv"))?;
+    let engine = engine_with_views(&parsed)?;
+    let base = matches!(strategy, Strategy::Bn | Strategy::Bf);
+    if engine.views().is_empty() && !base {
+        return Err(CliError::Usage(
+            "answer needs --view, --views-file or --views-dir \
+             (only bn/bf answer from the document alone)"
+                .into(),
+        ));
+    }
     let snap = engine.snapshot();
     match parsed.opt("queries-file") {
         Some(file) => answer_batch(&parsed, &snap, strategy, file),
@@ -290,7 +339,15 @@ fn answer_single(
             Err(e) => return Err(CliError::Input(e.to_string())),
         }
     }
-    match snap.answer(&q, strategy) {
+    let mut options = QueryOptions::strategy(strategy);
+    if parsed.flag("report") {
+        options = options.with_trace().with_metrics();
+    }
+    let outcome = snap.query(&q, &options);
+    if let Some(report) = &outcome.report {
+        eprintln!("{report}");
+    }
+    match outcome.answer {
         Ok(a) => {
             let doc = snap.doc();
             for code in &a.codes {
@@ -378,7 +435,11 @@ fn answer_batch(
                 .map_err(|e| CliError::Input(format!("query `{src}`: {e}")))
         })
         .collect::<Result<_, _>>()?;
-    let batch = snap.answer_batch(&queries, strategy, jobs);
+    let mut options = QueryOptions::strategy(strategy);
+    if parsed.flag("report") {
+        options = options.with_metrics();
+    }
+    let batch = snap.query_batch(&queries, &options, jobs);
     let mut unanswerable = 0usize;
     for (src, outcome) in sources.iter().zip(&batch.answers) {
         match outcome {
@@ -405,11 +466,71 @@ fn answer_batch(
         batch.total.selection_us,
         batch.total.rewrite_us,
     );
+    if parsed.flag("report") {
+        eprintln!("batch counters (merged across {} job(s)):", batch.jobs);
+        eprintln!("{}", batch.counters);
+    }
     Ok(if unanswerable == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
     })
+}
+
+/// `xvr stats`: run a query workload with metrics collection on, then
+/// print the snapshot's cumulative [`xvr_core::MetricsReport`] — query
+/// counts, mean stage timings, and the full counter inventory.
+fn stats(argv: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = Parsed::parse(
+        argv,
+        &["doc", "queries-file"],
+        &["strategy", "budget", "views-file", "views-dir", "jobs"],
+        &["view"],
+        &[],
+    )?;
+    let strategy = strategy_of(parsed.opt("strategy").unwrap_or("hv"))?;
+    let engine = engine_with_views(&parsed)?;
+    let base = matches!(strategy, Strategy::Bn | Strategy::Bf);
+    if engine.views().is_empty() && !base {
+        return Err(CliError::Usage(
+            "stats needs --view, --views-file or --views-dir \
+             (only bn/bf answer from the document alone)"
+                .into(),
+        ));
+    }
+    let jobs: usize = match parsed.opt("jobs") {
+        Some(j) => j
+            .parse()
+            .ok()
+            .filter(|&j| j >= 1)
+            .ok_or_else(|| CliError::Usage("--jobs must be a positive integer".into()))?,
+        None => 1,
+    };
+    let snap = engine.snapshot();
+    let file = parsed.req("queries-file")?;
+    let text = std::fs::read_to_string(file)
+        .map_err(|e| CliError::Input(format!("cannot read {file}: {e}")))?;
+    let queries: Vec<_> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|src| {
+            snap.parse(src)
+                .map_err(|e| CliError::Input(format!("query `{src}`: {e}")))
+        })
+        .collect::<Result<_, _>>()?;
+    let options = QueryOptions::strategy(strategy).with_metrics();
+    let batch = snap.query_batch(&queries, &options, jobs);
+    outln!(
+        "workload: {} quer{} via {strategy}, {} answered, {} job(s), {}µs wall",
+        batch.answers.len(),
+        if batch.answers.len() == 1 { "y" } else { "ies" },
+        batch.answered(),
+        batch.jobs,
+        batch.wall_us
+    );
+    outln!("{}", snap.metrics().report());
+    Ok(ExitCode::SUCCESS)
 }
 
 fn filter(argv: &[String]) -> Result<ExitCode, CliError> {

@@ -375,6 +375,102 @@ fn broken_pipe_exits_zero() {
 }
 
 #[test]
+fn strategy_parsing_is_case_and_whitespace_insensitive() {
+    let doc = write_doc();
+    // "MV" and "mv " (trailing space) must both resolve to Mv.
+    for strategy in ["MV", "mv ", " Hv", "CB"] {
+        let out = xvr()
+            .args(["answer", "--doc"])
+            .arg(doc.path())
+            .args(["--view", "//book[author]/title", "--strategy", strategy])
+            .arg("//book[author]/title")
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{strategy:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn unknown_strategy_suggests_near_miss() {
+    let doc = write_doc();
+    let out = xvr()
+        .args(["answer", "--doc"])
+        .arg(doc.path())
+        .args(["--view", "//book/title", "--strategy", "mb"])
+        .arg("//book/title")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown strategy `mb`"), "{stderr}");
+    assert!(stderr.contains("did you mean"), "{stderr}");
+    // Nowhere near any strategy: no suggestion offered.
+    let out = xvr()
+        .args(["answer", "--doc"])
+        .arg(doc.path())
+        .args(["--view", "//book/title", "--strategy", "zzzzz"])
+        .arg("//book/title")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("did you mean"), "{stderr}");
+}
+
+#[test]
+fn answer_report_prints_stage_breakdown() {
+    let doc = write_doc();
+    let out = xvr()
+        .args(["answer", "--doc"])
+        .arg(doc.path())
+        .args(["--view", "//book[author]/title", "--report"])
+        .arg("//book[author]/title")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("stages: filter"), "{stderr}");
+    assert!(
+        stderr.contains("filter") && stderr.contains("runs=1"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("trace: usable="), "{stderr}");
+}
+
+#[test]
+fn stats_prints_metrics_report() {
+    let doc = write_doc();
+    let queries = tempfile::write("//book[author]/title\n//shelf/book\n");
+    let out = xvr()
+        .args(["stats", "--doc"])
+        .arg(doc.path())
+        .args(["--view", "//book[author]/title", "--view", "//shelf/book"])
+        .arg("--queries-file")
+        .arg(queries.path())
+        .args(["--jobs", "2"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("workload: 2 queries via HV"), "{stdout}");
+    assert!(stdout.contains("queries: 2 (2 answered)"), "{stdout}");
+    assert!(stdout.contains("stage totals: filter"), "{stdout}");
+    assert!(stdout.contains("rewrite"), "{stdout}");
+}
+
+#[test]
 fn filter_lists_candidates() {
     let doc = write_doc();
     let out = xvr()

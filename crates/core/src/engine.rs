@@ -28,10 +28,11 @@ use xvr_xml::{CodeStability, DeweyCode, Document, Label, LabelTable, NodeIndex, 
 
 use crate::filter::{build_nfa, FilterOutcome};
 use crate::materialize::MaterializedStore;
+use crate::metrics::SnapshotMetrics;
 use crate::nfa::{AcceptEntry, Nfa};
 use crate::rewrite::{RewriteCache, RewriteError};
 use crate::select::Selection;
-use crate::snapshot::EngineSnapshot;
+use crate::snapshot::{EngineSnapshot, QueryOptions};
 use crate::view::{ViewId, ViewSet};
 
 /// Evaluation strategy.
@@ -292,6 +293,7 @@ impl Engine {
             path_index: Arc::clone(&self.path_index),
             config: self.config.clone(),
             rewrite_cache: Arc::new(RewriteCache::new()),
+            metrics: Arc::new(SnapshotMetrics::new()),
         }
     }
 
@@ -464,7 +466,9 @@ impl Engine {
 
     /// Answer `q` under `strategy`.
     pub fn answer(&self, q: &TreePattern, strategy: Strategy) -> Result<Answer, AnswerError> {
-        self.snapshot().answer(q, strategy)
+        self.snapshot()
+            .query(q, &QueryOptions::strategy(strategy))
+            .answer
     }
 }
 

@@ -18,6 +18,7 @@ use std::collections::HashSet;
 
 use xvr_pattern::{decompose, normalize, TreePattern};
 
+use crate::metrics::{Counter, StageCounters};
 use crate::nfa::{AcceptEntry, Nfa};
 use crate::view::{ViewId, ViewSet};
 
@@ -112,7 +113,22 @@ pub fn filter_views_opts(
     nfa: &Nfa,
     options: FilterOptions,
 ) -> FilterOutcome {
+    filter_views_metered(q, views, nfa, options, &mut StageCounters::new())
+}
+
+/// [`filter_views_opts`] recording observability counters: views
+/// admitted/rejected, NFA state activations, query path count, and the
+/// per-path candidate list sizes (see [`crate::metrics`]).
+pub fn filter_views_metered(
+    q: &TreePattern,
+    views: &ViewSet,
+    nfa: &Nfa,
+    options: FilterOptions,
+    counters: &mut StageCounters,
+) -> FilterOutcome {
+    counters.bump(Counter::FilterRuns);
     let d = decompose(q);
+    counters.add(Counter::FilterQueryPaths, d.paths.len() as u64);
     // Matched view-path indices per view, as bitmasks (a minimized pattern
     // with > 64 root-to-leaf paths does not occur in practice; the
     // registration path asserts it). Dense arrays beat hash maps here: the
@@ -127,7 +143,7 @@ pub fn filter_views_opts(
         } else {
             path.symbols()
         };
-        nfa.run(&symbols, |entry| {
+        let states = nfa.run(&symbols, |entry| {
             if options.attr_pruning && entry.attr_mask & !provided != 0 {
                 return; // the query path cannot supply a required attribute
             }
@@ -138,6 +154,7 @@ pub fn filter_views_opts(
             }
             *slot = (*slot).max(entry.path_len);
         });
+        counters.add(Counter::FilterNfaStates, states);
         let mut list: Vec<(ViewId, u32)> = touched
             .drain(..)
             .map(|v| {
@@ -153,10 +170,17 @@ pub fn filter_views_opts(
         .ids()
         .filter(|v| matched[v.index()].count_ones() as usize == views.view(*v).path_count())
         .collect();
+    counters.add(Counter::FilterViewsAdmitted, candidates.len() as u64);
+    counters.add(
+        Counter::FilterViewsRejected,
+        (views.len() - candidates.len()) as u64,
+    );
     // Lines 22–26: drop filtered views from the per-path lists.
     let keep: HashSet<ViewId> = candidates.iter().copied().collect();
     for list in &mut lists {
         list.retain(|(v, _)| keep.contains(v));
+        counters.add(Counter::FilterListEntries, list.len() as u64);
+        counters.list_sizes.record(list.len() as u64);
     }
     FilterOutcome {
         candidates,

@@ -23,10 +23,13 @@
 //! a **writer** — [`Engine`], which owns all mutation — and a **reader** —
 //! [`EngineSnapshot`] ([`snapshot`]), an immutable `Send + Sync` freeze of
 //! the engine that carries the whole query pipeline and fans batches out
-//! over worker threads with [`EngineSnapshot::answer_batch`].
+//! over worker threads with [`EngineSnapshot::query_batch`]. Every query
+//! goes through one entry point, [`EngineSnapshot::query`], whose
+//! [`QueryOptions`] select the strategy, cache use, and the observability
+//! payload ([`metrics`]) returned as a [`QueryReport`].
 //!
 //! ```
-//! use xvr_core::{Engine, EngineConfig, Strategy};
+//! use xvr_core::{Engine, EngineConfig, QueryOptions, Strategy};
 //!
 //! let doc = xvr_xml::parse_document(
 //!     "<site><a><t>x</t><p/></a><a><t>y</t></a><a><p/></a></site>",
@@ -42,17 +45,31 @@
 //!
 //! // Answer a query from the views alone — never touching the document.
 //! let q = snapshot.parse("//a[p]/t")?;
-//! let answer = snapshot.answer(&q, Strategy::Hv).unwrap();
+//! let answer = snapshot
+//!     .query(&q, &QueryOptions::strategy(Strategy::Hv))
+//!     .answer
+//!     .unwrap();
 //! assert_eq!(answer.codes.len(), 1);
 //! assert_eq!(answer.codes[0].to_string(), "0.0.0");
 //!
 //! // Every strategy returns the same answer.
-//! let direct = snapshot.answer(&q, Strategy::Bn).unwrap();
+//! let direct = snapshot
+//!     .query(&q, &QueryOptions::strategy(Strategy::Bn))
+//!     .answer
+//!     .unwrap();
 //! assert_eq!(answer.codes, direct.codes);
+//!
+//! // Ask for the observability payload: stage timings + counters + trace.
+//! let outcome = snapshot.query(
+//!     &q,
+//!     &QueryOptions::strategy(Strategy::Hv).with_trace().with_metrics(),
+//! );
+//! let report = outcome.report.expect("requested");
+//! assert!(report.counters.is_some() && report.trace.is_some());
 //!
 //! // Batches fan out over scoped worker threads, results in input order.
 //! let queries = vec![q.clone(), q];
-//! let batch = snapshot.answer_batch(&queries, Strategy::Hv, 2);
+//! let batch = snapshot.query_batch(&queries, &QueryOptions::strategy(Strategy::Hv), 2);
 //! assert_eq!(batch.answered(), 2);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -62,6 +79,7 @@ pub mod explain;
 pub mod filter;
 pub mod leafcover;
 pub mod materialize;
+pub mod metrics;
 pub mod nfa;
 pub mod oracle;
 pub mod rewrite;
@@ -74,16 +92,21 @@ pub use engine::{
 };
 pub use explain::{Explanation, UnitExplanation};
 pub use filter::{
-    build_nfa, build_nfa_raw, filter_views, filter_views_opts, FilterOptions, FilterOutcome,
+    build_nfa, build_nfa_raw, filter_views, filter_views_metered, filter_views_opts, FilterOptions,
+    FilterOutcome,
 };
 pub use leafcover::{leaf_cover, leaf_covers, LeafCover, Obligation, Obligations};
 pub use materialize::{MaterializedStore, MaterializedView};
+pub use metrics::{Counter, Hist, MetricsReport, QueryReport, SnapshotMetrics, StageCounters};
 pub use nfa::Nfa;
 pub use oracle::{
     load_corpus, replay, run_case, run_seed, shrink, BudgetSpec, CaseOutcome, CaseSpec, Injection,
     Invariant, OracleConfig, Reproducer, RunSummary, Violation,
 };
-pub use rewrite::{rewrite, rewrite_cached, RewriteCache, RewriteError};
-pub use select::{select_cost_based, select_heuristic, select_minimum, SelectedView, Selection};
-pub use snapshot::{AnswerTrace, BatchResult, EngineSnapshot};
+pub use rewrite::{rewrite, rewrite_cached, rewrite_metered, RewriteCache, RewriteError};
+pub use select::{
+    select_cost_based, select_cost_based_metered, select_heuristic, select_heuristic_metered,
+    select_minimum, select_minimum_metered, SelectedView, Selection,
+};
+pub use snapshot::{AnswerTrace, BatchResult, EngineSnapshot, QueryOptions, QueryOutcome};
 pub use view::{View, ViewId, ViewSet};

@@ -151,34 +151,39 @@ impl Nfa {
 
     /// Read the `STR` form of a (normalized) query path and invoke `on_hit`
     /// for every accepting entry reached at any point of the input.
+    /// Returns the number of state activations performed — the automaton
+    /// work done for this path, reported as the
+    /// [`FilterNfaStates`](crate::metrics::Counter::FilterNfaStates)
+    /// observability counter.
     ///
     /// `on_hit` may fire more than once for the same entry; callers
     /// aggregate (the filtering algorithm keeps sets).
-    pub fn run<F: FnMut(&AcceptEntry)>(&self, symbols: &[PathSymbol], mut on_hit: F) {
+    pub fn run<F: FnMut(&AcceptEntry)>(&self, symbols: &[PathSymbol], mut on_hit: F) -> u64 {
+        let mut touched: u64 = 0;
         let mut active: Vec<StateId> = Vec::with_capacity(8);
         let mut next: Vec<StateId> = Vec::with_capacity(8);
-        self.activate(self.start(), &mut active, &mut on_hit);
+        touched += self.activate(self.start(), &mut active, &mut on_hit);
         for &sym in symbols {
             next.clear();
             for &s in &active {
                 let st = &self.states[s.0 as usize];
                 // Hub self-loop: stays active on any symbol (re-announce is
                 // harmless; acceptance is recorded on activation only).
-                if st.is_hub {
-                    push_unique(&mut next, s);
+                if st.is_hub && push_unique(&mut next, s) {
+                    touched += 1;
                 }
                 match sym {
                     PathSymbol::Lab(l) => {
                         if let Some(&t) = st.trans.get(&Sym::Lab(l)) {
-                            self.activate(t, &mut next, &mut on_hit);
+                            touched += self.activate(t, &mut next, &mut on_hit);
                         }
                         if let Some(&t) = st.trans.get(&Sym::Star) {
-                            self.activate(t, &mut next, &mut on_hit);
+                            touched += self.activate(t, &mut next, &mut on_hit);
                         }
                     }
                     PathSymbol::Star => {
                         if let Some(&t) = st.trans.get(&Sym::Star) {
-                            self.activate(t, &mut next, &mut on_hit);
+                            touched += self.activate(t, &mut next, &mut on_hit);
                         }
                     }
                     PathSymbol::Hash => {
@@ -188,21 +193,31 @@ impl Nfa {
             }
             std::mem::swap(&mut active, &mut next);
             if active.is_empty() {
-                return;
+                break;
             }
         }
+        touched
     }
 
     /// Activate a state: record acceptance, follow the ε-edge to its hub.
-    fn activate<F: FnMut(&AcceptEntry)>(&self, s: StateId, set: &mut Vec<StateId>, on_hit: &mut F) {
+    /// Returns the number of states newly activated (1 or 2 per call).
+    fn activate<F: FnMut(&AcceptEntry)>(
+        &self,
+        s: StateId,
+        set: &mut Vec<StateId>,
+        on_hit: &mut F,
+    ) -> u64 {
+        let mut touched = 0;
         if push_unique(set, s) {
+            touched += 1;
             for e in &self.states[s.0 as usize].accepts {
                 on_hit(e);
             }
             if let Some(h) = self.states[s.0 as usize].hub {
-                self.activate(h, set, on_hit);
+                touched += self.activate(h, set, on_hit);
             }
         }
+        touched
     }
 }
 

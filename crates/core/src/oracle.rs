@@ -24,7 +24,7 @@
 //!     differential check: both must *equal* ground truth.)
 //!   - Containment monotonicity: relaxing the query ([`relax`]) may only
 //!     grow the answer ([`Invariant::ContainmentMonotonicity`]).
-//!   - Snapshot determinism: [`EngineSnapshot::answer_batch`] returns the
+//!   - Snapshot determinism: [`EngineSnapshot::query_batch`] returns the
 //!     same outcomes at every `jobs` level
 //!     ([`Invariant::JobsDeterminism`]).
 //!   - Cache determinism: the cached rewrite path must be byte-identical
@@ -55,7 +55,7 @@ use xvr_xml::generator::{generate, Config};
 use xvr_xml::DeweyCode;
 
 use crate::engine::{AnswerError, Engine, EngineConfig, Strategy};
-use crate::snapshot::{AnswerTrace, EngineSnapshot};
+use crate::snapshot::{AnswerTrace, EngineSnapshot, QueryOptions};
 
 /// Which property a violation breaches.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -439,6 +439,13 @@ pub struct CaseOutcome {
     pub queries: usize,
     /// Per-strategy successful view answers (guards against vacuity).
     pub answered: usize,
+    /// Views VFILTER admitted, summed over queries (FP-rate denominator).
+    pub filter_candidates: usize,
+    /// Admitted views with *no* homomorphism into the query — VFILTER
+    /// false positives (harmless for correctness, the paper tolerates
+    /// them; measured here so regressions in filter precision are
+    /// visible).
+    pub filter_false_positives: usize,
     /// Invariant violations, each with a reproducer.
     pub violations: Vec<Violation>,
 }
@@ -447,6 +454,8 @@ impl CaseOutcome {
     fn merge(&mut self, other: CaseOutcome) {
         self.queries += other.queries;
         self.answered += other.answered;
+        self.filter_candidates += other.filter_candidates;
+        self.filter_false_positives += other.filter_false_positives;
         self.violations.extend(other.violations);
     }
 }
@@ -523,15 +532,21 @@ fn check_query(
         },
     };
     let ground = snap
-        .answer(q, Strategy::Bn)
+        .query(q, &QueryOptions::strategy(Strategy::Bn))
+        .answer
         .expect("Bn always answers")
         .codes;
 
     // VFILTER soundness: any view with a homomorphism into the query must
-    // survive the filter.
+    // survive the filter. While we have the per-view containment verdicts
+    // anyway, also measure the filter's false-positive rate: admitted
+    // views with no homomorphism into the query.
     let filter = snap.filter(q);
+    out.filter_candidates += filter.candidates.len();
     for view in snap.views().iter() {
-        if contains(&view.pattern, q) && !filter.candidates.contains(&view.id) {
+        let admitted = filter.candidates.contains(&view.id);
+        let containing = contains(&view.pattern, q);
+        if containing && !admitted {
             out.violations.push(fail(
                 Invariant::FilterSoundness,
                 None,
@@ -541,6 +556,7 @@ fn check_query(
                 ),
             ));
         }
+        out.filter_false_positives += usize::from(admitted && !containing);
     }
 
     let all_ids: Vec<crate::view::ViewId> = snap.views().ids().collect();
@@ -550,13 +566,17 @@ fn check_query(
         if s == Strategy::Bn {
             continue; // the ground truth itself
         }
-        let (mut result, mut trace) = snap.answer_traced(q, s);
-        // Cache determinism: the cached path (just taken by answer_traced)
-        // must agree with the uncached reference rewriter. Checked against
+        let outcome = snap.query(q, &QueryOptions::strategy(s).with_trace());
+        let mut result = outcome.answer;
+        let mut trace = outcome.report.and_then(|r| r.trace).unwrap_or_default();
+        // Cache determinism: the cached path (just taken above) must
+        // agree with the uncached reference rewriter. Checked against
         // the pre-injection result, on purpose: injections model pipeline
         // bugs and should trip only their own invariant.
         if !matches!(s, Strategy::Bf) {
-            let uncached = snap.answer_uncached(q, s);
+            let uncached = snap
+                .query(q, &QueryOptions::strategy(s).with_cache(false))
+                .answer;
             let same = match (&result, &uncached) {
                 (Ok(a), Ok(b)) => a.codes == b.codes,
                 (Err(a), Err(b)) => a == b,
@@ -637,7 +657,8 @@ fn check_query(
     if let Some(wider) = relax(q, relax_seed) {
         if contains(&wider, q) {
             let wide: BTreeSet<DeweyCode> = snap
-                .answer(&wider, Strategy::Bn)
+                .query(&wider, &QueryOptions::strategy(Strategy::Bn))
+                .answer
                 .expect("Bn always answers")
                 .codes
                 .into_iter()
@@ -673,8 +694,34 @@ fn check_jobs_determinism(
         return violations;
     }
     for &s in &cfg.strategies {
-        let sequential = snap.answer_batch(queries, s, 1);
-        let parallel = snap.answer_batch(queries, s, cfg.jobs);
+        // Answers: the default (cached) path, like production batches.
+        let sequential = snap.query_batch(queries, &QueryOptions::strategy(s), 1);
+        let parallel = snap.query_batch(queries, &QueryOptions::strategy(s), cfg.jobs);
+        // Counters: the uncached path — cache hit/miss counts legitimately
+        // depend on which worker warms an entry first, so only the
+        // cache-free counters are required to be scheduling-independent.
+        let metered = QueryOptions::strategy(s).with_cache(false).with_metrics();
+        let counters_seq = snap.query_batch(queries, &metered, 1).counters;
+        let counters_par = snap.query_batch(queries, &metered, cfg.jobs).counters;
+        if counters_seq != counters_par {
+            violations.push(Violation {
+                repro: Reproducer {
+                    doc: doc_cfg.clone(),
+                    views: view_srcs.to_vec(),
+                    query: queries
+                        .first()
+                        .map(|q| q.display(snap.labels()).to_string())
+                        .unwrap_or_default(),
+                    budget,
+                    invariant: Invariant::JobsDeterminism,
+                    strategy: Some(s),
+                    detail: format!(
+                        "merged batch counters differ between jobs=1 and jobs={}",
+                        cfg.jobs
+                    ),
+                },
+            });
+        }
         for (i, (a, b)) in sequential.answers.iter().zip(&parallel.answers).enumerate() {
             let same = match (a, b) {
                 (Ok(x), Ok(y)) => x.codes == y.codes,
@@ -943,8 +990,22 @@ pub struct RunSummary {
     pub queries: usize,
     /// Successful view-strategy answers across all triples.
     pub answered: usize,
+    /// Views VFILTER admitted, summed over all triples.
+    pub filter_candidates: usize,
+    /// Admitted views with no homomorphism into their query (see
+    /// [`CaseOutcome::filter_false_positives`]).
+    pub filter_false_positives: usize,
     /// Violations, already shrunk.
     pub violations: Vec<Violation>,
+}
+
+impl RunSummary {
+    /// Measured VFILTER false-positive rate: admitted-but-non-containing
+    /// views over all admitted views. `None` when nothing was admitted.
+    pub fn filter_fp_rate(&self) -> Option<f64> {
+        (self.filter_candidates > 0)
+            .then(|| self.filter_false_positives as f64 / self.filter_candidates as f64)
+    }
 }
 
 /// Sweep one master seed: `docs` derived cases, each with its own view
@@ -966,6 +1027,8 @@ pub fn run_seed(
         summary.cases += 1;
         summary.queries += outcome.queries;
         summary.answered += outcome.answered;
+        summary.filter_candidates += outcome.filter_candidates;
+        summary.filter_false_positives += outcome.filter_false_positives;
         for v in outcome.violations {
             if summary.violations.len() < MAX_SHRUNK {
                 summary.violations.push(Violation {

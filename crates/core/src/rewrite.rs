@@ -36,6 +36,7 @@ use xvr_pattern::{
 use xvr_xml::{DeweyCode, Fst, Label, NodeId, XmlTree};
 
 use crate::materialize::{MaterializedStore, MaterializedView};
+use crate::metrics::{Counter, StageCounters};
 use crate::select::Selection;
 use crate::view::{ViewId, ViewSet};
 
@@ -81,7 +82,15 @@ pub fn rewrite(
     store: &MaterializedStore,
     fst: &Fst,
 ) -> Result<Vec<DeweyCode>, RewriteError> {
-    rewrite_impl(q, selection, views, store, fst, None)
+    rewrite_impl(
+        q,
+        selection,
+        views,
+        store,
+        fst,
+        None,
+        &mut StageCounters::new(),
+    )
 }
 
 /// [`rewrite`] with a per-snapshot [`RewriteCache`]: refinement results
@@ -96,7 +105,33 @@ pub fn rewrite_cached(
     fst: &Fst,
     cache: &RewriteCache,
 ) -> Result<Vec<DeweyCode>, RewriteError> {
-    rewrite_impl(q, selection, views, store, fst, Some(cache))
+    rewrite_impl(
+        q,
+        selection,
+        views,
+        store,
+        fst,
+        Some(cache),
+        &mut StageCounters::new(),
+    )
+}
+
+/// [`rewrite`] / [`rewrite_cached`] recording observability counters:
+/// cache hits/misses, fragments scanned during refinement, fast-path vs.
+/// holistic-join dispatch, and Dewey comparison work (see
+/// [`crate::metrics`]). Pass `cache: None` for the uncached reference
+/// path.
+#[allow(clippy::too_many_arguments)]
+pub fn rewrite_metered(
+    q: &TreePattern,
+    selection: &Selection,
+    views: &ViewSet,
+    store: &MaterializedStore,
+    fst: &Fst,
+    cache: Option<&RewriteCache>,
+    counters: &mut StageCounters,
+) -> Result<Vec<DeweyCode>, RewriteError> {
+    rewrite_impl(q, selection, views, store, fst, cache, counters)
 }
 
 /// Surviving fragment codes paired with the answer codes extracted from
@@ -148,11 +183,14 @@ impl RewriteCache {
         compensating: &TreePattern,
         mv: &MaterializedView,
         scratch: &mut EvalScratch,
+        counters: &mut StageCounters,
     ) -> Arc<Vec<DeweyCode>> {
         if let Some(hit) = self.refined.read().unwrap().get(key) {
+            counters.bump(Counter::RewriteCacheHits);
             return Arc::clone(hit);
         }
-        let val = Arc::new(compute_refined(compensating, mv, scratch));
+        counters.bump(Counter::RewriteCacheMisses);
+        let val = Arc::new(compute_refined(compensating, mv, scratch, counters));
         Arc::clone(
             self.refined
                 .write()
@@ -168,11 +206,14 @@ impl RewriteCache {
         compensating: &TreePattern,
         mv: &MaterializedView,
         scratch: &mut EvalScratch,
+        counters: &mut StageCounters,
     ) -> Arc<AnchorPairs> {
         if let Some(hit) = self.anchors.read().unwrap().get(key) {
+            counters.bump(Counter::RewriteCacheHits);
             return Arc::clone(hit);
         }
-        let val = Arc::new(compute_anchor_pairs(compensating, mv, scratch));
+        counters.bump(Counter::RewriteCacheMisses);
+        let val = Arc::new(compute_anchor_pairs(compensating, mv, scratch, counters));
         Arc::clone(
             self.anchors
                 .write()
@@ -187,13 +228,16 @@ impl RewriteCache {
         selection: &Selection,
         store: &MaterializedStore,
         fst: &Fst,
+        counters: &mut StageCounters,
     ) -> Result<Arc<PrefixTree>, RewriteError> {
         let mut key: Vec<ViewId> = selection.units.iter().map(|u| u.view).collect();
         key.sort();
         key.dedup();
         if let Some(hit) = self.trees.read().unwrap().get(&key) {
+            counters.bump(Counter::RewriteCacheHits);
             return Ok(Arc::clone(hit));
         }
+        counters.bump(Counter::RewriteCacheMisses);
         let codes = key.iter().flat_map(|&v| {
             store
                 .get(v)
@@ -221,9 +265,14 @@ fn compute_refined(
     compensating: &TreePattern,
     mv: &MaterializedView,
     scratch: &mut EvalScratch,
+    counters: &mut StageCounters,
 ) -> Vec<DeweyCode> {
     let label = compensating.label(compensating.root());
     let mut codes = Vec::new();
+    counters.add(
+        Counter::RewriteFragmentsScanned,
+        mv.fragments.fragments().len() as u64,
+    );
     for frag in mv.fragments.fragments() {
         let keep = if is_trivial(compensating) {
             // matches_anchored on a single attr-free node is exactly a
@@ -245,11 +294,16 @@ fn compute_anchor_pairs(
     compensating: &TreePattern,
     mv: &MaterializedView,
     scratch: &mut EvalScratch,
+    counters: &mut StageCounters,
 ) -> AnchorPairs {
     let label = compensating.label(compensating.root());
     let trivial_answer_is_root =
         is_trivial(compensating) && compensating.answer() == compensating.root();
     let mut pairs = Vec::new();
+    counters.add(
+        Counter::RewriteFragmentsScanned,
+        mv.fragments.fragments().len() as u64,
+    );
     for (fi, frag) in mv.fragments.fragments().iter().enumerate() {
         if trivial_answer_is_root {
             if label.matches(frag.tree.label(frag.tree.root())) {
@@ -316,6 +370,14 @@ fn chain_matches(q: &TreePattern, chain: &[PNodeId], path: &[Label]) -> bool {
     cur[n - 1]
 }
 
+/// Cost, in code-component comparisons, of one binary search over a
+/// sorted list of `len` codes — `⌈log2(len)⌉ + 1`, the quantity folded
+/// into [`Counter::RewriteDeweyComparisons`].
+fn bsearch_cost(len: usize) -> u64 {
+    (usize::BITS - len.leading_zeros()) as u64
+}
+
+#[allow(clippy::too_many_arguments)]
 fn rewrite_impl(
     q: &TreePattern,
     selection: &Selection,
@@ -323,8 +385,10 @@ fn rewrite_impl(
     store: &MaterializedStore,
     fst: &Fst,
     cache: Option<&RewriteCache>,
+    counters: &mut StageCounters,
 ) -> Result<Vec<DeweyCode>, RewriteError> {
     let _ = views; // selection already carries everything pattern-level
+    counters.bump(Counter::RewriteRuns);
     let mut scratch = EvalScratch::new();
     // Stage 1: refine each unit's fragments with its compensating pattern.
     let mut refined: Vec<Arc<Vec<DeweyCode>>> = Vec::with_capacity(selection.units.len());
@@ -341,9 +405,14 @@ fn rewrite_impl(
             let pairs = match cache {
                 Some(c) => {
                     let key = format!("{}:{}", unit.view.0, compensating.fingerprint());
-                    c.anchor_pairs(&key, &compensating, mv, &mut scratch)
+                    c.anchor_pairs(&key, &compensating, mv, &mut scratch, counters)
                 }
-                None => Arc::new(compute_anchor_pairs(&compensating, mv, &mut scratch)),
+                None => Arc::new(compute_anchor_pairs(
+                    &compensating,
+                    mv,
+                    &mut scratch,
+                    counters,
+                )),
             };
             refined.push(Arc::new(pairs.iter().map(|(c, _)| c.clone()).collect()));
             anchor_pairs = Some(pairs);
@@ -351,9 +420,9 @@ fn rewrite_impl(
             let codes = match cache {
                 Some(c) => {
                     let key = format!("{}:{}", unit.view.0, compensating.fingerprint());
-                    c.refined_codes(&key, &compensating, mv, &mut scratch)
+                    c.refined_codes(&key, &compensating, mv, &mut scratch, counters)
                 }
-                None => Arc::new(compute_refined(&compensating, mv, &mut scratch)),
+                None => Arc::new(compute_refined(&compensating, mv, &mut scratch, counters)),
             };
             refined.push(codes);
         }
@@ -364,12 +433,19 @@ fn rewrite_impl(
     // the bare trunk chain, so each surviving fragment code passes iff
     // the chain embeds into its FST-decoded ancestor label path.
     if cache.is_some() && selection.units.len() == 1 {
+        counters.bump(Counter::RewriteFastPath);
         let chain = q.root_path(selection.units[0].cover.m);
         let mut out: Vec<DeweyCode> = Vec::new();
         for (code, answers) in anchor_pairs.iter() {
             let path = fst
                 .decode(code.components())
                 .ok_or_else(|| RewriteError::UndecodableCode(code.clone()))?;
+            // The positional DP walks the decoded ancestor path once per
+            // chain node.
+            counters.add(
+                Counter::RewriteDeweyComparisons,
+                (path.len() * chain.len()) as u64,
+            );
             if chain_matches(q, &chain, &path) {
                 out.extend(answers.iter().cloned());
             }
@@ -380,9 +456,10 @@ fn rewrite_impl(
     }
 
     // Stage 2: join over the code prefix tree.
+    counters.bump(Counter::RewriteHolisticJoins);
     let skeleton = Skeleton::build(q, selection);
     let prefix_tree: Arc<PrefixTree> = match cache {
-        Some(c) => c.prefix_tree(selection, store, fst)?,
+        Some(c) => c.prefix_tree(selection, store, fst, counters)?,
         None => Arc::new(PrefixTree::build(
             refined.iter().flat_map(|codes| codes.iter()),
             fst,
@@ -392,11 +469,18 @@ fn rewrite_impl(
         return Ok(Vec::new());
     }
     let restrictions = skeleton.restrictions(selection, &refined);
+    // `admissible` is a shared-borrow closure; tally its binary-search
+    // work through a cell and fold it into the counters afterwards.
+    let join_comparisons = std::cell::Cell::new(0u64);
     let admissible = |s: PNodeId, x: NodeId| -> bool {
         match restrictions.get(&s) {
             None => true,
             Some(lists) => {
                 let code = &prefix_tree.codes[x.index()];
+                join_comparisons.set(
+                    join_comparisons.get()
+                        + lists.iter().map(|l| bsearch_cost(l.len())).sum::<u64>(),
+                );
                 lists.iter().all(|&list| list.binary_search(code).is_ok())
             }
         }
@@ -407,11 +491,16 @@ fn rewrite_impl(
         &admissible,
         &mut scratch,
     );
+    counters.add(Counter::RewriteDeweyComparisons, join_comparisons.get());
 
     // Stage 3: extract from the anchor's fragments.
     let mut out: Vec<DeweyCode> = Vec::new();
     for a in anchors {
         let code = &prefix_tree.codes[a.index()];
+        counters.add(
+            Counter::RewriteDeweyComparisons,
+            bsearch_cost(anchor_pairs.len()),
+        );
         if let Ok(idx) = anchor_pairs.binary_search_by(|(c, _)| c.cmp(code)) {
             out.extend(anchor_pairs[idx].1.iter().cloned());
         }

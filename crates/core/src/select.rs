@@ -21,6 +21,7 @@ use xvr_pattern::{decompose, TreePattern};
 
 use crate::filter::FilterOutcome;
 use crate::leafcover::{leaf_covers, LeafCover, Obligations};
+use crate::metrics::{Counter, StageCounters};
 use crate::view::{ViewId, ViewSet};
 
 /// One selected `(view, answer-image)` unit with its leaf-cover.
@@ -113,7 +114,9 @@ fn covers_of(
     views: &ViewSet,
     candidates: &[ViewId],
     obligations: &Obligations,
+    counters: &mut StageCounters,
 ) -> HashMap<ViewId, Vec<LeafCover>> {
+    counters.add(Counter::SelectLeafCoverAttempts, candidates.len() as u64);
     candidates
         .iter()
         .map(|&v| (v, leaf_covers(&views.view(v).pattern, q, obligations)))
@@ -133,7 +136,28 @@ pub fn select_minimum(
     obligations: &Obligations,
     max_views: usize,
 ) -> Option<Selection> {
-    let cover_map = covers_of(q, views, candidates, obligations);
+    select_minimum_metered(
+        q,
+        views,
+        candidates,
+        obligations,
+        max_views,
+        &mut StageCounters::new(),
+    )
+}
+
+/// [`select_minimum`] recording observability counters (leaf-cover
+/// attempts, subsets tried).
+pub fn select_minimum_metered(
+    q: &TreePattern,
+    views: &ViewSet,
+    candidates: &[ViewId],
+    obligations: &Obligations,
+    max_views: usize,
+    counters: &mut StageCounters,
+) -> Option<Selection> {
+    counters.bump(Counter::SelectExhaustiveRuns);
+    let cover_map = covers_of(q, views, candidates, obligations, counters);
     // Views with no homomorphism at all can never participate.
     let usable: Vec<ViewId> = candidates
         .iter()
@@ -162,6 +186,7 @@ pub fn select_minimum(
             if found.is_some() {
                 return;
             }
+            counters.bump(Counter::SelectSubsetsTried);
             let units: Vec<SelectedView> = combo
                 .iter()
                 .flat_map(|&i| {
@@ -221,7 +246,30 @@ pub fn select_cost_based(
     fragment_bytes: &dyn Fn(ViewId) -> usize,
     view_overhead: usize,
 ) -> Option<Selection> {
-    let cover_map = covers_of(q, views, candidates, obligations);
+    select_cost_based_metered(
+        q,
+        views,
+        candidates,
+        obligations,
+        fragment_bytes,
+        view_overhead,
+        &mut StageCounters::new(),
+    )
+}
+
+/// [`select_cost_based`] recording observability counters.
+#[allow(clippy::too_many_arguments)]
+pub fn select_cost_based_metered(
+    q: &TreePattern,
+    views: &ViewSet,
+    candidates: &[ViewId],
+    obligations: &Obligations,
+    fragment_bytes: &dyn Fn(ViewId) -> usize,
+    view_overhead: usize,
+    counters: &mut StageCounters,
+) -> Option<Selection> {
+    counters.bump(Counter::SelectCostRuns);
+    let cover_map = covers_of(q, views, candidates, obligations, counters);
     // Cheapest solo answer (condition 3), to be compared against the
     // greedy multi-view plan by total cost.
     let solo = candidates
@@ -307,6 +355,19 @@ pub fn select_heuristic(
     filter: &FilterOutcome,
     obligations: &Obligations,
 ) -> Option<Selection> {
+    select_heuristic_metered(q, views, filter, obligations, &mut StageCounters::new())
+}
+
+/// [`select_heuristic`] recording observability counters (leaf-cover
+/// attempts, probes that fell back past `LIST(P)`).
+pub fn select_heuristic_metered(
+    q: &TreePattern,
+    views: &ViewSet,
+    filter: &FilterOutcome,
+    obligations: &Obligations,
+    counters: &mut StageCounters,
+) -> Option<Selection> {
+    counters.bump(Counter::SelectHeuristicRuns);
     let d = decompose(q);
     let mut cover_cache: HashMap<ViewId, Vec<LeafCover>> = HashMap::new();
     let mut pending: Vec<xvr_pattern::PNodeId> = obligations.nodes.clone();
@@ -336,7 +397,17 @@ pub fn select_heuristic(
             .copied()
             .filter(|v| !list.contains(v))
             .collect();
-        for view in list.into_iter().chain(fallback) {
+        let probes = list
+            .into_iter()
+            .map(|v| (v, false))
+            .chain(fallback.into_iter().map(|v| (v, true)));
+        for (view, is_fallback) in probes {
+            if is_fallback {
+                counters.bump(Counter::SelectFallbackProbes);
+            }
+            if !cover_cache.contains_key(&view) {
+                counters.bump(Counter::SelectLeafCoverAttempts);
+            }
             let covers = cover_cache
                 .entry(view)
                 .or_insert_with(|| leaf_covers(&views.view(view).pattern, q, obligations));
@@ -372,6 +443,9 @@ pub fn select_heuristic(
     // be extractable from some selected view.
     if !units.iter().any(|u| u.cover.covers_answer) {
         let anchor_unit = filter.candidates.iter().find_map(|&view| {
+            if !cover_cache.contains_key(&view) {
+                counters.bump(Counter::SelectLeafCoverAttempts);
+            }
             let covers = cover_cache
                 .entry(view)
                 .or_insert_with(|| leaf_covers(&views.view(view).pattern, q, obligations));

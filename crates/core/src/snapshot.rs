@@ -5,11 +5,21 @@
 //! appends, label-table growth); [`EngineSnapshot`] freezes the engine's
 //! state — document, indexes, view catalog, materializations, and the
 //! VFILTER automaton, all behind [`Arc`]s — and exposes the full query
-//! pipeline (`parse`, `filter`, `lookup`, `explain`, `answer`). Because
+//! pipeline (`parse`, `filter`, `lookup`, `explain`, `query`). Because
 //! the paper's pipeline is per-query pure once views are materialized,
 //! every snapshot method takes `&self`, so one snapshot can serve any
-//! number of threads concurrently; [`EngineSnapshot::answer_batch`] does
+//! number of threads concurrently; [`EngineSnapshot::query_batch`] does
 //! exactly that with scoped worker threads.
+//!
+//! Answering goes through the single entry point
+//! [`EngineSnapshot::query`]: [`QueryOptions`] pick the strategy, cache
+//! use, and whether to collect the observability payload — stage
+//! timings, [`StageCounters`](crate::metrics::StageCounters), and the
+//! [`AnswerTrace`] — returned as a
+//! [`QueryReport`](crate::metrics::QueryReport) inside the
+//! [`QueryOutcome`]. The pre-redesign methods (`answer`,
+//! `answer_uncached`, `answer_traced`, `answer_batch`) survive as thin
+//! deprecated wrappers.
 //!
 //! Snapshots are copy-on-write: taking one is eight reference-count bumps,
 //! and later engine mutations clone only the components they touch
@@ -29,12 +39,15 @@ use xvr_pattern::{eval_bf, eval_bn, parse_pattern_in, PatternParseError, TreePat
 use xvr_xml::{DeweyCode, Document, LabelTable, NodeIndex, PathIndex};
 
 use crate::engine::{Answer, AnswerError, EngineConfig, StageTimings, Strategy};
-use crate::filter::{filter_views, FilterOutcome};
+use crate::filter::{filter_views_metered, FilterOptions, FilterOutcome};
 use crate::leafcover::Obligations;
 use crate::materialize::MaterializedStore;
+use crate::metrics::{Counter, QueryReport, SnapshotMetrics, StageCounters};
 use crate::nfa::Nfa;
-use crate::rewrite::{rewrite, rewrite_cached, RewriteCache};
-use crate::select::{select_cost_based, select_heuristic, select_minimum, Selection};
+use crate::rewrite::{rewrite_metered, RewriteCache};
+use crate::select::{
+    select_cost_based_metered, select_heuristic_metered, select_minimum_metered, Selection,
+};
 use crate::view::{ViewId, ViewSet};
 
 /// An immutable snapshot of an [`Engine`](crate::Engine): the complete
@@ -57,6 +70,10 @@ pub struct EngineSnapshot {
     /// Per-snapshot rewrite memoization (see [`RewriteCache`]); created
     /// fresh at freeze time and shared by clones of this snapshot.
     pub(crate) rewrite_cache: Arc<RewriteCache>,
+    /// Cumulative observability accumulator; queries run with
+    /// [`QueryOptions::collect_metrics`] fold their counters in here.
+    /// Created fresh at freeze time and shared by clones.
+    pub(crate) metrics: Arc<SnapshotMetrics>,
 }
 
 // Compile-time guarantee: the snapshot is shareable across threads. If a
@@ -101,7 +118,73 @@ impl AnswerTrace {
     }
 }
 
-/// Result of [`EngineSnapshot::answer_batch`]: per-query outcomes plus
+/// How [`EngineSnapshot::query`] should answer a query: the strategy
+/// plus cache and observability switches.
+///
+/// Build with the fluent constructor:
+/// `QueryOptions::strategy(Strategy::Mv).with_trace().with_metrics()`.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryOptions {
+    /// Evaluation strategy.
+    pub strategy: Strategy,
+    /// Use the snapshot's [`RewriteCache`] (view strategies only).
+    /// Effective only when the snapshot was frozen with
+    /// [`EngineConfig::rewrite_cache`] enabled; `false` forces the
+    /// uncached reference rewriter either way. Defaults to `true`.
+    pub use_cache: bool,
+    /// Return the [`AnswerTrace`] in the report. Defaults to `false`.
+    pub collect_trace: bool,
+    /// Return [`StageCounters`] in the report *and* fold them into the
+    /// snapshot's cumulative [`SnapshotMetrics`]. Defaults to `false`;
+    /// when off, no counter is recorded anywhere.
+    pub collect_metrics: bool,
+}
+
+impl QueryOptions {
+    /// Options for `strategy` with the defaults: cache on, no trace, no
+    /// metrics — the exact behaviour of the old `answer` method.
+    pub fn strategy(strategy: Strategy) -> QueryOptions {
+        QueryOptions {
+            strategy,
+            use_cache: true,
+            collect_trace: false,
+            collect_metrics: false,
+        }
+    }
+
+    /// Set [`Self::use_cache`].
+    pub fn with_cache(mut self, use_cache: bool) -> QueryOptions {
+        self.use_cache = use_cache;
+        self
+    }
+
+    /// Request the [`AnswerTrace`] in the report.
+    pub fn with_trace(mut self) -> QueryOptions {
+        self.collect_trace = true;
+        self
+    }
+
+    /// Request [`StageCounters`] in the report and fold them into the
+    /// snapshot's cumulative metrics.
+    pub fn with_metrics(mut self) -> QueryOptions {
+        self.collect_metrics = true;
+        self
+    }
+}
+
+/// Result of [`EngineSnapshot::query`]: the answer (or failure) plus the
+/// requested observability payload.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// The answer, exactly as the old `answer` method returned it.
+    pub answer: Result<Answer, AnswerError>,
+    /// Stage timings, counters, and trace — `Some` iff
+    /// [`QueryOptions::collect_trace`] or
+    /// [`QueryOptions::collect_metrics`] was set.
+    pub report: Option<QueryReport>,
+}
+
+/// Result of [`EngineSnapshot::query_batch`]: per-query outcomes plus
 /// aggregate accounting.
 #[derive(Clone, Debug)]
 pub struct BatchResult {
@@ -113,6 +196,11 @@ pub struct BatchResult {
     /// total work, not elapsed time — compare against [`Self::wall_us`]
     /// for parallel speedup.
     pub total: StageTimings,
+    /// Pipeline counters merged across all queries of the batch
+    /// (commutative addition, so worker scheduling cannot change them).
+    /// All-zero unless the batch ran with
+    /// [`QueryOptions::collect_metrics`].
+    pub counters: StageCounters,
     /// End-to-end wall time of the whole batch, in microseconds.
     pub wall_us: u128,
     /// Worker threads actually used.
@@ -185,7 +273,21 @@ impl EngineSnapshot {
 
     /// Run VFILTER only (Figure 12's measured operation).
     pub fn filter(&self, q: &TreePattern) -> FilterOutcome {
-        filter_views(q, &self.views, &self.nfa)
+        filter_views_metered(
+            q,
+            &self.views,
+            &self.nfa,
+            FilterOptions::default(),
+            &mut StageCounters::new(),
+        )
+    }
+
+    /// The snapshot's cumulative metrics accumulator: every query run
+    /// with [`QueryOptions::collect_metrics`] folds its counters and
+    /// stage timings in here (thread-safe; shared by clones of this
+    /// snapshot). Read it with [`SnapshotMetrics::report`].
+    pub fn metrics(&self) -> &SnapshotMetrics {
+        &self.metrics
     }
 
     /// Run selection only — filter (unless `Mn`) plus view-set search.
@@ -196,16 +298,19 @@ impl EngineSnapshot {
         q: &TreePattern,
         strategy: Strategy,
     ) -> (Option<Selection>, StageTimings, usize) {
-        let (selection, timings, usable) = self.lookup_full(q, strategy);
+        let (selection, timings, usable) =
+            self.lookup_metered(q, strategy, &mut StageCounters::new());
         (selection, timings, usable.len())
     }
 
     /// [`Self::lookup`] returning the usable candidate list itself rather
-    /// than its size (the oracle's trace needs the ids).
-    fn lookup_full(
+    /// than its size (the oracle's trace needs the ids), recording
+    /// observability counters.
+    fn lookup_metered(
         &self,
         q: &TreePattern,
         strategy: Strategy,
+        counters: &mut StageCounters,
     ) -> (Option<Selection>, StageTimings, Vec<ViewId>) {
         let obligations = Obligations::of(q);
         let mut timings = StageTimings::default();
@@ -213,7 +318,13 @@ impl EngineSnapshot {
             Strategy::Mn => (self.views.ids().collect(), None),
             Strategy::Mv | Strategy::Hv | Strategy::Cb => {
                 let t0 = Instant::now();
-                let outcome = self.filter(q);
+                let outcome = filter_views_metered(
+                    q,
+                    &self.views,
+                    &self.nfa,
+                    FilterOptions::default(),
+                    counters,
+                );
                 timings.filter_us = t0.elapsed().as_micros();
                 (outcome.candidates.clone(), Some(outcome))
             }
@@ -227,12 +338,13 @@ impl EngineSnapshot {
             .collect();
         let t0 = Instant::now();
         let selection = match strategy {
-            Strategy::Mn | Strategy::Mv => select_minimum(
+            Strategy::Mn | Strategy::Mv => select_minimum_metered(
                 q,
                 &self.views,
                 &usable,
                 &obligations,
                 self.config.max_minimum_views,
+                counters,
             ),
             Strategy::Hv => {
                 let mut outcome = lists.expect("Hv always filters");
@@ -240,15 +352,16 @@ impl EngineSnapshot {
                 for list in &mut outcome.lists {
                     list.retain(|(v, _)| usable.contains(v));
                 }
-                select_heuristic(q, &self.views, &outcome, &obligations)
+                select_heuristic_metered(q, &self.views, &outcome, &obligations, counters)
             }
-            Strategy::Cb => select_cost_based(
+            Strategy::Cb => select_cost_based_metered(
                 q,
                 &self.views,
                 &usable,
                 &obligations,
                 &|v| self.store.get(v).map(|m| m.size_bytes()).unwrap_or(0),
                 self.config.cost_view_overhead,
+                counters,
             ),
             _ => unreachable!(),
         };
@@ -280,8 +393,49 @@ impl EngineSnapshot {
         ))
     }
 
-    /// Answer `q` under `strategy`.
-    pub fn answer(&self, q: &TreePattern, strategy: Strategy) -> Result<Answer, AnswerError> {
+    /// Answer `q` according to `options` — the single entry point of the
+    /// answering pipeline.
+    ///
+    /// `QueryOptions::strategy(s)` alone reproduces the old `answer`
+    /// method exactly; [`QueryOptions::with_cache`]`(false)` the old
+    /// `answer_uncached`; [`QueryOptions::with_trace`] the old
+    /// `answer_traced` (the trace rides in
+    /// [`QueryOutcome::report`]). [`QueryOptions::with_metrics`]
+    /// additionally returns the pipeline's [`StageCounters`] and folds
+    /// them — together with the stage timings — into the snapshot's
+    /// cumulative [`SnapshotMetrics`] (see [`Self::metrics`]).
+    ///
+    /// When neither trace nor metrics is requested the report is `None`
+    /// and no counter is recorded anywhere: the only residue of the
+    /// observability layer is stack-local integer additions.
+    pub fn query(&self, q: &TreePattern, options: &QueryOptions) -> QueryOutcome {
+        // `use_cache` opt-out composes with the construction-time switch:
+        // either one off means the uncached reference rewriter runs.
+        let use_cache = options.use_cache && self.config.rewrite_cache;
+        let mut counters = StageCounters::new();
+        let (answer, trace, timings) =
+            self.run_pipeline(q, options.strategy, use_cache, &mut counters);
+        if options.collect_metrics {
+            self.metrics.record(answer.is_ok(), &timings, &counters);
+        }
+        let report = (options.collect_trace || options.collect_metrics).then(|| QueryReport {
+            timings,
+            counters: options.collect_metrics.then(|| counters.clone()),
+            trace: options.collect_trace.then_some(trace),
+        });
+        QueryOutcome { answer, report }
+    }
+
+    /// The shared pipeline body behind [`Self::query`]: evaluate, build
+    /// the trace, and time each stage, accumulating counters into
+    /// `counters` (the caller decides whether they are kept).
+    fn run_pipeline(
+        &self,
+        q: &TreePattern,
+        strategy: Strategy,
+        use_cache: bool,
+        counters: &mut StageCounters,
+    ) -> (Result<Answer, AnswerError>, AnswerTrace, StageTimings) {
         match strategy {
             Strategy::Bn | Strategy::Bf => {
                 let t0 = Instant::now();
@@ -295,76 +449,29 @@ impl EngineSnapshot {
                     .map(|n| self.doc.dewey.code_of(&self.doc.tree, n))
                     .collect();
                 codes.sort();
-                Ok(Answer {
+                counters.add(Counter::AnswerCodes, codes.len() as u64);
+                let timings = StageTimings {
+                    rewrite_us,
+                    ..StageTimings::default()
+                };
+                let answer = Answer {
                     codes,
                     strategy,
-                    timings: StageTimings {
-                        rewrite_us,
-                        ..StageTimings::default()
-                    },
+                    timings,
                     views_used: Vec::new(),
                     candidates: 0,
-                })
+                };
+                (Ok(answer), AnswerTrace::default(), timings)
             }
             Strategy::Mn | Strategy::Mv | Strategy::Hv | Strategy::Cb => {
-                self.answer_traced(q, strategy).0
-            }
-        }
-    }
-
-    /// Answer `q` under `strategy`, bypassing the snapshot's
-    /// [`RewriteCache`]: view strategies run the uncached reference
-    /// rewriter regardless of [`EngineConfig::rewrite_cache`]. Base
-    /// strategies are identical to [`Self::answer`] (they never rewrite).
-    ///
-    /// The determinism tests and the oracle's `CacheDeterminism`
-    /// invariant compare this against [`Self::answer`] byte-for-byte.
-    pub fn answer_uncached(
-        &self,
-        q: &TreePattern,
-        strategy: Strategy,
-    ) -> Result<Answer, AnswerError> {
-        match strategy {
-            Strategy::Bn | Strategy::Bf => self.answer(q, strategy),
-            Strategy::Mn | Strategy::Mv | Strategy::Hv | Strategy::Cb => {
-                self.answer_traced_impl(q, strategy, false).0
-            }
-        }
-    }
-
-    /// Answer `q` under `strategy`, also reporting the [`AnswerTrace`] —
-    /// which views selection was allowed to use and which `(view, m)`
-    /// units the rewriting actually joined.
-    ///
-    /// The trace is returned even when answering fails (it then records
-    /// the usable candidates and no units), which is what lets the oracle
-    /// distinguish "filtered away" from "selection gave up". For the base
-    /// strategies the trace is empty.
-    pub fn answer_traced(
-        &self,
-        q: &TreePattern,
-        strategy: Strategy,
-    ) -> (Result<Answer, AnswerError>, AnswerTrace) {
-        self.answer_traced_impl(q, strategy, self.config.rewrite_cache)
-    }
-
-    fn answer_traced_impl(
-        &self,
-        q: &TreePattern,
-        strategy: Strategy,
-        use_cache: bool,
-    ) -> (Result<Answer, AnswerError>, AnswerTrace) {
-        match strategy {
-            Strategy::Bn | Strategy::Bf => (self.answer(q, strategy), AnswerTrace::default()),
-            Strategy::Mn | Strategy::Mv | Strategy::Hv | Strategy::Cb => {
-                let (selection, mut timings, usable) = self.lookup_full(q, strategy);
+                let (selection, mut timings, usable) = self.lookup_metered(q, strategy, counters);
                 let mut trace = AnswerTrace {
                     usable,
                     units: Vec::new(),
                     anchor: None,
                 };
                 let Some(selection) = selection else {
-                    return (Err(AnswerError::NotAnswerable), trace);
+                    return (Err(AnswerError::NotAnswerable), trace, timings);
                 };
                 trace.units = selection
                     .units
@@ -372,25 +479,25 @@ impl EngineSnapshot {
                     .map(|u| (u.view, u.cover.m))
                     .collect();
                 trace.anchor = Some(selection.anchor);
+                counters.add(Counter::SelectUnits, selection.units.len() as u64);
+                counters.add(Counter::SelectViews, selection.view_ids().len() as u64);
                 let candidates = trace.usable.len();
                 let t0 = Instant::now();
-                let result = if use_cache {
-                    rewrite_cached(
-                        q,
-                        &selection,
-                        &self.views,
-                        &self.store,
-                        &self.doc.fst,
-                        &self.rewrite_cache,
-                    )
-                } else {
-                    rewrite(q, &selection, &self.views, &self.store, &self.doc.fst)
-                };
+                let result = rewrite_metered(
+                    q,
+                    &selection,
+                    &self.views,
+                    &self.store,
+                    &self.doc.fst,
+                    use_cache.then_some(self.rewrite_cache.as_ref()),
+                    counters,
+                );
                 let codes = match result {
                     Ok(codes) => codes,
-                    Err(e) => return (Err(AnswerError::Rewrite(e)), trace),
+                    Err(e) => return (Err(AnswerError::Rewrite(e)), trace, timings),
                 };
                 timings.rewrite_us = t0.elapsed().as_micros();
+                counters.add(Counter::AnswerCodes, codes.len() as u64);
                 let answer = Answer {
                     codes,
                     strategy,
@@ -398,13 +505,13 @@ impl EngineSnapshot {
                     views_used: selection.view_ids(),
                     candidates,
                 };
-                (Ok(answer), trace)
+                (Ok(answer), trace, timings)
             }
         }
     }
 
-    /// Answer every query in `queries` under `strategy`, fanning the work
-    /// out over `jobs` scoped worker threads.
+    /// Answer every query in `queries` under the same `options`, fanning
+    /// the work out over `jobs` scoped worker threads.
     ///
     /// Results come back in input order regardless of which thread
     /// answered which query, and are identical to answering sequentially
@@ -412,19 +519,24 @@ impl EngineSnapshot {
     /// `1..=queries.len()`; `jobs <= 1` runs inline with no threads
     /// spawned. Work is distributed by an atomic cursor, so long queries
     /// don't stall short ones behind a static partition.
-    pub fn answer_batch(
+    ///
+    /// With [`QueryOptions::collect_metrics`] the per-query counters are
+    /// merged into [`BatchResult::counters`]; merging is commutative
+    /// addition, so the merged counters are identical for every `jobs`
+    /// value and worker interleaving.
+    pub fn query_batch(
         &self,
         queries: &[TreePattern],
-        strategy: Strategy,
+        options: &QueryOptions,
         jobs: usize,
     ) -> BatchResult {
         let t0 = Instant::now();
         let jobs = jobs.clamp(1, queries.len().max(1));
-        let answers: Vec<Result<Answer, AnswerError>> = if jobs <= 1 {
-            queries.iter().map(|q| self.answer(q, strategy)).collect()
+        let outcomes: Vec<QueryOutcome> = if jobs <= 1 {
+            queries.iter().map(|q| self.query(q, options)).collect()
         } else {
             let cursor = AtomicUsize::new(0);
-            let mut slots: Vec<Option<Result<Answer, AnswerError>>> = vec![None; queries.len()];
+            let mut slots: Vec<Option<QueryOutcome>> = vec![None; queries.len()];
             std::thread::scope(|scope| {
                 let workers: Vec<_> = (0..jobs)
                     .map(|_| {
@@ -433,7 +545,7 @@ impl EngineSnapshot {
                             loop {
                                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                                 let Some(q) = queries.get(i) else { break };
-                                local.push((i, self.answer(q, strategy)));
+                                local.push((i, self.query(q, options)));
                             }
                             local
                         })
@@ -451,17 +563,79 @@ impl EngineSnapshot {
                 .collect()
         };
         let mut total = StageTimings::default();
-        for a in answers.iter().flatten() {
-            total.filter_us += a.timings.filter_us;
-            total.selection_us += a.timings.selection_us;
-            total.rewrite_us += a.timings.rewrite_us;
+        let mut counters = StageCounters::new();
+        let mut answers = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            if let Some(report) = &outcome.report {
+                if let Some(c) = &report.counters {
+                    counters.merge(c);
+                }
+            }
+            if let Ok(a) = &outcome.answer {
+                total.filter_us += a.timings.filter_us;
+                total.selection_us += a.timings.selection_us;
+                total.rewrite_us += a.timings.rewrite_us;
+            }
+            answers.push(outcome.answer);
         }
         BatchResult {
             answers,
             total,
+            counters,
             wall_us: t0.elapsed().as_micros(),
             jobs,
         }
+    }
+
+    /// Answer `q` under `strategy`.
+    #[deprecated(since = "0.5.0", note = "use `query(q, &QueryOptions::strategy(s))`")]
+    pub fn answer(&self, q: &TreePattern, strategy: Strategy) -> Result<Answer, AnswerError> {
+        self.query(q, &QueryOptions::strategy(strategy)).answer
+    }
+
+    /// Answer `q` under `strategy`, bypassing the snapshot's
+    /// [`RewriteCache`].
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `query(q, &QueryOptions::strategy(s).with_cache(false))`"
+    )]
+    pub fn answer_uncached(
+        &self,
+        q: &TreePattern,
+        strategy: Strategy,
+    ) -> Result<Answer, AnswerError> {
+        self.query(q, &QueryOptions::strategy(strategy).with_cache(false))
+            .answer
+    }
+
+    /// Answer `q` under `strategy`, also reporting the [`AnswerTrace`].
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `query(q, &QueryOptions::strategy(s).with_trace())`"
+    )]
+    pub fn answer_traced(
+        &self,
+        q: &TreePattern,
+        strategy: Strategy,
+    ) -> (Result<Answer, AnswerError>, AnswerTrace) {
+        let outcome = self.query(q, &QueryOptions::strategy(strategy).with_trace());
+        let trace = outcome.report.and_then(|r| r.trace).unwrap_or_default();
+        (outcome.answer, trace)
+    }
+
+    /// Answer every query in `queries` under `strategy` over `jobs`
+    /// worker threads.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `query_batch(queries, &QueryOptions::strategy(s), jobs)`"
+    )]
+    pub fn answer_batch(
+        &self,
+        queries: &[TreePattern],
+        strategy: Strategy,
+        jobs: usize,
+    ) -> BatchResult {
+        self.query_batch(queries, &QueryOptions::strategy(strategy), jobs)
     }
 }
 
@@ -489,7 +663,11 @@ mod tests {
         let snap = e.snapshot();
         for strategy in Strategy::all_extended() {
             let want = e.answer(&q, strategy).unwrap().codes;
-            let got = snap.answer(&q, strategy).unwrap().codes;
+            let got = snap
+                .query(&q, &QueryOptions::strategy(strategy))
+                .answer
+                .unwrap()
+                .codes;
             assert_eq!(got, want, "{strategy}");
         }
     }
@@ -520,12 +698,20 @@ mod tests {
         let before = snap.labels().len();
         let q = snap.parse("//nosuchlabel[other]/more").unwrap();
         assert_eq!(snap.labels().len(), before, "parse must not grow the table");
-        let a = snap.answer(&q, Strategy::Bn).unwrap();
+        let a = snap
+            .query(&q, &QueryOptions::strategy(Strategy::Bn))
+            .answer
+            .unwrap();
         assert!(a.codes.is_empty());
-        let b = snap.answer(&q, Strategy::Bf).unwrap();
+        let b = snap
+            .query(&q, &QueryOptions::strategy(Strategy::Bf))
+            .answer
+            .unwrap();
         assert!(b.codes.is_empty());
         assert_eq!(
-            snap.answer(&q, Strategy::Hv).unwrap_err(),
+            snap.query(&q, &QueryOptions::strategy(Strategy::Hv))
+                .answer
+                .unwrap_err(),
             AnswerError::NotAnswerable
         );
     }
@@ -545,10 +731,15 @@ mod tests {
         for strategy in Strategy::all_extended() {
             for qsrc in queries {
                 let q = snap.parse(qsrc).unwrap();
-                let uncached = snap.answer_uncached(&q, strategy);
+                let uncached = snap
+                    .query(&q, &QueryOptions::strategy(strategy).with_cache(false))
+                    .answer;
                 // Twice: cold cache, then warm cache.
                 for pass in 0..2 {
-                    match (&snap.answer(&q, strategy), &uncached) {
+                    match (
+                        &snap.query(&q, &QueryOptions::strategy(strategy)).answer,
+                        &uncached,
+                    ) {
                         (Ok(a), Ok(b)) => {
                             assert_eq!(a.codes, b.codes, "{strategy} {qsrc} (pass {pass})");
                             let render = |c: &[DeweyCode]| -> Vec<String> {
@@ -572,9 +763,10 @@ mod tests {
             .map(|src| snap.parse(src).unwrap())
             .collect();
         for strategy in Strategy::all_extended() {
-            let sequential = snap.answer_batch(&queries, strategy, 1);
+            let options = QueryOptions::strategy(strategy);
+            let sequential = snap.query_batch(&queries, &options, 1);
             for jobs in [2, 3, 8] {
-                let parallel = snap.answer_batch(&queries, strategy, jobs);
+                let parallel = snap.query_batch(&queries, &options, jobs);
                 assert_eq!(parallel.answers.len(), sequential.answers.len());
                 for (s, p) in sequential.answers.iter().zip(&parallel.answers) {
                     match (s, p) {
@@ -591,7 +783,7 @@ mod tests {
     fn batch_reports_throughput_accounting() {
         let snap = snapshot_with_views(&["//s[t]/p"]);
         let queries: Vec<TreePattern> = (0..8).map(|_| snap.parse("//s[t]/p").unwrap()).collect();
-        let batch = snap.answer_batch(&queries, Strategy::Hv, 4);
+        let batch = snap.query_batch(&queries, &QueryOptions::strategy(Strategy::Hv), 4);
         assert_eq!(batch.jobs, 4);
         assert_eq!(batch.answered(), 8);
         assert!(batch.qps() > 0.0);
@@ -601,7 +793,7 @@ mod tests {
     #[test]
     fn batch_on_empty_input() {
         let snap = snapshot_with_views(&["//s[t]/p"]);
-        let batch = snap.answer_batch(&[], Strategy::Hv, 4);
+        let batch = snap.query_batch(&[], &QueryOptions::strategy(Strategy::Hv), 4);
         assert!(batch.answers.is_empty());
         assert_eq!(batch.answered(), 0);
     }
@@ -610,14 +802,78 @@ mod tests {
     fn snapshot_shares_state_across_threads() {
         let snap = snapshot_with_views(&["//s[t]/p", "//s[p]/f"]);
         let q = snap.parse("//s[f//i][t]/p").unwrap();
-        let want = snap.answer(&q, Strategy::Hv).unwrap().codes;
+        let options = QueryOptions::strategy(Strategy::Hv);
+        let want = snap.query(&q, &options).answer.unwrap().codes;
         std::thread::scope(|scope| {
             for _ in 0..4 {
                 scope.spawn(|| {
-                    let got = snap.answer(&q, Strategy::Hv).unwrap().codes;
+                    let got = snap.query(&q, &options).answer.unwrap().codes;
                     assert_eq!(got, want);
                 });
             }
         });
+    }
+
+    #[test]
+    fn report_present_only_when_requested() {
+        let snap = snapshot_with_views(&["//s[t]/p", "//s[p]/f"]);
+        let q = snap.parse("//s[t]/p").unwrap();
+        let plain = snap.query(&q, &QueryOptions::strategy(Strategy::Hv));
+        assert!(plain.report.is_none());
+        assert!(
+            snap.metrics().is_empty(),
+            "no metrics recorded unless asked"
+        );
+
+        let traced = snap.query(&q, &QueryOptions::strategy(Strategy::Hv).with_trace());
+        let report = traced.report.expect("trace requested");
+        assert!(report.counters.is_none());
+        let trace = report.trace.expect("trace requested");
+        assert!(trace.selection_found());
+        assert!(snap.metrics().is_empty(), "trace alone records no metrics");
+
+        let metered = snap.query(&q, &QueryOptions::strategy(Strategy::Hv).with_metrics());
+        let report = metered.report.expect("metrics requested");
+        let counters = report.counters.expect("metrics requested");
+        assert!(counters.get(Counter::FilterRuns) >= 1);
+        assert!(counters.get(Counter::RewriteRuns) >= 1);
+        assert!(report.trace.is_none());
+        assert_eq!(snap.metrics().queries(), 1);
+        assert!(!snap.metrics().report().is_empty());
+    }
+
+    #[test]
+    fn batch_counters_identical_across_job_counts() {
+        let snap = snapshot_with_views(&["//s[t]/p", "//s[p]/f", "//s//p", "//s[.//i]"]);
+        let queries: Vec<TreePattern> = ["//s[f//i][t]/p", "//s[t]/p", "/b/s//p", "//s[p]/f"]
+            .iter()
+            .map(|src| snap.parse(src).unwrap())
+            .collect();
+        // Uncached so warm-cache effects cannot differ between runs.
+        let options = QueryOptions::strategy(Strategy::Hv)
+            .with_cache(false)
+            .with_metrics();
+        let reference = snap.query_batch(&queries, &options, 1).counters;
+        assert!(!reference.is_zero());
+        for jobs in [2, 3, 33] {
+            let merged = snap.query_batch(&queries, &options, jobs).counters;
+            assert_eq!(merged, reference, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_query() {
+        let snap = snapshot_with_views(&["//s[t]/p", "//s[p]/f", "//s//p"]);
+        let q = snap.parse("//s[t]/p").unwrap();
+        for strategy in Strategy::all_extended() {
+            let new = snap.query(&q, &QueryOptions::strategy(strategy)).answer;
+            let old = snap.answer(&q, strategy);
+            match (&new, &old) {
+                (Ok(a), Ok(b)) => assert_eq!(a.codes, b.codes, "{strategy}"),
+                (Err(a), Err(b)) => assert_eq!(a, b, "{strategy}"),
+                _ => panic!("{strategy}: wrapper/query outcome mismatch"),
+            }
+        }
     }
 }

@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use xvr_core::{AnswerError, Engine, EngineConfig, Strategy};
+use xvr_core::{AnswerError, Engine, EngineConfig, QueryOptions, Strategy};
 use xvr_xml::generator::{generate, Config};
 
 fn main() {
@@ -60,7 +60,7 @@ fn main() {
         print!("{src:<68}");
         let mut reference = None;
         for strategy in [Strategy::Bn, Strategy::Bf, Strategy::Hv] {
-            match snapshot.answer(&q, strategy) {
+            match snapshot.query(&q, &QueryOptions::strategy(strategy)).answer {
                 Ok(a) => {
                     if let Some(r) = &reference {
                         assert_eq!(&a.codes, r, "{src} {strategy}");
@@ -83,7 +83,7 @@ fn main() {
     let batch: Vec<_> = parsed.iter().cycle().take(64).cloned().collect();
     for jobs in [1, 4] {
         let t0 = Instant::now();
-        let r = snapshot.answer_batch(&batch, Strategy::Hv, jobs);
+        let r = snapshot.query_batch(&batch, &QueryOptions::strategy(Strategy::Hv), jobs);
         println!(
             "batch of {} queries on {} thread(s): {:.0} queries/s (wall {:.1}ms)",
             batch.len(),

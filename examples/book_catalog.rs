@@ -6,7 +6,7 @@
 //! cargo run --example book_catalog
 //! ```
 
-use xvr_core::{Engine, EngineConfig, Strategy};
+use xvr_core::{Engine, EngineConfig, QueryOptions, Strategy};
 use xvr_xml::samples::book_document;
 use xvr_xml::serializer::serialize_pretty;
 
@@ -58,7 +58,10 @@ fn main() {
 
     // Stage 2 + 3: selection and rewriting, via each strategy.
     for strategy in [Strategy::Mv, Strategy::Hv] {
-        let a = snapshot.answer(&q, strategy).unwrap();
+        let a = snapshot
+            .query(&q, &QueryOptions::strategy(strategy))
+            .answer
+            .unwrap();
         println!(
             "{}: views {:?} → {} answers: {}",
             strategy,
@@ -74,7 +77,10 @@ fn main() {
 
     // The paper's expected result: the five paragraphs of sections that
     // also contain a figure.
-    let reference = snapshot.answer(&q, Strategy::Bn).unwrap();
+    let reference = snapshot
+        .query(&q, &QueryOptions::strategy(Strategy::Bn))
+        .answer
+        .unwrap();
     assert_eq!(reference.codes.len(), 5);
     println!("\nExample 5.1 reproduced: {{p3, p4, p5, p6, p7}} ✓");
 }

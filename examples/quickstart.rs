@@ -8,7 +8,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use xvr_core::{Engine, EngineConfig, Strategy};
+use xvr_core::{Engine, EngineConfig, QueryOptions, Strategy};
 use xvr_xml::parse_document;
 
 fn main() {
@@ -44,9 +44,12 @@ fn main() {
         .parse("/library/shelf[book]/book[author]/title")
         .unwrap();
 
-    // Answer using the heuristic multi-view strategy.
+    // Answer using the heuristic multi-view strategy. `query` is the
+    // single entry point; `QueryOptions` pick the strategy (and,
+    // optionally, cache use and observability payload).
     let answer = snapshot
-        .answer(&q, Strategy::Hv)
+        .query(&q, &QueryOptions::strategy(Strategy::Hv))
+        .answer
         .expect("answerable from views");
     println!(
         "answered with {} view(s): {:?}",
@@ -58,12 +61,25 @@ fn main() {
     }
 
     // Cross-check against direct evaluation on the base document.
-    let direct = snapshot.answer(&q, Strategy::Bn).unwrap();
+    let direct = snapshot
+        .query(&q, &QueryOptions::strategy(Strategy::Bn))
+        .answer
+        .unwrap();
     assert_eq!(answer.codes, direct.codes);
     println!("matches direct evaluation ✓");
 
+    // Ask for the observability payload: per-stage timings, pipeline
+    // counters, and the answer trace, in one report.
+    let outcome = snapshot.query(
+        &q,
+        &QueryOptions::strategy(Strategy::Hv)
+            .with_trace()
+            .with_metrics(),
+    );
+    println!("{}", outcome.report.expect("requested via with_*"));
+
     // Batches fan out over worker threads; results come back in order.
-    let batch = snapshot.answer_batch(&[q.clone(), q], Strategy::Hv, 2);
+    let batch = snapshot.query_batch(&[q.clone(), q], &QueryOptions::strategy(Strategy::Hv), 2);
     assert_eq!(batch.answered(), 2);
     println!(
         "batch of 2 on {} thread(s): {:.0} queries/s",

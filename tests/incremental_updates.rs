@@ -2,7 +2,7 @@
 //! appends must equal a freshly built engine's, and unaffected views must
 //! not be re-materialized.
 
-use xvr_core::{Engine, EngineConfig, Strategy};
+use xvr_core::{Engine, EngineConfig, QueryOptions, Strategy};
 use xvr_xml::samples::book_document;
 use xvr_xml::{CodeStability, DeweyCode};
 
@@ -117,7 +117,8 @@ fn append_with_new_label_leaves_snapshot_frozen() {
     let frozen = engine.snapshot();
     let q_old = frozen.parse("//s[t]/p").unwrap();
     let before: Vec<String> = frozen
-        .answer(&q_old, Strategy::Hv)
+        .query(&q_old, &QueryOptions::strategy(Strategy::Hv))
+        .answer
         .unwrap()
         .codes
         .iter()
@@ -132,7 +133,8 @@ fn append_with_new_label_leaves_snapshot_frozen() {
     // label: its answers are byte-identical, and parsing `//z` resolves to
     // a fresh non-matching label, so it evaluates to the empty answer.
     let after: Vec<String> = frozen
-        .answer(&q_old, Strategy::Hv)
+        .query(&q_old, &QueryOptions::strategy(Strategy::Hv))
+        .answer
         .unwrap()
         .codes
         .iter()
@@ -141,7 +143,8 @@ fn append_with_new_label_leaves_snapshot_frozen() {
     assert_eq!(after, before);
     let q_new = frozen.parse("//z/p").unwrap();
     assert!(frozen
-        .answer(&q_new, Strategy::Bn)
+        .query(&q_new, &QueryOptions::strategy(Strategy::Bn))
+        .answer
         .unwrap()
         .codes
         .is_empty());
@@ -151,7 +154,15 @@ fn append_with_new_label_leaves_snapshot_frozen() {
     let q_new = engine.parse("//z/p").unwrap();
     assert_eq!(engine.answer(&q_new, Strategy::Bn).unwrap().codes.len(), 1);
     let thawed = engine.snapshot();
-    assert_eq!(thawed.answer(&q_new, Strategy::Bn).unwrap().codes.len(), 1);
+    assert_eq!(
+        thawed
+            .query(&q_new, &QueryOptions::strategy(Strategy::Bn))
+            .answer
+            .unwrap()
+            .codes
+            .len(),
+        1
+    );
     // And the old query now also covers the appended <p> via its view
     // (the append rematerializes affected views in the writer).
     let q_old_w = engine.parse("//s[t]/p").unwrap();

@@ -3,7 +3,7 @@
 //! execution, for every strategy, on the XMark workload.
 
 use xvr_bench::{build_paper_engine, paper_document, xmark_queries};
-use xvr_core::{AnswerError, Engine, EngineConfig, EngineSnapshot, Strategy};
+use xvr_core::{AnswerError, Engine, EngineConfig, EngineSnapshot, QueryOptions, Strategy};
 use xvr_pattern::TreePattern;
 use xvr_xml::samples::book_document;
 
@@ -43,16 +43,16 @@ fn codes_of(outcomes: &[Result<xvr_core::Answer, AnswerError>]) -> Vec<Option<Ve
         .collect()
 }
 
-/// `answer_batch` with `jobs >= 2` returns exactly what sequential
+/// `query_batch` with `jobs >= 2` returns exactly what sequential
 /// execution returns, in the same order, for all six strategies.
 #[test]
 fn batch_answers_are_deterministic_across_jobs() {
     let (snap, queries) = xmark_snapshot();
     for strategy in Strategy::all_extended() {
-        let sequential = snap.answer_batch(&queries, strategy, 1);
+        let sequential = snap.query_batch(&queries, &QueryOptions::strategy(strategy), 1);
         assert_eq!(sequential.jobs, 1);
         for jobs in [2, 4, 7] {
-            let parallel = snap.answer_batch(&queries, strategy, jobs);
+            let parallel = snap.query_batch(&queries, &QueryOptions::strategy(strategy), jobs);
             assert_eq!(parallel.jobs, jobs.min(queries.len()));
             assert_eq!(
                 codes_of(&parallel.answers),
@@ -64,7 +64,7 @@ fn batch_answers_are_deterministic_across_jobs() {
 }
 
 /// N independent threads hammering one shared snapshot (not through
-/// `answer_batch` — each thread runs the whole query set itself) all see
+/// `query_batch` — each thread runs the whole query set itself) all see
 /// the sequential answers.
 #[test]
 fn threads_sharing_one_snapshot_agree() {
@@ -72,13 +72,20 @@ fn threads_sharing_one_snapshot_agree() {
     for strategy in [Strategy::Bn, Strategy::Hv, Strategy::Cb] {
         let expected: Vec<_> = queries
             .iter()
-            .map(|q| snap.answer(q, strategy).map(|a| a.codes))
+            .map(|q| {
+                snap.query(q, &QueryOptions::strategy(strategy))
+                    .answer
+                    .map(|a| a.codes)
+            })
             .collect();
         std::thread::scope(|scope| {
             for _ in 0..6 {
                 scope.spawn(|| {
                     for (q, want) in queries.iter().zip(&expected) {
-                        let got = snap.answer(q, strategy).map(|a| a.codes);
+                        let got = snap
+                            .query(q, &QueryOptions::strategy(strategy))
+                            .answer
+                            .map(|a| a.codes);
                         match (&got, want) {
                             (Ok(g), Ok(w)) => assert_eq!(g, w, "{strategy}"),
                             (Err(g), Err(w)) => assert_eq!(g, w, "{strategy}"),
@@ -103,9 +110,19 @@ fn clones_stay_frozen_while_engine_moves_on() {
         .unwrap();
     let snap = engine.snapshot();
     let clone = snap.clone();
-    let want = snap.answer(&q, Strategy::Hv).unwrap().codes;
+    let want = snap
+        .query(&q, &QueryOptions::strategy(Strategy::Hv))
+        .answer
+        .unwrap()
+        .codes;
 
-    let handle = std::thread::spawn(move || clone.answer(&q, Strategy::Hv).unwrap().codes);
+    let handle = std::thread::spawn(move || {
+        clone
+            .query(&q, &QueryOptions::strategy(Strategy::Hv))
+            .answer
+            .unwrap()
+            .codes
+    });
     // Meanwhile the writer keeps going; the spawned reader must not care.
     engine.add_view_str("//person[profile]/name").unwrap();
     assert_eq!(handle.join().unwrap(), want);
@@ -130,15 +147,19 @@ fn book_snapshot(views: &[&str], queries: &[&str]) -> (EngineSnapshot, Vec<TreeP
 fn batch_jobs_edge_values_are_clamped() {
     let (snap, queries) = book_snapshot(&["//s[t]/p"], &["//s[t]/p", "/b//p", "//s/t"]);
 
-    let empty = snap.answer_batch(&[], Strategy::Hv, 8);
+    let empty = snap.query_batch(&[], &QueryOptions::strategy(Strategy::Hv), 8);
     assert!(empty.answers.is_empty());
     assert_eq!(empty.jobs, 1);
     assert_eq!(empty.answered(), 0);
 
-    let zero = snap.answer_batch(&queries, Strategy::Hv, 0);
+    let zero = snap.query_batch(&queries, &QueryOptions::strategy(Strategy::Hv), 0);
     assert_eq!(zero.jobs, 1);
 
-    let oversubscribed = snap.answer_batch(&queries, Strategy::Hv, queries.len() + 61);
+    let oversubscribed = snap.query_batch(
+        &queries,
+        &QueryOptions::strategy(Strategy::Hv),
+        queries.len() + 61,
+    );
     assert_eq!(oversubscribed.jobs, queries.len());
     assert_eq!(codes_of(&oversubscribed.answers), codes_of(&zero.answers));
 }
@@ -156,14 +177,18 @@ fn batch_keeps_input_order_when_queries_error() {
     );
     let expected: Vec<_> = queries
         .iter()
-        .map(|q| snap.answer(q, Strategy::Hv).map(|a| a.codes))
+        .map(|q| {
+            snap.query(q, &QueryOptions::strategy(Strategy::Hv))
+                .answer
+                .map(|a| a.codes)
+        })
         .collect();
     assert!(expected[0].is_ok() && expected[2].is_ok() && expected[4].is_ok());
     assert_eq!(expected[1], Err(AnswerError::NotAnswerable));
     assert_eq!(expected[3], Err(AnswerError::NotAnswerable));
 
     for jobs in [1, 2, 3, 5] {
-        let batch = snap.answer_batch(&queries, Strategy::Hv, jobs);
+        let batch = snap.query_batch(&queries, &QueryOptions::strategy(Strategy::Hv), jobs);
         assert_eq!(batch.answers.len(), queries.len());
         assert_eq!(batch.answered(), 3, "jobs={jobs}");
         for (i, (got, want)) in batch.answers.iter().zip(&expected).enumerate() {
