@@ -1,0 +1,106 @@
+//! `xvr loadgen`: open-loop load generator for a running `xvr serve`.
+//!
+//! Sends `--requests` queries (round-robin over `--queries-file`) across
+//! `--connections` concurrent connections. With `--qps` the generator is
+//! **open-loop**: requests are due on a fixed timeline and latency is
+//! measured from the due time, so a stalling server shows up in the tail
+//! percentiles instead of silently slowing the generator (coordinated
+//! omission). Without `--qps` it runs closed-loop for a maximum-throughput
+//! measurement. `--out FILE` writes the report as JSON with the same
+//! field names as the committed `BENCH_serve.json`.
+
+use std::process::ExitCode;
+
+use xvr_core::{run_load, LoadConfig, WireOptions};
+
+use crate::args::Parsed;
+use crate::{out_fmt, read_workload, strategy_of, CliError};
+
+pub fn loadgen(argv: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = Parsed::parse(
+        argv,
+        &["addr", "queries-file"],
+        &["connections", "qps", "requests", "strategy", "out"],
+        &[],
+        &["no-cache"],
+    )?;
+    let queries = read_workload(parsed.req("queries-file")?)?;
+    if queries.is_empty() {
+        return Err(CliError::Usage("the queries file is empty".into()));
+    }
+    let strategy = strategy_of(parsed.opt("strategy").unwrap_or("hv"))?;
+    let connections: usize =
+        match parsed.opt("connections") {
+            Some(c) => c.parse().ok().filter(|&c| c >= 1).ok_or_else(|| {
+                CliError::Usage("--connections must be a positive integer".into())
+            })?,
+            None => 4,
+        };
+    let qps: f64 = match parsed.opt("qps") {
+        Some(q) => q
+            .parse()
+            .ok()
+            .filter(|&q: &f64| q.is_finite() && q >= 0.0)
+            .ok_or_else(|| CliError::Usage("--qps must be a non-negative number".into()))?,
+        None => 0.0,
+    };
+    let total: usize = match parsed.opt("requests") {
+        Some(n) => n
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| CliError::Usage("--requests must be a positive integer".into()))?,
+        None => queries.len(),
+    };
+    let mut options = WireOptions::strategy(strategy);
+    if parsed.flag("no-cache") {
+        options.use_cache = false;
+    }
+    let addr = parsed.req("addr")?;
+    let config = LoadConfig {
+        queries,
+        options,
+        connections,
+        qps,
+        total,
+    };
+    let report = run_load(addr, &config)?;
+    eprintln!(
+        "{} x {} over {} connection(s), {}",
+        total,
+        strategy,
+        connections,
+        if qps > 0.0 {
+            format!("open-loop at {qps} q/s offered")
+        } else {
+            "closed-loop".into()
+        }
+    );
+    eprintln!("{report}");
+    let json = format!(
+        "{{\n  \"benchmark\": \"loadgen\",\n  \"mode\": \"{}\",\n  \"strategy\": \"{}\",\n  \
+         \"connections\": {},\n  \"offered_qps\": {},\n  \"load\": {}\n}}\n",
+        if qps > 0.0 {
+            "open_loop"
+        } else {
+            "closed_loop"
+        },
+        strategy.to_string().to_uppercase(),
+        connections,
+        qps,
+        report.json_fragment(),
+    );
+    match parsed.opt("out") {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .map_err(|e| CliError::Input(format!("cannot write {path}: {e}")))?;
+            eprintln!("wrote {path}");
+        }
+        None => out!("{json}"),
+    }
+    if report.errors > 0 {
+        eprintln!("{} request(s) failed", report.errors);
+        return Ok(ExitCode::from(3));
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -11,20 +11,30 @@
 //! xvr materialize --doc FILE (--view XPATH)... [--views-file FILE]
 //!                 [--budget BYTES] --out DIR
 //! xvr generate    [--scale F] [--seed N] [--out FILE]
+//! xvr serve       --doc FILE [(--view XPATH)...] [--views-file FILE]
+//!                 [--views-dir DIR] [--budget BYTES]
+//!                 [--addr HOST:PORT] [--jobs N]
+//! xvr loadgen     --addr HOST:PORT --queries-file FILE
+//!                 [--connections N] [--qps F] [--requests N]
+//!                 [--strategy bn|bf|mn|mv|hv|cb] [--no-cache] [--out FILE]
 //! ```
 //!
 //! `--views-file` and `--queries-file` are text files with one XPath per
 //! line (blank lines and `#` comments ignored). `answer --queries-file`
 //! freezes an [`EngineSnapshot`] and fans the batch out over `--jobs`
 //! worker threads. The base strategies `bn`/`bf` answer straight from the
-//! document and need no views. Exit codes: 0 success, 1 query not
-//! answerable, 2 usage error, 3 input error.
+//! document and need no views. `serve` keeps a snapshot hot behind a TCP
+//! listener and swaps it atomically on admin requests; `loadgen` drives
+//! it open-loop and reports latency percentiles. Exit codes: 0 success,
+//! 1 query not answerable, 2 usage error, 3 input error — the shared
+//! [`xvr_core::QueryError`] mapping, identical to the serve protocol's
+//! status codes.
 
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use xvr_core::{AnswerError, Engine, EngineConfig, EngineSnapshot, QueryOptions, Strategy};
+use xvr_core::{Engine, EngineConfig, EngineSnapshot, QueryError, QueryOptions, Strategy};
 use xvr_xml::serializer::serialize_subtree;
 use xvr_xml::{parse_document, DocStats, Document};
 
@@ -56,6 +66,12 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             ExitCode::from(3)
         }
+        // The consolidated pipeline error: its own status() decides the
+        // exit code, the same mapping the serve protocol uses.
+        Err(CliError::Query(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(e.exit_code())
+        }
     }
 }
 
@@ -73,11 +89,21 @@ const USAGE: &str = "usage:
   xvr materialize --doc FILE (--view XPATH)... [--views-file FILE]
                   [--budget BYTES] --out DIR
   xvr append      --doc FILE --at CODE --xml XML [--out FILE]
-  xvr generate    [--scale F] [--seed N] [--out FILE]";
+  xvr generate    [--scale F] [--seed N] [--out FILE]
+  xvr serve       --doc FILE [(--view XPATH)...] [--views-file FILE]
+                  [--views-dir DIR] [--budget BYTES]
+                  [--addr HOST:PORT] [--jobs N]
+  xvr loadgen     --addr HOST:PORT --queries-file FILE
+                  [--connections N] [--qps F] [--requests N]
+                  [--strategy bn|bf|mn|mv|hv|cb] [--no-cache] [--out FILE]";
 
 enum CliError {
     Usage(String),
     Input(String),
+    /// Any pipeline failure, classified by [`QueryError::status`]; the
+    /// exit code comes from the same shared mapping the serve protocol
+    /// uses for its status codes.
+    Query(QueryError),
     /// Stdout's reader went away (`EPIPE`). Not an error: pipelines like
     /// `xvr eval ... | head -1` close our pipe as soon as they have what
     /// they need, so this maps to a quiet, successful exit.
@@ -97,6 +123,12 @@ impl CliError {
 impl From<ArgError> for CliError {
     fn from(e: ArgError) -> CliError {
         CliError::Usage(e.0)
+    }
+}
+
+impl From<QueryError> for CliError {
+    fn from(e: QueryError) -> CliError {
+        CliError::Query(e)
     }
 }
 
@@ -124,6 +156,9 @@ macro_rules! out {
     ($($arg:tt)*) => { out_fmt(format_args!($($arg)*), false)? };
 }
 
+mod loadgen;
+mod serve;
+
 fn run(argv: &[String]) -> Result<ExitCode, CliError> {
     let Some((command, rest)) = argv.split_first() else {
         return Err(CliError::Usage("missing command".into()));
@@ -137,12 +172,28 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
         "generate" => generate(rest),
         "materialize" => materialize(rest),
         "append" => append(rest),
+        "serve" => serve::serve(rest),
+        "loadgen" => loadgen::loadgen(rest),
         "--help" | "-h" | "help" => {
             outln!("{USAGE}");
             Ok(ExitCode::SUCCESS)
         }
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
+}
+
+/// Read a workload file: one XPath per line, blank lines and `#`
+/// comments ignored. Shared by `answer --queries-file`, `stats`, and
+/// `loadgen`.
+fn read_workload(path: &str) -> Result<Vec<String>, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Input(format!("cannot read {path}: {e}")))?;
+    Ok(text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_owned)
+        .collect())
 }
 
 fn load_doc(path: &str) -> Result<Document, CliError> {
@@ -331,12 +382,12 @@ fn answer_single(
     let query_src = parsed.positional()?;
     let q = snap
         .parse(query_src)
-        .map_err(|e| CliError::Input(format!("query: {e}")))?;
+        .map_err(|e| CliError::Query(e.into()))?;
     if parsed.flag("explain") && !matches!(strategy, Strategy::Bn | Strategy::Bf) {
         match snap.explain(&q, strategy) {
             Ok(ex) => eprintln!("{ex}"),
-            Err(AnswerError::NotAnswerable) => {}
-            Err(e) => return Err(CliError::Input(e.to_string())),
+            Err(xvr_core::AnswerError::NotAnswerable) => {}
+            Err(e) => return Err(CliError::Query(e.into())),
         }
     }
     let mut options = QueryOptions::strategy(strategy);
@@ -391,11 +442,9 @@ fn answer_single(
             eprintln!("{summary}");
             Ok(ExitCode::SUCCESS)
         }
-        Err(AnswerError::NotAnswerable) => {
-            eprintln!("not answerable from the given views");
-            Ok(ExitCode::from(1))
-        }
-        Err(e) => Err(CliError::Input(e.to_string())),
+        // NotAnswerable exits 1, rewrite failures 3 — the shared
+        // QueryError mapping decides, not this command.
+        Err(e) => Err(CliError::Query(e.into())),
     }
 }
 
@@ -421,13 +470,7 @@ fn answer_batch(
             .ok_or_else(|| CliError::Usage("--jobs must be a positive integer".into()))?,
         None => 1,
     };
-    let text = std::fs::read_to_string(file)
-        .map_err(|e| CliError::Input(format!("cannot read {file}: {e}")))?;
-    let sources: Vec<&str> = text
-        .lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .collect();
+    let sources = read_workload(file)?;
     let queries: Vec<_> = sources
         .iter()
         .map(|src| {
@@ -447,11 +490,11 @@ fn answer_batch(
                 let codes: Vec<String> = a.codes.iter().map(|c| c.to_string()).collect();
                 outln!("{src}\t{}\t{}", a.codes.len(), codes.join(" "));
             }
-            Err(AnswerError::NotAnswerable) => {
+            Err(xvr_core::AnswerError::NotAnswerable) => {
                 unanswerable += 1;
                 outln!("{src}\tunanswerable\t");
             }
-            Err(e) => return Err(CliError::Input(format!("query `{src}`: {e}"))),
+            Err(e) => return Err(CliError::Query(e.clone().into())),
         }
     }
     eprintln!(
@@ -507,13 +550,8 @@ fn stats(argv: &[String]) -> Result<ExitCode, CliError> {
         None => 1,
     };
     let snap = engine.snapshot();
-    let file = parsed.req("queries-file")?;
-    let text = std::fs::read_to_string(file)
-        .map_err(|e| CliError::Input(format!("cannot read {file}: {e}")))?;
-    let queries: Vec<_> = text
-        .lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+    let queries: Vec<_> = read_workload(parsed.req("queries-file")?)?
+        .iter()
         .map(|src| {
             snap.parse(src)
                 .map_err(|e| CliError::Input(format!("query `{src}`: {e}")))

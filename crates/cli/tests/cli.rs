@@ -484,3 +484,151 @@ fn filter_lists_candidates() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("1 of 2 views"), "{stdout}");
 }
+
+/// Kills the serve child on drop so a failing assertion cannot leak a
+/// listener into later tests.
+struct ServeGuard(std::process::Child);
+
+impl Drop for ServeGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Start `xvr serve` on an ephemeral port and return the guard plus the
+/// kernel-assigned address parsed from the announced `listening on` line.
+fn spawn_serve(doc: &std::path::Path, views: &[&str]) -> (ServeGuard, String) {
+    use std::io::BufRead;
+    let mut cmd = xvr();
+    cmd.args(["serve", "--doc"]).arg(doc);
+    for v in views {
+        cmd.args(["--view", v]);
+    }
+    let mut child = cmd
+        .args(["--addr", "127.0.0.1:0"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let stdout = child.stdout.take().unwrap();
+    let mut line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut line)
+        .unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+        .to_string();
+    (ServeGuard(child), addr)
+}
+
+/// `xvr serve` announces its port, answers queries and admin requests
+/// over the wire protocol, and exits cleanly on a shutdown request.
+#[test]
+fn serve_answers_over_tcp_and_shuts_down() {
+    use std::time::Duration;
+    use xvr_core::{Client, Request, Response, Status, WireOptions};
+
+    let doc = write_doc();
+    let (mut guard, addr) = spawn_serve(doc.path(), &["//book[author]/title"]);
+    let mut client = Client::connect_retry(&addr, Duration::from_secs(5)).unwrap();
+
+    let resp = client
+        .call(&Request::Query {
+            query: "//book[author]/title".into(),
+            options: WireOptions::default(),
+        })
+        .unwrap();
+    match resp {
+        Response::Answer {
+            codes, views_used, ..
+        } => {
+            assert_eq!(codes.len(), 1, "{codes:?}");
+            assert_eq!(views_used, 1);
+        }
+        other => panic!("expected an answer, got {other:?}"),
+    }
+
+    // Unanswerable until add-view publishes a new snapshot.
+    let probe = Request::Query {
+        query: "//shelf/book".into(),
+        options: WireOptions::default(),
+    };
+    assert!(matches!(
+        client.call(&probe).unwrap(),
+        Response::Error {
+            status: Status::NotAnswerable,
+            ..
+        }
+    ));
+    assert!(matches!(
+        client
+            .call(&Request::AddView {
+                xpath: "//shelf/book".into()
+            })
+            .unwrap(),
+        Response::Swapped { epoch: 1, .. }
+    ));
+    assert!(matches!(
+        client.call(&probe).unwrap(),
+        Response::Answer { .. }
+    ));
+
+    assert!(matches!(
+        client.call(&Request::Shutdown).unwrap(),
+        Response::ShuttingDown
+    ));
+    let status = guard.0.wait().unwrap();
+    assert!(status.success(), "{status:?}");
+}
+
+/// `xvr loadgen` drives a served workload and writes the latency/
+/// throughput JSON with the documented fields; exit code 0 when every
+/// request succeeds.
+#[test]
+fn loadgen_writes_latency_json() {
+    use std::time::Duration;
+    use xvr_core::{Client, Request, Response};
+
+    let doc = write_doc();
+    let (mut guard, addr) = spawn_serve(doc.path(), &["//book[author]/title"]);
+    let queries = tempfile::write("# workload\n//book[author]/title\n");
+    let json_out = tempfile::write("");
+
+    let out = xvr()
+        .args(["loadgen", "--addr", &addr, "--queries-file"])
+        .arg(queries.path())
+        .args(["--connections", "2", "--requests", "16", "--out"])
+        .arg(json_out.path())
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(json_out.path()).unwrap();
+    for field in [
+        "\"benchmark\": \"loadgen\"",
+        "\"mode\": \"closed_loop\"",
+        "\"strategy\": \"HV\"",
+        "\"requests\": 16",
+        "\"ok\": 16",
+        "\"errors\": 0",
+        "\"sustained_qps\"",
+        "\"p50\"",
+        "\"p95\"",
+        "\"p99\"",
+    ] {
+        assert!(json.contains(field), "missing {field} in {json}");
+    }
+
+    let mut admin = Client::connect_retry(&addr, Duration::from_secs(5)).unwrap();
+    assert!(matches!(
+        admin.call(&Request::Shutdown).unwrap(),
+        Response::ShuttingDown
+    ));
+    assert!(guard.0.wait().unwrap().success());
+}

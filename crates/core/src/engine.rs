@@ -256,6 +256,13 @@ pub struct Engine {
 }
 
 impl Engine {
+    /// The construction knobs this engine was built with (a rebuilt
+    /// engine — e.g. a server swapping documents — reuses them so the
+    /// new snapshot behaves identically).
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
     /// Build an engine over `doc` (indexes are constructed eagerly).
     pub fn new(doc: Document, config: EngineConfig) -> Engine {
         let node_index = NodeIndex::build(&doc.tree, &doc.labels);

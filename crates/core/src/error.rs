@@ -1,0 +1,148 @@
+//! One error surface for every way a query can fail, shared by the CLI
+//! and the serve protocol.
+//!
+//! [`QueryError`] folds the pipeline's failure modes — parse, answer,
+//! wire, transport — into a single type with one classification,
+//! [`QueryError::status`]. The CLI maps a status to a process exit code
+//! ([`Status::exit_code`]) and the server maps the same status to a
+//! [`Response::Error`](crate::wire::Response::Error) frame, so the two
+//! surfaces can never drift apart: a query that exits 1 at the shell is
+//! exactly a query that returns `not-answerable` over the wire.
+
+use std::fmt;
+
+use xvr_pattern::PatternParseError;
+
+use crate::engine::AnswerError;
+use crate::wire::{Status, WireError};
+
+/// Any failure on the path from query text to answer, across every
+/// surface (embedded, CLI, serve).
+#[derive(Debug)]
+pub enum QueryError {
+    /// The query (or view) text did not parse.
+    Parse(PatternParseError),
+    /// An XML document did not parse (document loads and swaps).
+    Xml(xvr_xml::ParseError),
+    /// The pipeline could not answer (not answerable, or rewriting
+    /// failed).
+    Answer(AnswerError),
+    /// A wire frame could not be encoded/decoded, or the peer spoke the
+    /// protocol wrong.
+    Wire(WireError),
+    /// Transport or file I/O failed, with what was being touched.
+    Io(String, std::io::Error),
+}
+
+impl QueryError {
+    /// Classify the failure for the shared exit-code/status mapping:
+    /// parse errors are the caller's *input* (exit 3), unanswerable
+    /// queries are the domain outcome (exit 1), wire misuse is a *bad
+    /// request* (exit 2), and rewrite failures are *internal*.
+    pub fn status(&self) -> Status {
+        match self {
+            QueryError::Parse(_) | QueryError::Xml(_) => Status::Input,
+            QueryError::Answer(AnswerError::NotAnswerable) => Status::NotAnswerable,
+            QueryError::Answer(AnswerError::Rewrite(_)) => Status::Internal,
+            QueryError::Wire(_) => Status::BadRequest,
+            QueryError::Io(..) => Status::Input,
+        }
+    }
+
+    /// The process exit code for this failure — `self.status().exit_code()`.
+    pub fn exit_code(&self) -> u8 {
+        self.status().exit_code()
+    }
+
+    /// Build an I/O variant that remembers what was being accessed.
+    pub fn io(context: impl Into<String>, e: std::io::Error) -> QueryError {
+        QueryError::Io(context.into(), e)
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "parse error: {e}"),
+            QueryError::Xml(e) => write!(f, "xml parse error: {e}"),
+            QueryError::Answer(AnswerError::NotAnswerable) => {
+                // Wording kept verbatim from the CLI's historical message.
+                write!(f, "query is not answerable from the given views")
+            }
+            QueryError::Answer(e) => write!(f, "{e}"),
+            QueryError::Wire(e) => write!(f, "protocol error: {e}"),
+            QueryError::Io(what, e) => write!(f, "{what}: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Parse(e) => Some(e),
+            QueryError::Xml(e) => Some(e),
+            QueryError::Answer(e) => Some(e),
+            QueryError::Wire(e) => Some(e),
+            QueryError::Io(_, e) => Some(e),
+        }
+    }
+}
+
+impl From<PatternParseError> for QueryError {
+    fn from(e: PatternParseError) -> QueryError {
+        QueryError::Parse(e)
+    }
+}
+
+impl From<xvr_xml::ParseError> for QueryError {
+    fn from(e: xvr_xml::ParseError) -> QueryError {
+        QueryError::Xml(e)
+    }
+}
+
+impl From<AnswerError> for QueryError {
+    fn from(e: AnswerError) -> QueryError {
+        QueryError::Answer(e)
+    }
+}
+
+impl From<WireError> for QueryError {
+    fn from(e: WireError) -> QueryError {
+        QueryError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewrite::RewriteError;
+
+    #[test]
+    fn status_mapping_is_the_cli_exit_convention() {
+        let not_answerable = QueryError::from(AnswerError::NotAnswerable);
+        assert_eq!(not_answerable.status(), Status::NotAnswerable);
+        assert_eq!(not_answerable.exit_code(), 1);
+        assert_eq!(
+            not_answerable.to_string(),
+            "query is not answerable from the given views"
+        );
+
+        let wire = QueryError::from(WireError::BadTag(0x7f));
+        assert_eq!(wire.status(), Status::BadRequest);
+        assert_eq!(wire.exit_code(), 2);
+
+        let io = QueryError::io(
+            "doc.xml",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        assert_eq!(io.status(), Status::Input);
+        assert_eq!(io.exit_code(), 3);
+        assert_eq!(io.to_string(), "doc.xml: gone");
+
+        let internal = QueryError::from(AnswerError::Rewrite(
+            RewriteError::IncompleteMaterialization(crate::view::ViewId(0)),
+        ));
+        assert_eq!(internal.status(), Status::Internal);
+        assert_eq!(internal.exit_code(), 3);
+    }
+}

@@ -75,6 +75,7 @@
 //! ```
 
 pub mod engine;
+pub mod error;
 pub mod explain;
 pub mod filter;
 pub mod leafcover;
@@ -84,12 +85,15 @@ pub mod nfa;
 pub mod oracle;
 pub mod rewrite;
 pub mod select;
+pub mod serve;
 pub mod snapshot;
 pub mod view;
+pub mod wire;
 
 pub use engine::{
     Answer, AnswerError, Engine, EngineConfig, StageTimings, Strategy, UpdateError, UpdateStats,
 };
+pub use error::QueryError;
 pub use explain::{Explanation, UnitExplanation};
 pub use filter::{
     build_nfa, build_nfa_raw, filter_views, filter_views_metered, filter_views_opts, FilterOptions,
@@ -108,5 +112,10 @@ pub use select::{
     select_cost_based, select_cost_based_metered, select_heuristic, select_heuristic_metered,
     select_minimum, select_minimum_metered, SelectedView, Selection,
 };
+pub use serve::{run_load, Client, LoadConfig, LoadReport, Server, ServerConfig, SnapshotCell};
 pub use snapshot::{AnswerTrace, BatchResult, EngineSnapshot, QueryOptions, QueryOutcome};
 pub use view::{View, ViewId, ViewSet};
+pub use wire::{
+    read_frame, write_frame, BatchItem, Request, Response, Status, WireError, WireOptions,
+    MAX_FRAME_LEN,
+};

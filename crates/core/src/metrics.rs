@@ -13,7 +13,7 @@
 //!   finished counters are folded into the snapshot's [`SnapshotMetrics`]
 //!   (relaxed atomic adds) and returned inside the
 //!   [`QueryReport`], so both per-query and cumulative views exist.
-//! * Merging is plain addition and therefore commutative: `answer_batch`
+//! * Merging is plain addition and therefore commutative: `query_batch`
 //!   workers can fold in any order and the totals are identical for
 //!   `jobs = 1` and oversubscribed runs (tested).
 //!
@@ -355,7 +355,7 @@ impl fmt::Display for QueryReport {
 /// Queries run with `collect_metrics` fold their finished
 /// [`StageCounters`] in with relaxed atomic adds; queries run without it
 /// never touch the accumulator. Clones of a snapshot share the same
-/// accumulator (it sits behind the snapshot's `Arc`), so `answer_batch`
+/// accumulator (it sits behind the snapshot's `Arc`), so `query_batch`
 /// workers all feed one instance.
 #[derive(Debug)]
 pub struct SnapshotMetrics {

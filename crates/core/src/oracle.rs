@@ -72,7 +72,7 @@ pub enum Invariant {
     MinimumMonotonicity,
     /// Relaxing the query lost answers: `ans(q) ⊄ ans(relax(q))`.
     ContainmentMonotonicity,
-    /// `answer_batch` outcomes differ across `jobs` levels.
+    /// `query_batch` outcomes differ across `jobs` levels.
     JobsDeterminism,
     /// The cached rewrite path disagrees with the uncached reference.
     CacheDeterminism,
@@ -679,7 +679,7 @@ fn check_query(
     out
 }
 
-/// Batch determinism: for each strategy, `answer_batch` at `jobs` must
+/// Batch determinism: for each strategy, `query_batch` at `jobs` must
 /// reproduce the sequential outcomes exactly, in input order.
 fn check_jobs_determinism(
     snap: &EngineSnapshot,

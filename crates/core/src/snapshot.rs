@@ -17,9 +17,11 @@
 //! timings, [`StageCounters`](crate::metrics::StageCounters), and the
 //! [`AnswerTrace`] — returned as a
 //! [`QueryReport`](crate::metrics::QueryReport) inside the
-//! [`QueryOutcome`]. The pre-redesign methods (`answer`,
-//! `answer_uncached`, `answer_traced`, `answer_batch`) survive as thin
-//! deprecated wrappers.
+//! [`QueryOutcome`]. `query` and `query_batch` are the *only* answering
+//! entry points — the pre-redesign `answer*` methods are gone — and the
+//! serve wire protocol ([`crate::wire`]) is a direct encoding of
+//! [`QueryOptions`]/[`QueryOutcome`], so a served query and an embedded
+//! one take the same path.
 //!
 //! Snapshots are copy-on-write: taking one is eight reference-count bumps,
 //! and later engine mutations clone only the components they touch
@@ -122,8 +124,10 @@ impl AnswerTrace {
 /// plus cache and observability switches.
 ///
 /// Build with the fluent constructor:
-/// `QueryOptions::strategy(Strategy::Mv).with_trace().with_metrics()`.
-#[derive(Clone, Copy, Debug)]
+/// `QueryOptions::strategy(Strategy::Mv).with_trace().with_metrics()`,
+/// or from the default (`Hv`, cache on, no observability):
+/// `QueryOptions::default().with_strategy(Strategy::Cb)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct QueryOptions {
     /// Evaluation strategy.
     pub strategy: Strategy,
@@ -140,9 +144,17 @@ pub struct QueryOptions {
     pub collect_metrics: bool,
 }
 
+impl Default for QueryOptions {
+    /// The paper's headline strategy with production defaults: `Hv`,
+    /// cache on, no trace, no metrics.
+    fn default() -> QueryOptions {
+        QueryOptions::strategy(Strategy::Hv)
+    }
+}
+
 impl QueryOptions {
     /// Options for `strategy` with the defaults: cache on, no trace, no
-    /// metrics — the exact behaviour of the old `answer` method.
+    /// metrics.
     pub fn strategy(strategy: Strategy) -> QueryOptions {
         QueryOptions {
             strategy,
@@ -150,6 +162,12 @@ impl QueryOptions {
             collect_trace: false,
             collect_metrics: false,
         }
+    }
+
+    /// Set [`Self::strategy`], keeping every other switch.
+    pub fn with_strategy(mut self, strategy: Strategy) -> QueryOptions {
+        self.strategy = strategy;
+        self
     }
 
     /// Set [`Self::use_cache`].
@@ -586,57 +604,6 @@ impl EngineSnapshot {
             jobs,
         }
     }
-
-    /// Answer `q` under `strategy`.
-    #[deprecated(since = "0.5.0", note = "use `query(q, &QueryOptions::strategy(s))`")]
-    pub fn answer(&self, q: &TreePattern, strategy: Strategy) -> Result<Answer, AnswerError> {
-        self.query(q, &QueryOptions::strategy(strategy)).answer
-    }
-
-    /// Answer `q` under `strategy`, bypassing the snapshot's
-    /// [`RewriteCache`].
-    #[deprecated(
-        since = "0.5.0",
-        note = "use `query(q, &QueryOptions::strategy(s).with_cache(false))`"
-    )]
-    pub fn answer_uncached(
-        &self,
-        q: &TreePattern,
-        strategy: Strategy,
-    ) -> Result<Answer, AnswerError> {
-        self.query(q, &QueryOptions::strategy(strategy).with_cache(false))
-            .answer
-    }
-
-    /// Answer `q` under `strategy`, also reporting the [`AnswerTrace`].
-    #[deprecated(
-        since = "0.5.0",
-        note = "use `query(q, &QueryOptions::strategy(s).with_trace())`"
-    )]
-    pub fn answer_traced(
-        &self,
-        q: &TreePattern,
-        strategy: Strategy,
-    ) -> (Result<Answer, AnswerError>, AnswerTrace) {
-        let outcome = self.query(q, &QueryOptions::strategy(strategy).with_trace());
-        let trace = outcome.report.and_then(|r| r.trace).unwrap_or_default();
-        (outcome.answer, trace)
-    }
-
-    /// Answer every query in `queries` under `strategy` over `jobs`
-    /// worker threads.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use `query_batch(queries, &QueryOptions::strategy(s), jobs)`"
-    )]
-    pub fn answer_batch(
-        &self,
-        queries: &[TreePattern],
-        strategy: Strategy,
-        jobs: usize,
-    ) -> BatchResult {
-        self.query_batch(queries, &QueryOptions::strategy(strategy), jobs)
-    }
 }
 
 #[cfg(test)]
@@ -862,18 +829,16 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_query() {
-        let snap = snapshot_with_views(&["//s[t]/p", "//s[p]/f", "//s//p"]);
-        let q = snap.parse("//s[t]/p").unwrap();
-        for strategy in Strategy::all_extended() {
-            let new = snap.query(&q, &QueryOptions::strategy(strategy)).answer;
-            let old = snap.answer(&q, strategy);
-            match (&new, &old) {
-                (Ok(a), Ok(b)) => assert_eq!(a.codes, b.codes, "{strategy}"),
-                (Err(a), Err(b)) => assert_eq!(a, b, "{strategy}"),
-                _ => panic!("{strategy}: wrapper/query outcome mismatch"),
-            }
-        }
+    fn query_options_default_and_with_strategy() {
+        let d = QueryOptions::default();
+        assert_eq!(d, QueryOptions::strategy(Strategy::Hv));
+        assert!(d.use_cache && !d.collect_trace && !d.collect_metrics);
+        // with_strategy swaps only the strategy, preserving switches.
+        let o = QueryOptions::default()
+            .with_cache(false)
+            .with_metrics()
+            .with_strategy(Strategy::Cb);
+        assert_eq!(o.strategy, Strategy::Cb);
+        assert!(!o.use_cache && o.collect_metrics && !o.collect_trace);
     }
 }

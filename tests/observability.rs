@@ -1,8 +1,9 @@
 //! Integration tests of the observability layer and the unified
 //! `EngineSnapshot::query` API on the XMark workload:
 //!
-//! * the deprecated `answer*` wrappers return byte-identical answers to
-//!   `query` across all six strategies;
+//! * `QueryOptions` built via `default()`/`with_strategy` and via the
+//!   wire protocol's `WireOptions` answer byte-identically to the
+//!   `strategy(...)` constructor across all six strategies;
 //! * merged batch counters are identical whether the batch ran on one
 //!   worker thread or oversubscribed;
 //! * with metrics collection off, nothing is ever recorded in the
@@ -11,10 +12,10 @@
 //!   request/response types work as documented.
 
 use xvr_bench::{build_paper_engine, paper_document, xmark_queries};
-// Every request/response type must be reachable from the crate root.
+// Every request/response/wire type must be reachable from the crate root.
 use xvr_core::{
     Counter, EngineSnapshot, MetricsReport, QueryOptions, QueryReport, SnapshotMetrics,
-    StageCounters, Strategy,
+    StageCounters, Strategy, WireOptions,
 };
 use xvr_pattern::TreePattern;
 
@@ -32,51 +33,45 @@ fn xmark_snapshot() -> (EngineSnapshot, Vec<TreePattern>) {
     (engine.snapshot(), queries)
 }
 
-/// The old `answer`/`answer_uncached`/`answer_traced`/`answer_batch`
-/// methods still compile (deprecated) and return byte-identical answers
-/// to the `query`/`query_batch` calls they now wrap, for all six
-/// strategies.
+/// Every way to build `QueryOptions` — the `strategy(...)` constructor,
+/// `default().with_strategy(...)`, and decoding the wire protocol's
+/// `WireOptions` — answers byte-identically for all six strategies, so
+/// a served query and an embedded one cannot diverge.
 #[test]
-#[allow(deprecated)]
-fn deprecated_wrappers_are_byte_identical_to_query() {
+fn options_constructions_are_byte_identical() {
     let (snap, queries) = xmark_snapshot();
     let render = |r: &Result<xvr_core::Answer, xvr_core::AnswerError>| match r {
         Ok(a) => Ok(a.codes.iter().map(|c| c.to_string()).collect::<Vec<_>>()),
         Err(e) => Err(e.clone()),
     };
+    assert_eq!(
+        QueryOptions::default(),
+        QueryOptions::strategy(Strategy::Hv)
+    );
     for strategy in Strategy::all_extended() {
+        let canonical = QueryOptions::strategy(strategy);
+        let fluent = QueryOptions::default().with_strategy(strategy);
+        let wired: QueryOptions = WireOptions::strategy(strategy).into();
+        assert_eq!(fluent, canonical, "{strategy}");
+        assert_eq!(wired, canonical, "{strategy}");
         for q in &queries {
-            let via_query = snap.query(q, &QueryOptions::strategy(strategy)).answer;
+            let reference = snap.query(q, &canonical).answer;
             assert_eq!(
-                render(&snap.answer(q, strategy)),
-                render(&via_query),
-                "{strategy}: answer wrapper"
+                render(&snap.query(q, &fluent).answer),
+                render(&reference),
+                "{strategy}: with_strategy"
             );
-            let via_uncached = snap
-                .query(q, &QueryOptions::strategy(strategy).with_cache(false))
-                .answer;
             assert_eq!(
-                render(&snap.answer_uncached(q, strategy)),
-                render(&via_uncached),
-                "{strategy}: answer_uncached wrapper"
+                render(&snap.query(q, &wired).answer),
+                render(&reference),
+                "{strategy}: via WireOptions"
             );
-            let (traced_answer, trace) = snap.answer_traced(q, strategy);
-            assert_eq!(
-                render(&traced_answer),
-                render(&via_query),
-                "{strategy}: answer_traced wrapper"
-            );
-            let outcome = snap.query(q, &QueryOptions::strategy(strategy).with_trace());
-            let new_trace = outcome.report.and_then(|r| r.trace).unwrap();
-            assert_eq!(trace.usable, new_trace.usable, "{strategy}");
-            assert_eq!(trace.units, new_trace.units, "{strategy}");
-            assert_eq!(trace.anchor, new_trace.anchor, "{strategy}");
         }
-        let old = snap.answer_batch(&queries, strategy, 3);
-        let new = snap.query_batch(&queries, &QueryOptions::strategy(strategy), 3);
-        for (a, b) in old.answers.iter().zip(&new.answers) {
-            assert_eq!(render(a), render(b), "{strategy}: answer_batch wrapper");
-        }
+        // And the round trip back to the wire preserves the switches.
+        assert!(
+            !QueryOptions::from(WireOptions::from(canonical.with_cache(false))).use_cache,
+            "{strategy}"
+        );
     }
 }
 
