@@ -3,7 +3,10 @@
 //!
 //! 1. **rewrite_only** — direct `rewrite()` vs `rewrite_cached()` calls
 //!    on a pre-built (query, selection, store) pipeline, isolating the
-//!    refinement + join + extraction stage.
+//!    refinement + join + extraction stage. A sibling **join** section
+//!    pits the legacy scan-merge join (`rewrite_scan`) against the
+//!    galloping flat-code join on the same pipelines, reporting both
+//!    wall-clock and the comparison/probe/skip counters.
 //! 2. **answer_single** — end-to-end `EngineSnapshot::query` (filter +
 //!    selection + rewrite) with the cache on vs.
 //!    `QueryOptions::with_cache(false)`.
@@ -26,9 +29,9 @@ use std::time::Instant;
 use criterion::black_box;
 use xvr_bench::{paper_document, planted_views, test_queries};
 use xvr_core::{
-    build_nfa, filter_views, rewrite, rewrite_cached, select_heuristic, Counter, Engine,
-    EngineConfig, MaterializedStore, Obligations, QueryOptions, RewriteCache, StageTimings,
-    Strategy, ViewSet,
+    build_nfa, filter_views, rewrite, rewrite_cached, rewrite_metered, rewrite_scan,
+    rewrite_scan_metered, select_heuristic, Counter, Engine, EngineConfig, MaterializedStore,
+    Obligations, QueryOptions, RewriteCache, StageCounters, StageTimings, Strategy, ViewSet,
 };
 use xvr_pattern::generator::QueryConfig;
 use xvr_pattern::{distinct_positive_patterns, parse_pattern_with, TreePattern};
@@ -132,6 +135,7 @@ fn main() {
     let store = MaterializedStore::materialize_all(&doc, &views, usize::MAX);
     let mut labels = doc.labels.clone();
     let mut rewrite_only: Vec<PairResult> = Vec::new();
+    let mut pipelines = Vec::new();
     for tq in test_queries() {
         let q = parse_pattern_with(tq.xpath, &mut labels).expect("test query parses");
         let filter = filter_views(&q, &views, &nfa);
@@ -162,6 +166,49 @@ fn main() {
             r.speedup()
         );
         rewrite_only.push(r);
+        pipelines.push((tq.name.to_string(), q, sel));
+    }
+
+    // --- 1b. join: legacy scan-merge join vs galloping flat-code join, ---
+    // both uncached, on the identical (query, selection) pipelines. One
+    // metered pass each records how much work the joins actually did: the
+    // scan join reports Dewey comparisons (binary searches costed as
+    // log2(len) + 1), the galloping join reports comparisons plus its
+    // probe/skip/bytes counters.
+    let mut join_rows = Vec::new();
+    for (name, q, sel) in &pipelines {
+        let scan_ns = bench_ns(samples, || {
+            rewrite_scan(q, sel, &views, &store, &doc.fst).unwrap();
+        });
+        let gallop_ns = bench_ns(samples, || {
+            rewrite(q, sel, &views, &store, &doc.fst).unwrap();
+        });
+        let mut scan_c = StageCounters::new();
+        rewrite_scan_metered(q, sel, &views, &store, &doc.fst, &mut scan_c).unwrap();
+        let mut gallop_c = StageCounters::new();
+        rewrite_metered(q, sel, &views, &store, &doc.fst, None, &mut gallop_c).unwrap();
+        let (scan_cmp, gallop_cmp) = (
+            scan_c.get(Counter::RewriteDeweyComparisons),
+            gallop_c.get(Counter::RewriteDeweyComparisons),
+        );
+        println!(
+            "join/{:<34} scan {:>10} ({scan_cmp} cmp) | gallop {:>10} ({gallop_cmp} cmp, {} probes, {} skipped) | {:.2}x",
+            name,
+            fmt_ns(scan_ns),
+            fmt_ns(gallop_ns),
+            gallop_c.get(Counter::RewriteGallopProbes),
+            gallop_c.get(Counter::RewriteComparisonsSkipped),
+            scan_ns / gallop_ns,
+        );
+        join_rows.push(format!(
+            "{{\"name\": \"{name}\", \"scan_ns\": {scan_ns:.0}, \"gallop_ns\": {gallop_ns:.0}, \
+             \"speedup\": {:.2}, \"scan_comparisons\": {scan_cmp}, \"gallop_comparisons\": {gallop_cmp}, \
+             \"gallop_probes\": {}, \"comparisons_skipped\": {}, \"bytes_compared\": {}}}",
+            scan_ns / gallop_ns,
+            gallop_c.get(Counter::RewriteGallopProbes),
+            gallop_c.get(Counter::RewriteComparisonsSkipped),
+            gallop_c.get(Counter::RewriteBytesCompared),
+        ));
     }
 
     // --- 2. answer_single: end-to-end, one query at a time. -------------
@@ -307,7 +354,8 @@ fn main() {
     let stage_breakdown = format!(
         "{{\"filter_us\": {}, \"selection_us\": {}, \"rewrite_us\": {}, \"total_us\": {}, \
          \"cache_hits\": {}, \"cache_misses\": {}, \"fast_path\": {}, \"holistic_joins\": {}, \
-         \"dewey_comparisons\": {}}}",
+         \"dewey_comparisons\": {}, \"gallop_probes\": {}, \"comparisons_skipped\": {}, \
+         \"bytes_compared\": {}}}",
         stage_total.filter_us,
         stage_total.selection_us,
         stage_total.rewrite_us,
@@ -317,14 +365,18 @@ fn main() {
         counters.get(Counter::RewriteFastPath),
         counters.get(Counter::RewriteHolisticJoins),
         counters.get(Counter::RewriteDeweyComparisons),
+        counters.get(Counter::RewriteGallopProbes),
+        counters.get(Counter::RewriteComparisonsSkipped),
+        counters.get(Counter::RewriteBytesCompared),
     );
     write!(
         json,
-        "{{\n  \"benchmark\": \"rewrite_hotpath\",\n  \"mode\": \"{}\",\n  \"doc\": {{\"scale\": {scale}, \"nodes\": {}}},\n  \"views\": {},\n  \"strategy\": \"HV\",\n  \"results\": {{\n    \"rewrite_only\": [\n      {}\n    ],\n    \"answer_single\": [\n      {}\n    ],\n    \"answer_batch\": {{\"queries\": {}, \"jobs\": {jobs}, \"uncached_qps\": {uncached_qps:.0}, \"cached_qps\": {cached_qps:.0}, \"speedup\": {batch_speedup:.2}, \"stage_breakdown\": {}}}\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"rewrite_hotpath\",\n  \"mode\": \"{}\",\n  \"doc\": {{\"scale\": {scale}, \"nodes\": {}}},\n  \"views\": {},\n  \"strategy\": \"HV\",\n  \"results\": {{\n    \"rewrite_only\": [\n      {}\n    ],\n    \"join\": [\n      {}\n    ],\n    \"answer_single\": [\n      {}\n    ],\n    \"answer_batch\": {{\"queries\": {}, \"jobs\": {jobs}, \"uncached_qps\": {uncached_qps:.0}, \"cached_qps\": {cached_qps:.0}, \"speedup\": {batch_speedup:.2}, \"stage_breakdown\": {}}}\n  }}\n}}\n",
         if fast { "fast" } else { "full" },
         stats.nodes,
         views.len(),
         join(&rewrite_only),
+        join_rows.join(",\n      "),
         join(&answer_single),
         batch.len(),
         stage_breakdown,

@@ -224,6 +224,13 @@ pub struct EngineConfig {
     /// every answer through the uncached reference rewriter — the two are
     /// checked identical by the determinism tests and the oracle.
     pub rewrite_cache: bool,
+    /// Route the rewriting stage through the legacy scan-merge join
+    /// ([`crate::rewrite_scan`]) instead of the galloping flat-code join.
+    /// A debugging/differential knob: the scan join ignores the rewrite
+    /// cache and re-derives everything per query, and the oracle's
+    /// `JoinEquivalence` invariant plus the join-differential tests hold
+    /// the two joins byte-identical.
+    pub scan_join: bool,
 }
 
 impl Default for EngineConfig {
@@ -233,6 +240,7 @@ impl Default for EngineConfig {
             max_minimum_views: 4,
             cost_view_overhead: 1024,
             rewrite_cache: true,
+            scan_join: false,
         }
     }
 }

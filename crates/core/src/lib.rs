@@ -107,7 +107,10 @@ pub use oracle::{
     load_corpus, replay, run_case, run_seed, shrink, BudgetSpec, CaseOutcome, CaseSpec, Injection,
     Invariant, OracleConfig, Reproducer, RunSummary, Violation,
 };
-pub use rewrite::{rewrite, rewrite_cached, rewrite_metered, RewriteCache, RewriteError};
+pub use rewrite::{
+    rewrite, rewrite_cached, rewrite_metered, rewrite_scan, rewrite_scan_metered, RewriteCache,
+    RewriteError,
+};
 pub use select::{
     select_cost_based, select_cost_based_metered, select_heuristic, select_heuristic_metered,
     select_minimum, select_minimum_metered, SelectedView, Selection,

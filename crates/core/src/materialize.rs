@@ -52,6 +52,13 @@ impl MaterializedView {
             .ok()
     }
 
+    /// Fragment root codes in flat byte-comparable form (ascending, in
+    /// lockstep with the fragment list) — the arena the rewriting stage's
+    /// galloping join slices its refined code lists out of.
+    pub fn flat_codes(&self) -> &xvr_xml::FlatCodes {
+        self.fragments.flat_codes()
+    }
+
     /// Is this view usable for *equivalent* rewriting?
     pub fn complete(&self) -> bool {
         !self.fragments.truncated()

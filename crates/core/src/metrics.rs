@@ -73,17 +73,28 @@ pub enum Counter {
     RewriteFastPath,
     /// Holistic joins over the code prefix tree.
     RewriteHolisticJoins,
-    /// Dewey code comparisons during join admissibility checks and anchor
-    /// extraction (binary searches counted as `log2(len)`, chain matching
-    /// as decoded-path length).
+    /// Dewey code comparisons actually performed: flat byte-comparable
+    /// code compares in the galloping join and extraction, plus chain
+    /// matching on cold fast-path verdicts (counted as decoded-path
+    /// length × chain length). Memoized join state legitimately records
+    /// none on warm repeats.
     RewriteDeweyComparisons,
+    /// Galloping probes (exponential doubling + window binary search)
+    /// issued while merging sorted flat-code lists.
+    RewriteGallopProbes,
+    /// List entries a linear scan-merge would have visited that galloping
+    /// skipped without comparing.
+    RewriteComparisonsSkipped,
+    /// Bytes compared across all flat-code comparisons (`min(len)` per
+    /// compare) — the join's memory traffic.
+    RewriteBytesCompared,
     /// Answer codes produced (all strategies, including `Bn`/`Bf`).
     AnswerCodes,
 }
 
 impl Counter {
     /// Number of counters (the dense array size).
-    pub const COUNT: usize = 22;
+    pub const COUNT: usize = 25;
 
     /// Every counter, in declaration (= index) order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -108,6 +119,9 @@ impl Counter {
         Counter::RewriteFastPath,
         Counter::RewriteHolisticJoins,
         Counter::RewriteDeweyComparisons,
+        Counter::RewriteGallopProbes,
+        Counter::RewriteComparisonsSkipped,
+        Counter::RewriteBytesCompared,
         Counter::AnswerCodes,
     ];
 
@@ -135,6 +149,9 @@ impl Counter {
             Counter::RewriteFastPath => "rewrite.fast_path",
             Counter::RewriteHolisticJoins => "rewrite.holistic_joins",
             Counter::RewriteDeweyComparisons => "rewrite.dewey_comparisons",
+            Counter::RewriteGallopProbes => "rewrite.gallop_probes",
+            Counter::RewriteComparisonsSkipped => "rewrite.comparisons_skipped",
+            Counter::RewriteBytesCompared => "rewrite.bytes_compared",
             Counter::AnswerCodes => "answer.codes",
         }
     }

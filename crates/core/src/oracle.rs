@@ -30,6 +30,9 @@
 //!   - Cache determinism: the cached rewrite path must be byte-identical
 //!     to the uncached reference rewriter for every view strategy
 //!     ([`Invariant::CacheDeterminism`]).
+//!   - Join equivalence: the galloping flat-code holistic join must be
+//!     byte-identical to the legacy scan-merge join on the same selection
+//!     ([`Invariant::JoinEquivalence`]).
 //!
 //! Cases additionally sweep the per-view **byte budget** (ample, zero, a
 //! tight constant, and exact fit — the budget resolved to precisely the
@@ -76,6 +79,9 @@ pub enum Invariant {
     JobsDeterminism,
     /// The cached rewrite path disagrees with the uncached reference.
     CacheDeterminism,
+    /// The galloping flat-code join disagrees with the legacy scan-merge
+    /// join on the same selection.
+    JoinEquivalence,
 }
 
 impl Invariant {
@@ -90,6 +96,7 @@ impl Invariant {
             Invariant::ContainmentMonotonicity => "containment_monotonicity",
             Invariant::JobsDeterminism => "jobs_determinism",
             Invariant::CacheDeterminism => "cache_determinism",
+            Invariant::JoinEquivalence => "join_equivalence",
         }
     }
 
@@ -104,6 +111,7 @@ impl Invariant {
             Invariant::ContainmentMonotonicity,
             Invariant::JobsDeterminism,
             Invariant::CacheDeterminism,
+            Invariant::JoinEquivalence,
         ]
         .into_iter()
         .find(|i| i.as_str() == s)
@@ -592,6 +600,40 @@ fn check_query(
                         describe(&uncached)
                     ),
                 ));
+            }
+        }
+        // Join equivalence: the galloping flat-code join must agree with
+        // the legacy scan-merge join on the same selection. Checked on one
+        // strategy (the joins are selection-level, not strategy-level) and
+        // pre-injection, like CacheDeterminism.
+        if s == Strategy::Hv {
+            if let (Some(selection), _, _) = snap.lookup(q, s) {
+                let scan = crate::rewrite::rewrite_scan(
+                    q,
+                    &selection,
+                    snap.views(),
+                    snap.store(),
+                    &snap.doc().fst,
+                );
+                let same = match (&result, &scan) {
+                    (Ok(a), Ok(b)) => &a.codes == b,
+                    (Err(AnswerError::Rewrite(a)), Err(b)) => a == b,
+                    _ => false,
+                };
+                if !same {
+                    out.violations.push(fail(
+                        Invariant::JoinEquivalence,
+                        Some(s),
+                        format!(
+                            "galloping join ({}) disagrees with scan join ({})",
+                            describe(&result),
+                            match &scan {
+                                Ok(codes) => format!("{} codes", codes.len()),
+                                Err(e) => format!("error: {e}"),
+                            }
+                        ),
+                    ));
+                }
             }
         }
         inject(cfg.injection, s, &mut result, &mut trace, &all_ids);

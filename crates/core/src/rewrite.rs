@@ -20,11 +20,24 @@
 //!    anchor unit's fragments (the answer node lies at-or-below the
 //!    anchor's `m`), translated back to global codes.
 //!
+//! The join runs entirely on **flat byte-comparable codes**
+//! ([`xvr_xml::flat`]): codes live in struct-of-arrays arenas
+//! ([`FlatCodes`]), comparisons are chunked memcmp-style byte compares, and
+//! sorted code lists are merged with **galloping** (exponential-probe +
+//! binary-search) skip pointers instead of per-candidate binary searches.
+//! Unit restrictions become bitmaps over prefix-tree nodes — built once by
+//! a galloping merge-intersection and memoized in the [`RewriteCache`] —
+//! so the `admissible` test inside pattern evaluation is a single bit
+//! probe. The legacy per-component scan-merge join is preserved verbatim as
+//! [`rewrite_scan`] and held byte-identical to the galloping join by the
+//! oracle's `JoinEquivalence` invariant and the join-differential tests.
+//!
 //! Together with the soundness of the leaf-cover rule (see
 //! [`crate::leafcover`]) this yields an *equivalent* rewriting: the output
 //! equals direct evaluation of the query on the base document — the
 //! property the integration suite checks end-to-end.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, RwLock};
@@ -33,7 +46,8 @@ use xvr_pattern::{
     eval_anchored_in, eval_restricted_in, matches_anchored_in, Axis, EvalScratch, PNodeId,
     TreePattern,
 };
-use xvr_xml::{DeweyCode, Fst, Label, NodeId, XmlTree};
+use xvr_xml::flat::{self, flat_cmp};
+use xvr_xml::{CmpStats, DeweyCode, FlatCodes, Fst, Label, NodeId, XmlTree};
 
 use crate::materialize::{MaterializedStore, MaterializedView};
 use crate::metrics::{Counter, StageCounters};
@@ -70,11 +84,13 @@ impl std::error::Error for RewriteError {}
 /// Rewrite `q` using the selected views; returns the answer codes in
 /// document order.
 ///
-/// This is the uncached reference path: every call re-refines fragments
-/// and rebuilds the code prefix tree from scratch. The hot path used by
-/// [`crate::EngineSnapshot`] is [`rewrite_cached`]; the two are checked
-/// byte-identical by the determinism tests and the oracle's
-/// `CacheDeterminism` invariant.
+/// This is the uncached path: every call re-refines fragments and rebuilds
+/// the code prefix tree from scratch (the join itself still gallops over
+/// flat codes). The hot path used by [`crate::EngineSnapshot`] is
+/// [`rewrite_cached`]; the two are checked byte-identical by the
+/// determinism tests and the oracle's `CacheDeterminism` invariant, and
+/// both against the legacy scan join ([`rewrite_scan`]) by
+/// `JoinEquivalence`.
 pub fn rewrite(
     q: &TreePattern,
     selection: &Selection,
@@ -93,10 +109,10 @@ pub fn rewrite(
     )
 }
 
-/// [`rewrite`] with a per-snapshot [`RewriteCache`]: refinement results
-/// and code prefix trees are memoized across calls, and single-unit
-/// selections skip the holistic join entirely (chain matching on the
-/// FST-decoded code itself).
+/// [`rewrite`] with a per-snapshot [`RewriteCache`]: refinement results,
+/// code prefix trees, restriction bitmaps, and single-unit chain verdicts
+/// are memoized across calls, so repeated query shapes skip the comparison
+/// work entirely.
 pub fn rewrite_cached(
     q: &TreePattern,
     selection: &Selection,
@@ -118,9 +134,9 @@ pub fn rewrite_cached(
 
 /// [`rewrite`] / [`rewrite_cached`] recording observability counters:
 /// cache hits/misses, fragments scanned during refinement, fast-path vs.
-/// holistic-join dispatch, and Dewey comparison work (see
-/// [`crate::metrics`]). Pass `cache: None` for the uncached reference
-/// path.
+/// holistic-join dispatch, and the flat-comparison work — comparisons,
+/// galloping probes, entries skipped, bytes compared (see
+/// [`crate::metrics`]). Pass `cache: None` for the uncached path.
 #[allow(clippy::too_many_arguments)]
 pub fn rewrite_metered(
     q: &TreePattern,
@@ -134,29 +150,59 @@ pub fn rewrite_metered(
     rewrite_impl(q, selection, views, store, fst, cache, counters)
 }
 
-/// Surviving fragment codes paired with the answer codes extracted from
-/// each fragment, sorted ascending by fragment code.
-type AnchorPairs = Vec<(DeweyCode, Vec<DeweyCode>)>;
+/// Anchor-unit refinement: surviving fragment codes (flat, ascending by
+/// code) with, per surviving fragment, the global answer codes extracted
+/// from it and its index within the view's fragment store (the handle the
+/// fast path's chain bitmap is tested with).
+struct Anchors {
+    codes: FlatCodes,
+    answers: Vec<Vec<DeweyCode>>,
+    frag: Vec<u32>,
+}
+
+/// A unit's refined codes: non-anchor units carry the bare code list,
+/// the anchor carries the full extraction pairs.
+enum Refined {
+    Plain(Arc<FlatCodes>),
+    Anchor(Arc<Anchors>),
+}
+
+impl Refined {
+    fn codes(&self) -> &FlatCodes {
+        match self {
+            Refined::Plain(c) => c,
+            Refined::Anchor(a) => &a.codes,
+        }
+    }
+}
 
 /// Per-snapshot memoization for the rewriting stage.
 ///
-/// All three maps are insert-only and keyed by data frozen with the
-/// snapshot, so there is no invalidation protocol: a new snapshot starts
-/// with a fresh cache, and clones of one snapshot share it.
+/// All maps are insert-only and keyed by data frozen with the snapshot, so
+/// there is no invalidation protocol: a new snapshot starts with a fresh
+/// cache, and clones of one snapshot share it.
 ///
-/// * **Refinement** — keyed by `(view, compensating-pattern fingerprint)`:
-///   the fragment codes surviving the compensating predicate (and, for
-///   anchor use, the answer codes extracted per fragment). Repeated
-///   queries in a batch stop re-evaluating identical predicates over the
-///   same fragments.
-/// * **Prefix trees** — keyed by the *sorted distinct view set* of a
-///   selection, built over **all** fragment codes of those views. That
-///   superset tree is query-independent yet join-equivalent: every
+/// * **Refinement** (`refined`, `anchors`) — keyed by
+///   `(view, compensating-pattern fingerprint)`: the fragment codes
+///   surviving the compensating predicate (and, for anchor use, the answer
+///   codes extracted per fragment). Repeated queries in a batch stop
+///   re-evaluating identical predicates over the same fragments.
+/// * **Prefix trees** (`trees`) — keyed by the *sorted distinct view set*
+///   of a selection, built over **all** fragment codes of those views.
+///   That superset tree is query-independent yet join-equivalent: every
 ///   skeleton binding in a valid embedding is an ancestor-or-self of a
 ///   unit binding, unit bindings are restricted to refined codes, and all
 ///   prefixes of refined codes exist in both the superset tree and the
 ///   per-query tree — so restricting the join (the `admissible`
 ///   predicate) yields identical anchors.
+/// * **Restriction bitmaps** (`bitmaps`) — keyed by (tree key, refinement
+///   key): which prefix-tree nodes carry a refined code, precomputed by a
+///   galloping merge-intersection. Warm joins never compare codes; the
+///   `admissible` probe is a bit test.
+/// * **Chain verdicts** (`chains`) — keyed by `(view, trunk-chain
+///   fingerprint)`: a bitmap over the view's fragments recording which
+///   FST-decoded ancestor paths embed the single-unit trunk chain. Warm
+///   fast-path rewrites reduce to bit probes over the anchor pairs.
 ///
 /// Concurrent misses may compute a value twice; the first insert wins and
 /// every thread observes that one (the computation is deterministic, so
@@ -164,11 +210,16 @@ type AnchorPairs = Vec<(DeweyCode, Vec<DeweyCode>)>;
 #[derive(Default)]
 pub struct RewriteCache {
     /// `"view:fingerprint"` → surviving codes (non-anchor refinement).
-    refined: RwLock<HashMap<String, Arc<Vec<DeweyCode>>>>,
+    refined: RwLock<HashMap<String, Arc<FlatCodes>>>,
     /// `"view:fingerprint"` → surviving codes + extracted answers.
-    anchors: RwLock<HashMap<String, Arc<AnchorPairs>>>,
+    anchors: RwLock<HashMap<String, Arc<Anchors>>>,
     /// Sorted distinct views of a selection → superset code prefix tree.
     trees: RwLock<HashMap<Vec<ViewId>, Arc<PrefixTree>>>,
+    /// (tree key, refinement key) → bitmap over prefix-tree nodes.
+    #[allow(clippy::type_complexity)]
+    bitmaps: RwLock<HashMap<(Vec<ViewId>, String), Arc<Vec<u64>>>>,
+    /// `"view:chain-fingerprint"` → bitmap over the view's fragments.
+    chains: RwLock<HashMap<String, Arc<Vec<u64>>>>,
 }
 
 impl RewriteCache {
@@ -184,7 +235,7 @@ impl RewriteCache {
         mv: &MaterializedView,
         scratch: &mut EvalScratch,
         counters: &mut StageCounters,
-    ) -> Arc<Vec<DeweyCode>> {
+    ) -> Arc<FlatCodes> {
         if let Some(hit) = self.refined.read().unwrap().get(key) {
             counters.bump(Counter::RewriteCacheHits);
             return Arc::clone(hit);
@@ -207,7 +258,7 @@ impl RewriteCache {
         mv: &MaterializedView,
         scratch: &mut EvalScratch,
         counters: &mut StageCounters,
-    ) -> Arc<AnchorPairs> {
+    ) -> Arc<Anchors> {
         if let Some(hit) = self.anchors.read().unwrap().get(key) {
             counters.bump(Counter::RewriteCacheHits);
             return Arc::clone(hit);
@@ -225,29 +276,99 @@ impl RewriteCache {
 
     fn prefix_tree(
         &self,
-        selection: &Selection,
+        key: &[ViewId],
         store: &MaterializedStore,
         fst: &Fst,
         counters: &mut StageCounters,
     ) -> Result<Arc<PrefixTree>, RewriteError> {
-        let mut key: Vec<ViewId> = selection.units.iter().map(|u| u.view).collect();
-        key.sort();
-        key.dedup();
-        if let Some(hit) = self.trees.read().unwrap().get(&key) {
+        if let Some(hit) = self.trees.read().unwrap().get(key) {
             counters.bump(Counter::RewriteCacheHits);
             return Ok(Arc::clone(hit));
         }
         counters.bump(Counter::RewriteCacheMisses);
-        let codes = key.iter().flat_map(|&v| {
-            store
-                .get(v)
-                .expect("selected views are materialized")
-                .fragments
-                .codes()
-        });
-        let val = Arc::new(PrefixTree::build(codes, fst)?);
+        let mut all: Vec<&[u8]> = Vec::new();
+        for &v in key {
+            all.extend(
+                store
+                    .get(v)
+                    .expect("selected views are materialized")
+                    .flat_codes()
+                    .iter(),
+            );
+        }
+        all.sort_unstable_by(|a, b| flat_cmp(a, b));
+        all.dedup();
+        let val = Arc::new(PrefixTree::build_sorted(all, fst)?);
         Ok(Arc::clone(
-            self.trees.write().unwrap().entry(key).or_insert(val),
+            self.trees
+                .write()
+                .unwrap()
+                .entry(key.to_vec())
+                .or_insert(val),
+        ))
+    }
+
+    /// Which prefix-tree nodes carry a code from `list` — memoized so a
+    /// warm join performs zero code comparisons.
+    fn restriction_bits(
+        &self,
+        tree_key: &[ViewId],
+        unit_key: &str,
+        tree: &PrefixTree,
+        list: &FlatCodes,
+        stats: &mut CmpStats,
+        counters: &mut StageCounters,
+    ) -> Arc<Vec<u64>> {
+        let key = (tree_key.to_vec(), unit_key.to_string());
+        if let Some(hit) = self.bitmaps.read().unwrap().get(&key) {
+            counters.bump(Counter::RewriteCacheHits);
+            return Arc::clone(hit);
+        }
+        counters.bump(Counter::RewriteCacheMisses);
+        let val = Arc::new(intersect_bits(&tree.codes, list, stats));
+        Arc::clone(self.bitmaps.write().unwrap().entry(key).or_insert(val))
+    }
+
+    /// Which fragments of `mv` have an FST-decoded ancestor path embedding
+    /// the trunk chain — the single-unit join verdict, memoized per
+    /// (view, chain shape).
+    fn chain_bits(
+        &self,
+        key: &str,
+        q: &TreePattern,
+        chain: &[PNodeId],
+        mv: &MaterializedView,
+        fst: &Fst,
+        counters: &mut StageCounters,
+    ) -> Result<Arc<Vec<u64>>, RewriteError> {
+        if let Some(hit) = self.chains.read().unwrap().get(key) {
+            counters.bump(Counter::RewriteCacheHits);
+            return Ok(Arc::clone(hit));
+        }
+        counters.bump(Counter::RewriteCacheMisses);
+        let frags = mv.fragments.fragments();
+        let mut bits = vec![0u64; frags.len().div_ceil(64)];
+        for (fi, frag) in frags.iter().enumerate() {
+            let path = fst
+                .decode(frag.code.components())
+                .ok_or_else(|| RewriteError::UndecodableCode(frag.code.clone()))?;
+            // The positional DP walks the decoded ancestor path once per
+            // chain node.
+            counters.add(
+                Counter::RewriteDeweyComparisons,
+                (path.len() * chain.len()) as u64,
+            );
+            if chain_matches(q, chain, &path) {
+                bits[fi / 64] |= 1 << (fi % 64);
+            }
+        }
+        let val = Arc::new(bits);
+        Ok(Arc::clone(
+            self.chains
+                .write()
+                .unwrap()
+                .entry(key.to_string())
+                .or_insert(val),
         ))
     }
 }
@@ -260,20 +381,21 @@ fn is_trivial(compensating: &TreePattern) -> bool {
 }
 
 /// Non-anchor refinement: fragment codes surviving the compensating
-/// pattern, ascending (fragments are stored code-sorted).
+/// pattern, ascending (fragments are stored code-sorted). The flat bytes
+/// are sliced straight out of the view's arena — no re-encoding.
 fn compute_refined(
     compensating: &TreePattern,
     mv: &MaterializedView,
     scratch: &mut EvalScratch,
     counters: &mut StageCounters,
-) -> Vec<DeweyCode> {
+) -> FlatCodes {
     let label = compensating.label(compensating.root());
-    let mut codes = Vec::new();
+    let mut codes = FlatCodes::new();
     counters.add(
         Counter::RewriteFragmentsScanned,
         mv.fragments.fragments().len() as u64,
     );
-    for frag in mv.fragments.fragments() {
+    for (fi, frag) in mv.fragments.fragments().iter().enumerate() {
         let keep = if is_trivial(compensating) {
             // matches_anchored on a single attr-free node is exactly a
             // root label check.
@@ -282,7 +404,7 @@ fn compute_refined(
             matches_anchored_in(compensating, &frag.tree, frag.tree.root(), scratch)
         };
         if keep {
-            codes.push(frag.code.clone());
+            codes.push_encoded(mv.flat_codes().get(fi));
         }
     }
     codes
@@ -295,31 +417,37 @@ fn compute_anchor_pairs(
     mv: &MaterializedView,
     scratch: &mut EvalScratch,
     counters: &mut StageCounters,
-) -> AnchorPairs {
+) -> Anchors {
     let label = compensating.label(compensating.root());
     let trivial_answer_is_root =
         is_trivial(compensating) && compensating.answer() == compensating.root();
-    let mut pairs = Vec::new();
+    let mut anchors = Anchors {
+        codes: FlatCodes::new(),
+        answers: Vec::new(),
+        frag: Vec::new(),
+    };
     counters.add(
         Counter::RewriteFragmentsScanned,
         mv.fragments.fragments().len() as u64,
     );
     for (fi, frag) in mv.fragments.fragments().iter().enumerate() {
-        if trivial_answer_is_root {
-            if label.matches(frag.tree.label(frag.tree.root())) {
-                let global = mv.global_code(fi, frag.tree.root());
-                pairs.push((frag.code.clone(), vec![global]));
+        let globals: Vec<DeweyCode> = if trivial_answer_is_root {
+            if !label.matches(frag.tree.label(frag.tree.root())) {
+                continue;
             }
-            continue;
-        }
-        let answers = eval_anchored_in(compensating, &frag.tree, frag.tree.root(), scratch);
-        if answers.is_empty() {
-            continue;
-        }
-        let globals: Vec<DeweyCode> = answers.into_iter().map(|n| mv.global_code(fi, n)).collect();
-        pairs.push((frag.code.clone(), globals));
+            vec![mv.global_code(fi, frag.tree.root())]
+        } else {
+            let answers = eval_anchored_in(compensating, &frag.tree, frag.tree.root(), scratch);
+            if answers.is_empty() {
+                continue;
+            }
+            answers.into_iter().map(|n| mv.global_code(fi, n)).collect()
+        };
+        anchors.codes.push_encoded(mv.flat_codes().get(fi));
+        anchors.answers.push(globals);
+        anchors.frag.push(fi as u32);
     }
-    pairs
+    anchors
 }
 
 /// Does the trunk chain `root → m` (as `chain`, from [`TreePattern::root_path`])
@@ -370,11 +498,44 @@ fn chain_matches(q: &TreePattern, chain: &[PNodeId], path: &[Label]) -> bool {
     cur[n - 1]
 }
 
-/// Cost, in code-component comparisons, of one binary search over a
-/// sorted list of `len` codes — `⌈log2(len)⌉ + 1`, the quantity folded
-/// into [`Counter::RewriteDeweyComparisons`].
-fn bsearch_cost(len: usize) -> u64 {
-    (usize::BITS - len.leading_zeros()) as u64
+/// Cache key of a single-unit trunk chain: the chain re-rooted as a bare
+/// pattern (axes + labels only — `chain_matches` never reads attributes,
+/// so two queries with the same trunk share the verdict bitmap).
+fn chain_key(q: &TreePattern, chain: &[PNodeId], view: ViewId) -> String {
+    let mut p = TreePattern::with_root(q.axis(chain[0]), q.label(chain[0]));
+    let mut cur = p.root();
+    for &n in &chain[1..] {
+        cur = p.add_child(cur, q.axis(n), q.label(n));
+    }
+    p.set_answer(cur);
+    format!("{}:{}", view.0, p.fingerprint())
+}
+
+/// Bit test over a `Vec<u64>` bitmap.
+#[inline]
+fn bit(bits: &[u64], i: usize) -> bool {
+    bits[i / 64] >> (i % 64) & 1 == 1
+}
+
+/// Mark, in a bitmap over `haystack` indices, every haystack code that
+/// also occurs in `needles` — a galloping merge-intersection of two
+/// sorted, distinct flat-code lists. The cursor only moves forward, so
+/// dense needle lists degrade to a plain linear merge and sparse ones
+/// skip in `O(log gap)` probes.
+fn intersect_bits(haystack: &FlatCodes, needles: &FlatCodes, stats: &mut CmpStats) -> Vec<u64> {
+    let mut bits = vec![0u64; haystack.len().div_ceil(64)];
+    let mut pos = 0usize;
+    for key in needles.iter() {
+        pos = haystack.gallop_lower_bound(pos, key, stats);
+        if pos >= haystack.len() {
+            break;
+        }
+        if stats.eq(haystack.get(pos), key) {
+            bits[pos / 64] |= 1 << (pos % 64);
+            pos += 1;
+        }
+    }
+    bits
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -389,10 +550,31 @@ fn rewrite_impl(
 ) -> Result<Vec<DeweyCode>, RewriteError> {
     let _ = views; // selection already carries everything pattern-level
     counters.bump(Counter::RewriteRuns);
+    let mut stats = CmpStats::default();
+    let result = rewrite_gallop(q, selection, store, fst, cache, counters, &mut stats);
+    counters.add(Counter::RewriteDeweyComparisons, stats.comparisons);
+    counters.add(Counter::RewriteGallopProbes, stats.probes);
+    counters.add(Counter::RewriteComparisonsSkipped, stats.skipped);
+    counters.add(Counter::RewriteBytesCompared, stats.bytes);
+    result
+}
+
+/// The galloping flat-code rewrite (all three stages); `stats` collects
+/// the comparison work for the caller to fold into the counters.
+fn rewrite_gallop(
+    q: &TreePattern,
+    selection: &Selection,
+    store: &MaterializedStore,
+    fst: &Fst,
+    cache: Option<&RewriteCache>,
+    counters: &mut StageCounters,
+    stats: &mut CmpStats,
+) -> Result<Vec<DeweyCode>, RewriteError> {
     let mut scratch = EvalScratch::new();
     // Stage 1: refine each unit's fragments with its compensating pattern.
-    let mut refined: Vec<Arc<Vec<DeweyCode>>> = Vec::with_capacity(selection.units.len());
-    let mut anchor_pairs: Option<Arc<AnchorPairs>> = None;
+    let mut refined: Vec<Refined> = Vec::with_capacity(selection.units.len());
+    let mut unit_keys: Vec<String> = Vec::with_capacity(selection.units.len());
+    let mut anchor_ref: Option<Arc<Anchors>> = None;
     for (i, unit) in selection.units.iter().enumerate() {
         let mv = store
             .get(unit.view)
@@ -401,12 +583,12 @@ fn rewrite_impl(
             return Err(RewriteError::IncompleteMaterialization(unit.view));
         }
         let compensating = q.subtree_pattern(unit.cover.m, Axis::Descendant);
+        let key = cache
+            .map(|_| format!("{}:{}", unit.view.0, compensating.fingerprint()))
+            .unwrap_or_default();
         if i == selection.anchor {
             let pairs = match cache {
-                Some(c) => {
-                    let key = format!("{}:{}", unit.view.0, compensating.fingerprint());
-                    c.anchor_pairs(&key, &compensating, mv, &mut scratch, counters)
-                }
+                Some(c) => c.anchor_pairs(&key, &compensating, mv, &mut scratch, counters),
                 None => Arc::new(compute_anchor_pairs(
                     &compensating,
                     mv,
@@ -414,95 +596,117 @@ fn rewrite_impl(
                     counters,
                 )),
             };
-            refined.push(Arc::new(pairs.iter().map(|(c, _)| c.clone()).collect()));
-            anchor_pairs = Some(pairs);
+            refined.push(Refined::Anchor(Arc::clone(&pairs)));
+            anchor_ref = Some(pairs);
         } else {
             let codes = match cache {
-                Some(c) => {
-                    let key = format!("{}:{}", unit.view.0, compensating.fingerprint());
-                    c.refined_codes(&key, &compensating, mv, &mut scratch, counters)
-                }
+                Some(c) => c.refined_codes(&key, &compensating, mv, &mut scratch, counters),
                 None => Arc::new(compute_refined(&compensating, mv, &mut scratch, counters)),
             };
-            refined.push(codes);
+            refined.push(Refined::Plain(codes));
         }
+        unit_keys.push(key);
     }
-    let anchor_pairs = anchor_pairs.expect("selection has an anchor unit");
+    let anchors = anchor_ref.expect("selection has an anchor unit");
 
     // Fast path: a single unit needs no holistic join — the skeleton is
-    // the bare trunk chain, so each surviving fragment code passes iff
-    // the chain embeds into its FST-decoded ancestor label path.
-    if cache.is_some() && selection.units.len() == 1 {
-        counters.bump(Counter::RewriteFastPath);
-        let chain = q.root_path(selection.units[0].cover.m);
-        let mut out: Vec<DeweyCode> = Vec::new();
-        for (code, answers) in anchor_pairs.iter() {
-            let path = fst
-                .decode(code.components())
-                .ok_or_else(|| RewriteError::UndecodableCode(code.clone()))?;
-            // The positional DP walks the decoded ancestor path once per
-            // chain node.
-            counters.add(
-                Counter::RewriteDeweyComparisons,
-                (path.len() * chain.len()) as u64,
-            );
-            if chain_matches(q, &chain, &path) {
-                out.extend(answers.iter().cloned());
+    // the bare trunk chain, so each surviving fragment passes iff the
+    // chain embeds into its FST-decoded ancestor label path. The verdict
+    // depends only on (view, chain shape), so it is computed once per
+    // view's fragments and memoized as a bitmap; warm repeats are pure
+    // bit probes with zero code comparisons.
+    if let Some(c) = cache {
+        if selection.units.len() == 1 {
+            counters.bump(Counter::RewriteFastPath);
+            let unit = &selection.units[0];
+            let mv = store.get(unit.view).expect("checked above");
+            let chain = q.root_path(unit.cover.m);
+            let key = chain_key(q, &chain, unit.view);
+            let bits = c.chain_bits(&key, q, &chain, mv, fst, counters)?;
+            let mut out: Vec<DeweyCode> = Vec::new();
+            for (i, &fi) in anchors.frag.iter().enumerate() {
+                if bit(&bits, fi as usize) {
+                    out.extend(anchors.answers[i].iter().cloned());
+                }
             }
+            out.sort();
+            out.dedup();
+            return Ok(out);
         }
-        out.sort();
-        out.dedup();
-        return Ok(out);
     }
 
     // Stage 2: join over the code prefix tree.
     counters.bump(Counter::RewriteHolisticJoins);
     let skeleton = Skeleton::build(q, selection);
+    let mut tree_key: Vec<ViewId> = selection.units.iter().map(|u| u.view).collect();
+    tree_key.sort();
+    tree_key.dedup();
     let prefix_tree: Arc<PrefixTree> = match cache {
-        Some(c) => c.prefix_tree(selection, store, fst, counters)?,
-        None => Arc::new(PrefixTree::build(
-            refined.iter().flat_map(|codes| codes.iter()),
-            fst,
-        )?),
+        Some(c) => c.prefix_tree(&tree_key, store, fst, counters)?,
+        None => {
+            let mut all: Vec<&[u8]> = refined.iter().flat_map(|r| r.codes().iter()).collect();
+            all.sort_unstable_by(|a, b| flat_cmp(a, b));
+            all.dedup();
+            Arc::new(PrefixTree::build_sorted(all, fst)?)
+        }
     };
     if prefix_tree.tree.is_empty() {
         return Ok(Vec::new());
     }
-    let restrictions = skeleton.restrictions(selection, &refined);
-    // `admissible` is a shared-borrow closure; tally its binary-search
-    // work through a cell and fold it into the counters afterwards.
-    let join_comparisons = std::cell::Cell::new(0u64);
-    let admissible = |s: PNodeId, x: NodeId| -> bool {
-        match restrictions.get(&s) {
-            None => true,
-            Some(lists) => {
-                let code = &prefix_tree.codes[x.index()];
-                join_comparisons.set(
-                    join_comparisons.get()
-                        + lists.iter().map(|l| bsearch_cost(l.len())).sum::<u64>(),
-                );
-                lists.iter().all(|&list| list.binary_search(code).is_ok())
+    // Per-skeleton-node admissibility bitmaps: each unit pins its `m` to
+    // the prefix-tree nodes carrying one of its refined codes (a galloping
+    // intersection of two sorted lists, memoized per (tree, refinement));
+    // several units on the same node AND together.
+    let mut node_bits: HashMap<PNodeId, Vec<u64>> = HashMap::new();
+    for (ui, (unit, r)) in selection.units.iter().zip(refined.iter()).enumerate() {
+        let s = skeleton.q_to_s[&unit.cover.m];
+        let bits: Arc<Vec<u64>> = match cache {
+            Some(c) => c.restriction_bits(
+                &tree_key,
+                &unit_keys[ui],
+                &prefix_tree,
+                r.codes(),
+                stats,
+                counters,
+            ),
+            None => Arc::new(intersect_bits(&prefix_tree.codes, r.codes(), stats)),
+        };
+        match node_bits.entry(s) {
+            Entry::Vacant(e) => {
+                e.insert(bits.as_ref().clone());
+            }
+            Entry::Occupied(mut e) => {
+                for (a, b) in e.get_mut().iter_mut().zip(bits.iter()) {
+                    *a &= *b;
+                }
             }
         }
+    }
+    let admissible = |s: PNodeId, x: NodeId| -> bool {
+        match node_bits.get(&s) {
+            None => true,
+            Some(b) => bit(b, x.index()),
+        }
     };
-    let anchors = eval_restricted_in(
+    let anchor_nodes = eval_restricted_in(
         &skeleton.pattern,
         &prefix_tree.tree,
         &admissible,
         &mut scratch,
     );
-    counters.add(Counter::RewriteDeweyComparisons, join_comparisons.get());
 
-    // Stage 3: extract from the anchor's fragments.
+    // Stage 3: extract from the anchor's fragments — prefix-tree node ids
+    // ascend in code order, so sorting the anchor bindings turns the
+    // lookup into one forward galloping merge over the anchor pairs.
+    let mut idxs: Vec<usize> = anchor_nodes.iter().map(|n| n.index()).collect();
+    idxs.sort_unstable();
     let mut out: Vec<DeweyCode> = Vec::new();
-    for a in anchors {
-        let code = &prefix_tree.codes[a.index()];
-        counters.add(
-            Counter::RewriteDeweyComparisons,
-            bsearch_cost(anchor_pairs.len()),
-        );
-        if let Ok(idx) = anchor_pairs.binary_search_by(|(c, _)| c.cmp(code)) {
-            out.extend(anchor_pairs[idx].1.iter().cloned());
+    let mut pos = 0usize;
+    for i in idxs {
+        let code = prefix_tree.codes.get(i);
+        pos = anchors.codes.gallop_lower_bound(pos, code, stats);
+        if pos < anchors.codes.len() && stats.eq(anchors.codes.get(pos), code) {
+            out.extend(anchors.answers[pos].iter().cloned());
         }
     }
     out.sort();
@@ -546,12 +750,12 @@ impl Skeleton {
         Skeleton { pattern, q_to_s }
     }
 
-    /// Per-skeleton-node code restrictions: each unit pins its `m` to its
-    /// refined code list; several units on the same node all apply.
+    /// Per-skeleton-node code restrictions as plain slices — used by the
+    /// legacy scan join; several units on the same node all apply.
     fn restrictions<'a>(
         &self,
         selection: &Selection,
-        refined: &'a [Arc<Vec<DeweyCode>>],
+        refined: &'a [Vec<DeweyCode>],
     ) -> HashMap<PNodeId, Vec<&'a [DeweyCode]>> {
         let mut map: HashMap<PNodeId, Vec<&'a [DeweyCode]>> = HashMap::new();
         for (unit, codes) in selection.units.iter().zip(refined.iter()) {
@@ -565,57 +769,279 @@ impl Skeleton {
 /// The prefix-closure of a set of extended Dewey codes, materialized as a
 /// labelled tree via the FST. An exact structural fragment of the base
 /// document: node = code prefix, label = FST decode, edges = real
-/// parent/child relations.
+/// parent/child relations. Node ids ascend in flat-code order (the input
+/// is sorted), which is what lets the join treat per-node code lookups as
+/// a sorted-merge problem.
 struct PrefixTree {
     tree: XmlTree,
-    /// Code of each tree node (dense by node index).
-    codes: Vec<DeweyCode>,
+    /// Flat code of each tree node (dense by node index, ascending).
+    codes: FlatCodes,
 }
 
 impl PrefixTree {
-    fn build<'a, I: Iterator<Item = &'a DeweyCode>>(
+    /// Build from flat codes in ascending [`flat_cmp`] order (duplicates
+    /// tolerated). Because the input is sorted, the current root path is a
+    /// stack: each new code pops to the common byte prefix — component
+    /// boundaries coincide on common prefixes by the prefix-free encoding
+    /// — and extends with fresh FST steps from there.
+    fn build_sorted<'a, I: IntoIterator<Item = &'a [u8]>>(
         codes: I,
         fst: &Fst,
     ) -> Result<PrefixTree, RewriteError> {
         let mut tree = XmlTree::new();
-        let mut node_codes: Vec<DeweyCode> = Vec::new();
-        let mut by_prefix: HashMap<Vec<u32>, NodeId> = HashMap::new();
+        let mut node_codes = FlatCodes::new();
+        // (byte length of the node's code, node) along the current path.
+        let mut stack: Vec<(usize, NodeId)> = Vec::new();
+        let mut cur: Vec<u8> = Vec::new();
         for code in codes {
-            let comps = code.components();
-            if comps.is_empty() {
-                return Err(RewriteError::UndecodableCode(code.clone()));
-            }
-            // Root prefix.
+            debug_assert!(
+                cur.is_empty() || flat_cmp(&cur, code) != std::cmp::Ordering::Greater,
+                "build_sorted requires ascending codes"
+            );
+            let mut comps = flat::components(code);
+            let Some((_, first_end)) = comps.next() else {
+                return Err(RewriteError::UndecodableCode(code_for_err(code)));
+            };
             if tree.is_empty() {
                 let r = tree.add_root(fst.root_label());
-                by_prefix.insert(comps[..1].to_vec(), r);
-                node_codes.push(DeweyCode(comps[..1].to_vec()));
+                node_codes.push_encoded(&code[..first_end]);
+                stack.push((first_end, r));
+                cur = code[..first_end].to_vec();
             }
-            let mut cur = *by_prefix
-                .get(&comps[..1])
-                .ok_or_else(|| RewriteError::UndecodableCode(code.clone()))?;
-            for k in 2..=comps.len() {
-                let prefix = &comps[..k];
-                cur = match by_prefix.get(prefix) {
-                    Some(&n) => n,
-                    None => {
-                        let parent_label = tree.label(cur);
-                        let label = fst
-                            .step(parent_label, comps[k - 1])
-                            .ok_or_else(|| RewriteError::UndecodableCode(code.clone()))?;
-                        let n = tree.add_child(cur, label);
-                        by_prefix.insert(prefix.to_vec(), n);
-                        node_codes.push(DeweyCode(prefix.to_vec()));
-                        n
-                    }
-                };
+            // Pop to the common byte prefix (always at component
+            // boundaries of both codes).
+            let common = cur
+                .iter()
+                .zip(code.iter())
+                .take_while(|(a, b)| a == b)
+                .count();
+            while stack.last().is_some_and(|&(len, _)| len > common) {
+                stack.pop();
             }
+            let Some(&(base, parent)) = stack.last() else {
+                // First component disagrees with the root's — codes from a
+                // different document.
+                return Err(RewriteError::UndecodableCode(code_for_err(code)));
+            };
+            // Extend with the remaining components (`end` offsets are
+            // cumulative within the `&code[base..]` slice).
+            let mut parent = parent;
+            let mut done = base;
+            for (comp, end) in flat::components(&code[base..]) {
+                let label = fst
+                    .step(tree.label(parent), comp)
+                    .ok_or_else(|| RewriteError::UndecodableCode(code_for_err(code)))?;
+                let n = tree.add_child(parent, label);
+                node_codes.push_encoded(&code[..base + end]);
+                stack.push((base + end, n));
+                parent = n;
+                done = base + end;
+            }
+            if done != code.len() {
+                // Trailing bytes that decode to no component.
+                return Err(RewriteError::UndecodableCode(code_for_err(code)));
+            }
+            cur.clear();
+            cur.extend_from_slice(code);
         }
+        debug_assert!(node_codes.is_strictly_sorted());
         Ok(PrefixTree {
             tree,
             codes: node_codes,
         })
     }
+}
+
+/// Best-effort [`DeweyCode`] for error reporting from flat bytes (partial
+/// decode on malformed input).
+fn code_for_err(bytes: &[u8]) -> DeweyCode {
+    DeweyCode(flat::components(bytes).map(|(v, _)| v).collect())
+}
+
+// ---------------------------------------------------------------------------
+// Legacy scan-merge join — the pre-galloping reference implementation.
+// ---------------------------------------------------------------------------
+
+/// Cost, in code-component comparisons, of one binary search over a
+/// sorted list of `len` codes — `⌈log2(len)⌉ + 1`, the quantity the scan
+/// join folds into [`Counter::RewriteDeweyComparisons`].
+fn bsearch_cost(len: usize) -> u64 {
+    (usize::BITS - len.leading_zeros()) as u64
+}
+
+/// The legacy scan-merge holistic join, kept as an independent reference
+/// implementation for the galloping join: per-component [`DeweyCode`]
+/// comparators, hash-built prefix tree, a full binary search per candidate
+/// node and restriction list, no fast path and no memoization. Routed
+/// end-to-end by [`EngineConfig::scan_join`](crate::EngineConfig) and held
+/// byte-identical to [`rewrite`] / [`rewrite_cached`] by the oracle's
+/// `JoinEquivalence` invariant and the join-differential tests.
+pub fn rewrite_scan(
+    q: &TreePattern,
+    selection: &Selection,
+    views: &ViewSet,
+    store: &MaterializedStore,
+    fst: &Fst,
+) -> Result<Vec<DeweyCode>, RewriteError> {
+    rewrite_scan_metered(q, selection, views, store, fst, &mut StageCounters::new())
+}
+
+/// [`rewrite_scan`] recording observability counters (binary searches
+/// counted as `log2(len) + 1` Dewey comparisons, as the scan join always
+/// did; the galloping counters stay zero on this path).
+pub fn rewrite_scan_metered(
+    q: &TreePattern,
+    selection: &Selection,
+    views: &ViewSet,
+    store: &MaterializedStore,
+    fst: &Fst,
+    counters: &mut StageCounters,
+) -> Result<Vec<DeweyCode>, RewriteError> {
+    let _ = views;
+    counters.bump(Counter::RewriteRuns);
+    let mut scratch = EvalScratch::new();
+    // Stage 1: refinement, on per-component codes.
+    let mut refined: Vec<Vec<DeweyCode>> = Vec::with_capacity(selection.units.len());
+    let mut anchor_pairs: Option<Vec<(DeweyCode, Vec<DeweyCode>)>> = None;
+    for (i, unit) in selection.units.iter().enumerate() {
+        let mv = store
+            .get(unit.view)
+            .ok_or(RewriteError::NotMaterialized(unit.view))?;
+        if !mv.complete() {
+            return Err(RewriteError::IncompleteMaterialization(unit.view));
+        }
+        let compensating = q.subtree_pattern(unit.cover.m, Axis::Descendant);
+        let label = compensating.label(compensating.root());
+        let trivial = is_trivial(&compensating);
+        counters.add(
+            Counter::RewriteFragmentsScanned,
+            mv.fragments.fragments().len() as u64,
+        );
+        if i == selection.anchor {
+            let trivial_answer_is_root = trivial && compensating.answer() == compensating.root();
+            let mut pairs: Vec<(DeweyCode, Vec<DeweyCode>)> = Vec::new();
+            for (fi, frag) in mv.fragments.fragments().iter().enumerate() {
+                if trivial_answer_is_root {
+                    if label.matches(frag.tree.label(frag.tree.root())) {
+                        let global = mv.global_code(fi, frag.tree.root());
+                        pairs.push((frag.code.clone(), vec![global]));
+                    }
+                    continue;
+                }
+                let answers =
+                    eval_anchored_in(&compensating, &frag.tree, frag.tree.root(), &mut scratch);
+                if answers.is_empty() {
+                    continue;
+                }
+                let globals: Vec<DeweyCode> =
+                    answers.into_iter().map(|n| mv.global_code(fi, n)).collect();
+                pairs.push((frag.code.clone(), globals));
+            }
+            refined.push(pairs.iter().map(|(c, _)| c.clone()).collect());
+            anchor_pairs = Some(pairs);
+        } else {
+            let mut codes: Vec<DeweyCode> = Vec::new();
+            for frag in mv.fragments.fragments() {
+                let keep = if trivial {
+                    label.matches(frag.tree.label(frag.tree.root()))
+                } else {
+                    matches_anchored_in(&compensating, &frag.tree, frag.tree.root(), &mut scratch)
+                };
+                if keep {
+                    codes.push(frag.code.clone());
+                }
+            }
+            refined.push(codes);
+        }
+    }
+    let anchor_pairs = anchor_pairs.expect("selection has an anchor unit");
+
+    // Stage 2: join over a hash-built code prefix tree, one binary search
+    // per candidate node per restriction list.
+    counters.bump(Counter::RewriteHolisticJoins);
+    let skeleton = Skeleton::build(q, selection);
+    let (tree, node_codes) = scan_prefix_tree(refined.iter().flat_map(|c| c.iter()), fst)?;
+    if tree.is_empty() {
+        return Ok(Vec::new());
+    }
+    let restrictions = skeleton.restrictions(selection, &refined);
+    // `admissible` is a shared-borrow closure; tally its binary-search
+    // work through a cell and fold it into the counters afterwards.
+    let join_comparisons = std::cell::Cell::new(0u64);
+    let admissible = |s: PNodeId, x: NodeId| -> bool {
+        match restrictions.get(&s) {
+            None => true,
+            Some(lists) => {
+                let code = &node_codes[x.index()];
+                join_comparisons.set(
+                    join_comparisons.get()
+                        + lists.iter().map(|l| bsearch_cost(l.len())).sum::<u64>(),
+                );
+                lists.iter().all(|&list| list.binary_search(code).is_ok())
+            }
+        }
+    };
+    let anchors = eval_restricted_in(&skeleton.pattern, &tree, &admissible, &mut scratch);
+    counters.add(Counter::RewriteDeweyComparisons, join_comparisons.get());
+
+    // Stage 3: extract from the anchor's fragments.
+    let mut out: Vec<DeweyCode> = Vec::new();
+    for a in anchors {
+        let code = &node_codes[a.index()];
+        counters.add(
+            Counter::RewriteDeweyComparisons,
+            bsearch_cost(anchor_pairs.len()),
+        );
+        if let Ok(idx) = anchor_pairs.binary_search_by(|(c, _)| c.cmp(code)) {
+            out.extend(anchor_pairs[idx].1.iter().cloned());
+        }
+    }
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+/// The legacy prefix-closure construction: insertion-order hash map over
+/// component-vector prefixes.
+fn scan_prefix_tree<'a, I: Iterator<Item = &'a DeweyCode>>(
+    codes: I,
+    fst: &Fst,
+) -> Result<(XmlTree, Vec<DeweyCode>), RewriteError> {
+    let mut tree = XmlTree::new();
+    let mut node_codes: Vec<DeweyCode> = Vec::new();
+    let mut by_prefix: HashMap<Vec<u32>, NodeId> = HashMap::new();
+    for code in codes {
+        let comps = code.components();
+        if comps.is_empty() {
+            return Err(RewriteError::UndecodableCode(code.clone()));
+        }
+        // Root prefix.
+        if tree.is_empty() {
+            let r = tree.add_root(fst.root_label());
+            by_prefix.insert(comps[..1].to_vec(), r);
+            node_codes.push(DeweyCode(comps[..1].to_vec()));
+        }
+        let mut cur = *by_prefix
+            .get(&comps[..1])
+            .ok_or_else(|| RewriteError::UndecodableCode(code.clone()))?;
+        for k in 2..=comps.len() {
+            let prefix = &comps[..k];
+            cur = match by_prefix.get(prefix) {
+                Some(&n) => n,
+                None => {
+                    let parent_label = tree.label(cur);
+                    let label = fst
+                        .step(parent_label, comps[k - 1])
+                        .ok_or_else(|| RewriteError::UndecodableCode(code.clone()))?;
+                    let n = tree.add_child(cur, label);
+                    by_prefix.insert(prefix.to_vec(), n);
+                    node_codes.push(DeweyCode(prefix.to_vec()));
+                    n
+                }
+            };
+        }
+    }
+    Ok((tree, node_codes))
 }
 
 #[cfg(test)]
@@ -738,6 +1164,8 @@ mod tests {
         let store = MaterializedStore::materialize_all(&doc, &views, 60);
         let err = rewrite(&q, &selection, &views, &store, &doc.fst).unwrap_err();
         assert!(matches!(err, RewriteError::IncompleteMaterialization(_)));
+        let err = rewrite_scan(&q, &selection, &views, &store, &doc.fst).unwrap_err();
+        assert!(matches!(err, RewriteError::IncompleteMaterialization(_)));
     }
 
     /// Like [`answer_with_views`] but returning the raw pipeline pieces so
@@ -761,35 +1189,84 @@ mod tests {
         Some((q, selection, views, store))
     }
 
+    /// Join shapes exercised by the differential tests: multi-unit joins,
+    /// single-unit fast path (trivial and non-trivial compensating
+    /// patterns), wildcard views, anchored answers below the view root.
+    const JOIN_CASES: [(&[&str], &str); 6] = [
+        (&["//s[t]/p", "//s[p]/f"], "//s[f//i][t]/p"),
+        (&["//s[t]/p"], "//s[t]/p"),
+        (&["//s//p"], "//s/s/p"),
+        (&["//s[.//i]"], "//s[.//i]"),
+        (&["//s[t]", "//s[p]/f"], "//s[f//i][t]/p"),
+        (&["//f/i"], "//f/i"),
+    ];
+
     #[test]
     fn cached_rewrite_is_byte_identical_to_uncached() {
         let doc = book_document();
-        // Multi-unit joins, single-unit fast path (trivial and non-trivial
-        // compensating patterns), wildcard views, anchored answers below
-        // the view root.
-        let cases: [(&[&str], &str); 6] = [
-            (&["//s[t]/p", "//s[p]/f"], "//s[f//i][t]/p"),
-            (&["//s[t]/p"], "//s[t]/p"),
-            (&["//s//p"], "//s/s/p"),
-            (&["//s[.//i]"], "//s[.//i]"),
-            (&["//s[t]", "//s[p]/f"], "//s[f//i][t]/p"),
-            (&["//f/i"], "//f/i"),
-        ];
-        let cache = RewriteCache::new();
-        for (views_src, qsrc) in cases {
+        let mut memoized_anchors = false;
+        let mut memoized_chains = false;
+        for (views_src, qsrc) in JOIN_CASES {
             let Some((q, sel, views, store)) = pipeline(&doc, views_src, qsrc) else {
                 panic!("{qsrc}: expected answerable");
             };
+            // One cache per view set: cache keys embed `ViewId`s, which are
+            // only meaningful within one snapshot's `ViewSet` (each case
+            // here builds its own).
+            let cache = RewriteCache::new();
             let want = rewrite(&q, &sel, &views, &store, &doc.fst).unwrap();
             // Cold and warm cache must both reproduce the reference.
             for pass in 0..2 {
                 let got = rewrite_cached(&q, &sel, &views, &store, &doc.fst, &cache).unwrap();
                 assert_eq!(got, want, "{qsrc} (pass {pass})");
             }
+            memoized_anchors |= !cache.anchors.read().unwrap().is_empty();
+            memoized_chains |= !cache.chains.read().unwrap().is_empty();
         }
-        // The sweep above mixes view sets; the shared cache must have
-        // memoized at least one refinement and one prefix tree.
-        assert!(!cache.anchors.read().unwrap().is_empty());
+        // The sweep must have exercised both the anchor memoization and
+        // the single-unit chain bitmaps.
+        assert!(memoized_anchors);
+        assert!(memoized_chains);
+    }
+
+    #[test]
+    fn galloping_join_matches_scan_join() {
+        // The join differential at the unit level: legacy scan-merge vs.
+        // galloping flat-code join, uncached and cached, cold and warm.
+        let doc = book_document();
+        for (views_src, qsrc) in JOIN_CASES {
+            let Some((q, sel, views, store)) = pipeline(&doc, views_src, qsrc) else {
+                panic!("{qsrc}: expected answerable");
+            };
+            let cache = RewriteCache::new();
+            let scan = rewrite_scan(&q, &sel, &views, &store, &doc.fst).unwrap();
+            let gallop = rewrite(&q, &sel, &views, &store, &doc.fst).unwrap();
+            assert_eq!(scan, gallop, "{qsrc} (uncached)");
+            for pass in 0..2 {
+                let cached = rewrite_cached(&q, &sel, &views, &store, &doc.fst, &cache).unwrap();
+                assert_eq!(scan, cached, "{qsrc} (cached pass {pass})");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_cache_skips_comparisons() {
+        // The point of the memoized bitmaps: a warm repeat of a join-heavy
+        // query performs zero Dewey comparisons.
+        let doc = book_document();
+        let cache = RewriteCache::new();
+        let (q, sel, views, store) =
+            pipeline(&doc, &["//s[t]/p", "//s[p]/f"], "//s[f//i][t]/p").unwrap();
+        let mut cold = StageCounters::new();
+        rewrite_metered(&q, &sel, &views, &store, &doc.fst, Some(&cache), &mut cold).unwrap();
+        assert!(cold.get(Counter::RewriteDeweyComparisons) > 0);
+        assert!(cold.get(Counter::RewriteGallopProbes) > 0);
+        let mut warm = StageCounters::new();
+        rewrite_metered(&q, &sel, &views, &store, &doc.fst, Some(&cache), &mut warm).unwrap();
+        assert!(
+            warm.get(Counter::RewriteDeweyComparisons) < cold.get(Counter::RewriteDeweyComparisons),
+            "warm repeat must reuse memoized join state"
+        );
     }
 
     #[test]
@@ -805,24 +1282,119 @@ mod tests {
         assert!(got.is_empty());
     }
 
+    /// Build a flat PrefixTree from component vectors (sorted here, as the
+    /// join does).
+    fn flat_tree(doc: &Document, codes: &[&[u32]]) -> PrefixTree {
+        let mut encoded: Vec<Vec<u8>> = codes
+            .iter()
+            .map(|c| xvr_xml::flat::encode_components(c))
+            .collect();
+        encoded.sort_unstable_by(|a, b| flat_cmp(a, b));
+        encoded.dedup();
+        PrefixTree::build_sorted(encoded.iter().map(|c| c.as_slice()), &doc.fst).unwrap()
+    }
+
     #[test]
     fn prefix_tree_is_structural_fragment() {
         let doc = book_document();
-        let codes: Vec<DeweyCode> = vec![
-            DeweyCode(vec![0, 8, 6, 1]),
-            DeweyCode(vec![0, 8, 6, 3]),
-            DeweyCode(vec![0, 11]),
-        ];
-        let pt = PrefixTree::build(codes.iter(), &doc.fst).unwrap();
+        let pt = flat_tree(&doc, &[&[0, 8, 6, 1], &[0, 8, 6, 3], &[0, 11]]);
         // Prefix closure: 0 / 0.8 / 0.8.6 / 0.8.6.1 / 0.8.6.3 / 0.11.
         assert_eq!(pt.tree.len(), 6);
         // Labels decode correctly: node 0.8.6 is labelled `s`.
         let s = doc.labels.get("s").unwrap();
-        let idx = pt
+        let want = xvr_xml::flat::encode_components(&[0, 8, 6]);
+        let idx = pt.codes.iter().position(|c| c == want.as_slice()).unwrap();
+        assert_eq!(pt.tree.label(xvr_xml::NodeId(idx as u32)), s);
+    }
+
+    #[test]
+    fn prefix_closure_duplicate_prefixes_share_nodes() {
+        // Many codes under one deep branch: shared prefixes must map to
+        // the same node, and literal duplicates add nothing.
+        let doc = book_document();
+        let pt = flat_tree(
+            &doc,
+            &[&[0, 8, 6, 1], &[0, 8, 6, 1], &[0, 8, 6, 3], &[0, 8, 6]],
+        );
+        // Closure: 0 / 0.8 / 0.8.6 / 0.8.6.1 / 0.8.6.3 — five nodes, not
+        // one per input.
+        assert_eq!(pt.tree.len(), 5);
+        assert_eq!(pt.codes.len(), 5);
+        assert!(pt.codes.is_strictly_sorted());
+    }
+
+    #[test]
+    fn prefix_closure_root_only_code() {
+        let doc = book_document();
+        let pt = flat_tree(&doc, &[&[0]]);
+        assert_eq!(pt.tree.len(), 1);
+        assert_eq!(pt.tree.label(pt.tree.root()), doc.fst.root_label());
+        assert_eq!(
+            xvr_xml::flat::decode_components(pt.codes.get(0)),
+            Some(vec![0])
+        );
+        // An empty input yields an empty tree (the join returns nothing).
+        let empty = PrefixTree::build_sorted(std::iter::empty(), &doc.fst).unwrap();
+        assert!(empty.tree.is_empty());
+        assert!(empty.codes.is_empty());
+    }
+
+    #[test]
+    fn prefix_closure_deep_chain() {
+        // A single deep code materializes its whole ancestor chain, in
+        // order, with parent links following the code prefixes. Use the
+        // deepest real node so every prefix decodes under the FST.
+        let doc = book_document();
+        let deep: Vec<u32> = doc
+            .tree
+            .iter()
+            .map(|n| doc.dewey.code_of(&doc.tree, n).components().to_vec())
+            .max_by_key(|c| c.len())
+            .unwrap();
+        assert!(deep.len() >= 4, "book document has a deep path");
+        let pt = flat_tree(&doc, &[&deep]);
+        assert_eq!(pt.tree.len(), deep.len());
+        for i in 0..deep.len() {
+            assert_eq!(
+                xvr_xml::flat::decode_components(pt.codes.get(i)),
+                Some(deep[..=i].to_vec())
+            );
+            if i > 0 {
+                let n = xvr_xml::NodeId(i as u32);
+                assert_eq!(pt.tree.parent(n), Some(xvr_xml::NodeId(i as u32 - 1)));
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_closure_matches_scan_construction() {
+        // Node-set equivalence with the legacy hash-built closure on the
+        // real document's fragment codes.
+        let doc = book_document();
+        let (_, _, _, store) = pipeline(&doc, &["//s//p", "//s[t]"], "//s//p").unwrap();
+        let mut dewey: Vec<DeweyCode> = Vec::new();
+        let mut encoded: Vec<Vec<u8>> = Vec::new();
+        for v in [0u32, 1] {
+            let mv = store.get(crate::view::ViewId(v)).unwrap();
+            for frag in mv.fragments.fragments() {
+                dewey.push(frag.code.clone());
+                encoded.push(xvr_xml::encode_code(&frag.code));
+            }
+        }
+        let (scan_tree, scan_codes) = scan_prefix_tree(dewey.iter(), &doc.fst).unwrap();
+        encoded.sort_unstable_by(|a, b| flat_cmp(a, b));
+        encoded.dedup();
+        let flat =
+            PrefixTree::build_sorted(encoded.iter().map(|c| c.as_slice()), &doc.fst).unwrap();
+        assert_eq!(scan_tree.len(), flat.tree.len());
+        let mut scan_set: Vec<String> = scan_codes.iter().map(|c| c.to_string()).collect();
+        scan_set.sort();
+        let mut flat_set: Vec<String> = flat
             .codes
             .iter()
-            .position(|c| c.components() == [0, 8, 6])
-            .unwrap();
-        assert_eq!(pt.tree.label(xvr_xml::NodeId(idx as u32)), s);
+            .map(|c| xvr_xml::flat::decode_code(c).unwrap().to_string())
+            .collect();
+        flat_set.sort();
+        assert_eq!(scan_set, flat_set);
     }
 }

@@ -7,6 +7,7 @@
 //! without touching the base document (Section V of the paper).
 
 use crate::dewey::DeweyCode;
+use crate::flat::FlatCodes;
 use crate::label::LabelTable;
 use crate::serializer::serialized_len;
 use crate::tree::{Document, NodeId, XmlTree};
@@ -39,6 +40,11 @@ impl Fragment {
 #[derive(Clone, Debug, Default)]
 pub struct FragmentSet {
     fragments: Vec<Fragment>,
+    /// Root codes in flat byte-comparable form, struct-of-arrays: entry `i`
+    /// encodes `fragments[i].code`. The rewriting stage's holistic join
+    /// runs entirely on this arena (memcmp-style compares, no
+    /// per-component decoding); kept in lockstep by every mutator.
+    flat: FlatCodes,
     total_bytes: usize,
     /// True when materialization stopped early because of the size budget.
     truncated: bool,
@@ -71,6 +77,7 @@ impl FragmentSet {
             set.fragments.push(frag);
         }
         set.fragments.sort_by(|a, b| a.code.cmp(&b.code));
+        set.rebuild_flat();
         set
     }
 
@@ -90,11 +97,14 @@ impl FragmentSet {
             .collect();
         fragments.sort_by(|a, b| a.code.cmp(&b.code));
         let total_bytes = fragments.iter().map(|f| f.size_bytes(labels)).sum();
-        FragmentSet {
+        let mut set = FragmentSet {
             fragments,
+            flat: FlatCodes::new(),
             total_bytes,
             truncated,
-        }
+        };
+        set.rebuild_flat();
+        set
     }
 
     /// The fragments, in document order of their roots.
@@ -127,6 +137,12 @@ impl FragmentSet {
         self.fragments.iter().map(|f| &f.code)
     }
 
+    /// Root codes in flat byte-comparable form (ascending, in lockstep
+    /// with [`FragmentSet::fragments`]).
+    pub fn flat_codes(&self) -> &FlatCodes {
+        &self.flat
+    }
+
     /// Retain only fragments whose index passes `keep`; preserves order.
     pub fn retain_indices(&mut self, keep: &[bool]) {
         debug_assert_eq!(keep.len(), self.fragments.len());
@@ -136,6 +152,15 @@ impl FragmentSet {
             i += 1;
             k
         });
+        self.rebuild_flat();
+    }
+
+    /// Re-derive the flat code arena from the (code-sorted) fragments.
+    fn rebuild_flat(&mut self) {
+        self.flat = FlatCodes::new();
+        for f in &self.fragments {
+            self.flat.push_components(f.code.components());
+        }
     }
 }
 
@@ -241,6 +266,35 @@ mod tests {
             assert_eq!(frag.tree.len(), doc.tree.subtree_size(src));
             assert_eq!(frag.tree.label(frag.tree.root()), s);
         }
+    }
+
+    #[test]
+    fn flat_arena_tracks_fragments() {
+        let doc = book_document();
+        let roots = p_nodes(&doc);
+        let mut set = FragmentSet::materialize(&doc, &roots, usize::MAX);
+        let check = |set: &FragmentSet| {
+            assert_eq!(set.flat_codes().len(), set.len());
+            assert!(set.flat_codes().is_strictly_sorted());
+            for (i, frag) in set.fragments().iter().enumerate() {
+                assert_eq!(
+                    crate::flat::decode_code(set.flat_codes().get(i)),
+                    Some(frag.code.clone())
+                );
+            }
+        };
+        check(&set);
+        // Mutators keep the arena in lockstep.
+        let keep: Vec<bool> = (0..set.len()).map(|i| i % 2 == 0).collect();
+        set.retain_indices(&keep);
+        check(&set);
+        let rebuilt = FragmentSet::from_parts(
+            set.fragments().iter().map(|f| f.code.clone()).collect(),
+            set.fragments().iter().map(|f| f.tree.clone()).collect(),
+            &doc.labels,
+            false,
+        );
+        check(&rebuilt);
     }
 
     #[test]

@@ -128,3 +128,101 @@ proptest! {
         }
     }
 }
+
+/// One Dewey component spanning every varint class of the flat encoding:
+/// a class draw picks the byte width, a raw draw the value within it
+/// (small single-byte components stay the most likely, as in real codes).
+fn component() -> impl Strategy<Value = u32> {
+    (0u8..8, 0u32..u32::MAX).prop_map(|(class, raw)| match class {
+        0..=3 => raw % (1 << 7),
+        4 => (1 << 7) + raw % ((1 << 14) - (1 << 7)),
+        5 => (1 << 14) + raw % ((1 << 21) - (1 << 14)),
+        6 => (1 << 21) + raw % ((1 << 28) - (1 << 21)),
+        _ => (1u32 << 28).wrapping_add(raw % (u32::MAX - (1 << 28))),
+    })
+}
+
+/// A full code: empty codes are in-domain on purpose (edge case of the
+/// prefix/ordering laws).
+fn code() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(component(), 0..12)
+}
+
+/// A pair of codes biased toward shared prefixes and siblings — the cases
+/// where a broken encoding would misorder or misjudge ancestry.
+fn related_pair() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    (code(), code(), code(), any::<bool>()).prop_map(|(common, s1, s2, sibling)| {
+        let mut a = common.clone();
+        let mut b = common;
+        a.extend_from_slice(&s1);
+        if sibling {
+            // Perturb the first divergent component to force a sibling
+            // split right at the shared-prefix boundary.
+            b.extend(s2.iter().map(|&c| c ^ 1));
+        } else {
+            b.extend_from_slice(&s2);
+        }
+        (a, b)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Flat encoding round-trips: components → flat bytes → components.
+    #[test]
+    fn flat_roundtrip(comps in code()) {
+        let bytes = xvr_xml::flat::encode_components(&comps);
+        prop_assert_eq!(xvr_xml::flat::decode_components(&bytes), Some(comps.clone()));
+        // The incremental iterator agrees and yields prefix boundaries.
+        let parts: Vec<(u32, usize)> = xvr_xml::flat::components(&bytes).collect();
+        prop_assert_eq!(parts.iter().map(|&(v, _)| v).collect::<Vec<u32>>(), comps.clone());
+        for (k, &(_, end)) in parts.iter().enumerate() {
+            prop_assert_eq!(
+                xvr_xml::flat::decode_components(&bytes[..end]),
+                Some(comps[..=k].to_vec())
+            );
+        }
+    }
+
+    /// Flat byte comparison equals the reference per-component comparator,
+    /// and byte-prefix equals ancestor-or-self, on arbitrary pairs.
+    #[test]
+    fn flat_comparator_equivalence(a in code(), b in code()) {
+        let (ca, cb) = (xvr_xml::DeweyCode(a), xvr_xml::DeweyCode(b));
+        let (fa, fb) = (xvr_xml::encode_code(&ca), xvr_xml::encode_code(&cb));
+        prop_assert_eq!(xvr_xml::flat_cmp(&fa, &fb), ca.cmp(&cb));
+        prop_assert_eq!(xvr_xml::flat_is_prefix(&fa, &fb), ca.is_ancestor_or_self_of(&cb));
+        prop_assert_eq!(xvr_xml::flat_is_prefix(&fb, &fa), cb.is_ancestor_or_self_of(&ca));
+    }
+
+    /// Same laws on pairs engineered to share prefixes or split as
+    /// siblings at the boundary.
+    #[test]
+    fn flat_comparator_equivalence_related(pair in related_pair()) {
+        let (ca, cb) = (xvr_xml::DeweyCode(pair.0), xvr_xml::DeweyCode(pair.1));
+        let (fa, fb) = (xvr_xml::encode_code(&ca), xvr_xml::encode_code(&cb));
+        prop_assert_eq!(xvr_xml::flat_cmp(&fa, &fb), ca.cmp(&cb));
+        prop_assert_eq!(xvr_xml::flat_cmp(&fb, &fa), cb.cmp(&ca));
+        prop_assert_eq!(xvr_xml::flat_is_prefix(&fa, &fb), ca.is_ancestor_or_self_of(&cb));
+        prop_assert_eq!(xvr_xml::flat_is_prefix(&fb, &fa), cb.is_ancestor_or_self_of(&ca));
+    }
+
+    /// Galloping lower bound equals the linear lower bound on sorted
+    /// arenas, from any valid starting point.
+    #[test]
+    fn gallop_equals_linear_lower_bound(
+        mut codes in prop::collection::vec(code(), 0..40),
+        key in code(),
+    ) {
+        codes.sort();
+        codes.dedup();
+        let arena: xvr_xml::FlatCodes = codes.iter().cloned().collect();
+        let flat_key = xvr_xml::flat::encode_components(&key);
+        let want = codes.iter().position(|c| c >= &key).unwrap_or(codes.len());
+        let mut stats = xvr_xml::CmpStats::default();
+        for from in 0..=want {
+            prop_assert_eq!(arena.gallop_lower_bound(from, &flat_key, &mut stats), want);
+        }
+    }
+}
