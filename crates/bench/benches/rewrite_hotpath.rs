@@ -33,7 +33,7 @@ use xvr_core::{
     rewrite_scan_metered, select_heuristic, Counter, Engine, EngineConfig, MaterializedStore,
     Obligations, QueryOptions, RewriteCache, StageCounters, StageTimings, Strategy, ViewSet,
 };
-use xvr_pattern::generator::QueryConfig;
+use xvr_pattern::generator::{QueryConfig, QueryGenerator};
 use xvr_pattern::{distinct_positive_patterns, parse_pattern_with, TreePattern};
 use xvr_xml::{DocStats, Document};
 
@@ -325,6 +325,85 @@ fn main() {
         counters.get(Counter::RewriteHolisticJoins),
     );
 
+    // --- 4. coverage: answerable fraction, Hv vs HvIntersect. ------------
+    // Each seed builds its own document, view set, and positive-query
+    // workload (the oracle's generators) plus one planted intersection
+    // probe — a query only two overlapping views answer jointly — so the
+    // fallback path is never vacuous. Reported per seed: answered counts
+    // and fractions for both strategies, batch wall-clock, and the
+    // intersect.* counter totals that price the fallback.
+    let cov_seeds: u64 = if fast { 3 } else { 6 };
+    let cov_queries = if fast { 16 } else { 40 };
+    let cov_views = if fast { 12 } else { 24 };
+    let mut coverage_rows = Vec::new();
+    for seed in 0..cov_seeds {
+        let cdoc = xvr_xml::generator::generate(&xvr_xml::generator::Config::tiny(seed));
+        let extra = distinct_positive_patterns(
+            &cdoc,
+            QueryConfig::paper_view_workload(seed ^ 0xA),
+            cov_views,
+        );
+        let mut cengine = Engine::new(cdoc, EngineConfig::default());
+        for v in [
+            "/site/people/person[phone]//name",
+            "/site/people/person[homepage]//name",
+        ] {
+            cengine.add_view_str(v).expect("planted member view parses");
+        }
+        for v in extra {
+            cengine.add_view(v);
+        }
+        let csnap = cengine.snapshot();
+        let mut cov_batch: Vec<TreePattern> = vec![csnap
+            .parse("/site/people/person[phone][homepage]//name")
+            .expect("planted probe parses")];
+        let mut qgen = QueryGenerator::new(
+            &csnap.doc().fst,
+            QueryConfig::paper_query_workload(seed ^ 0xB),
+        );
+        for _ in 0..cov_queries {
+            match qgen.generate_positive(csnap.doc(), 20) {
+                Some(q) => cov_batch.push(q),
+                None => cov_batch.push(qgen.generate()),
+            }
+        }
+        let hv_batch = csnap.query_batch(&cov_batch, &QueryOptions::strategy(Strategy::Hv), 1);
+        let hvi_batch = csnap.query_batch(
+            &cov_batch,
+            &QueryOptions::strategy(Strategy::HvIntersect).with_metrics(),
+            1,
+        );
+        let (hv_n, hvi_n) = (hv_batch.answered(), hvi_batch.answered());
+        let total = cov_batch.len();
+        let c = &hvi_batch.counters;
+        println!(
+            "coverage/seed {seed}: hv {hv_n}/{total} | hvi {hvi_n}/{total} (+{}) | {} subsets tried, {} joins, {} cmp, {} probes | hv {}µs, hvi {}µs",
+            hvi_n - hv_n,
+            c.get(Counter::IntersectSubsetsTried),
+            c.get(Counter::IntersectJoins),
+            c.get(Counter::IntersectComparisons),
+            c.get(Counter::IntersectGallopProbes),
+            hv_batch.wall_us,
+            hvi_batch.wall_us,
+        );
+        coverage_rows.push(format!(
+            "{{\"seed\": {seed}, \"queries\": {total}, \"hv_answered\": {hv_n}, \"hvi_answered\": {hvi_n}, \
+             \"hv_fraction\": {:.3}, \"hvi_fraction\": {:.3}, \"hv_us\": {}, \"hvi_us\": {}, \
+             \"intersect\": {{\"attempts\": {}, \"subsets_tried\": {}, \"joins\": {}, \
+             \"comparisons\": {}, \"gallop_probes\": {}, \"answered\": {}}}}}",
+            hv_n as f64 / total as f64,
+            hvi_n as f64 / total as f64,
+            hv_batch.wall_us,
+            hvi_batch.wall_us,
+            c.get(Counter::IntersectAttempts),
+            c.get(Counter::IntersectSubsetsTried),
+            c.get(Counter::IntersectJoins),
+            c.get(Counter::IntersectComparisons),
+            c.get(Counter::IntersectGallopProbes),
+            c.get(Counter::IntersectAnswered),
+        ));
+    }
+
     // --- JSON baseline. ---------------------------------------------------
     let mut json = String::new();
     let pair_json = |r: &PairResult| {
@@ -371,7 +450,7 @@ fn main() {
     );
     write!(
         json,
-        "{{\n  \"benchmark\": \"rewrite_hotpath\",\n  \"mode\": \"{}\",\n  \"doc\": {{\"scale\": {scale}, \"nodes\": {}}},\n  \"views\": {},\n  \"strategy\": \"HV\",\n  \"results\": {{\n    \"rewrite_only\": [\n      {}\n    ],\n    \"join\": [\n      {}\n    ],\n    \"answer_single\": [\n      {}\n    ],\n    \"answer_batch\": {{\"queries\": {}, \"jobs\": {jobs}, \"uncached_qps\": {uncached_qps:.0}, \"cached_qps\": {cached_qps:.0}, \"speedup\": {batch_speedup:.2}, \"stage_breakdown\": {}}}\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"rewrite_hotpath\",\n  \"mode\": \"{}\",\n  \"doc\": {{\"scale\": {scale}, \"nodes\": {}}},\n  \"views\": {},\n  \"strategy\": \"HV\",\n  \"results\": {{\n    \"rewrite_only\": [\n      {}\n    ],\n    \"join\": [\n      {}\n    ],\n    \"answer_single\": [\n      {}\n    ],\n    \"answer_batch\": {{\"queries\": {}, \"jobs\": {jobs}, \"uncached_qps\": {uncached_qps:.0}, \"cached_qps\": {cached_qps:.0}, \"speedup\": {batch_speedup:.2}, \"stage_breakdown\": {}}},\n    \"coverage\": [\n      {}\n    ]\n  }}\n}}\n",
         if fast { "fast" } else { "full" },
         stats.nodes,
         views.len(),
@@ -380,6 +459,7 @@ fn main() {
         join(&answer_single),
         batch.len(),
         stage_breakdown,
+        coverage_rows.join(",\n      "),
     )
     .unwrap();
 

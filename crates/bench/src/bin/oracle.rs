@@ -1,7 +1,7 @@
 //! Differential + metamorphic oracle harness.
 //!
 //! Sweeps randomized (document, view-set, query) cases for each master
-//! seed, cross-checking all six answering strategies against the `Bn`
+//! seed, cross-checking all seven answering strategies against the `Bn`
 //! ground truth plus the metamorphic invariants of `xvr_core::oracle`.
 //! On a violation the failing case is shrunk and written to the corpus
 //! directory as a self-contained reproducer, which `tests/oracle_corpus.rs`
@@ -14,8 +14,9 @@
 //! ```
 //!
 //! `--replay` re-checks the existing corpus before sweeping. `--inject`
-//! plants a deliberate bug (`drop-last-code`, `claim-filtered-view`) to
-//! demonstrate that the oracle catches and shrinks it.
+//! plants a deliberate bug (`drop-last-code`, `claim-filtered-view`,
+//! `drop-last-intersect`) to demonstrate that the oracle catches and
+//! shrinks it.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -39,7 +40,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: oracle [--seeds 0,1,2] [--docs N] [--views N] [--queries N] [--jobs N]\n\
          \x20             [--corpus-dir DIR] [--replay] [--no-write]\n\
-         \x20             [--inject none|drop-last-code|claim-filtered-view]"
+         \x20             [--inject none|drop-last-code|claim-filtered-view|drop-last-intersect]"
     );
     std::process::exit(2);
 }
@@ -83,6 +84,7 @@ fn parse_args() -> Args {
                     "none" => Injection::None,
                     "drop-last-code" => Injection::DropLastCode,
                     "claim-filtered-view" => Injection::ClaimFilteredView,
+                    "drop-last-intersect" => Injection::DropLastIntersect,
                     _ => usage(),
                 }
             }
@@ -157,6 +159,8 @@ fn main() -> ExitCode {
     let mut total_violations = 0usize;
     let mut total_candidates = 0usize;
     let mut total_false_positives = 0usize;
+    let mut total_hv = 0usize;
+    let mut total_hvi = 0usize;
     for &seed in &args.seeds {
         let t0 = Instant::now();
         let summary = run_seed(seed, args.docs, args.views, args.queries, &cfg);
@@ -165,10 +169,14 @@ fn main() -> ExitCode {
         total_violations += summary.violations.len();
         total_candidates += summary.filter_candidates;
         total_false_positives += summary.filter_false_positives;
+        total_hv += summary.hv_answered;
+        total_hvi += summary.hvi_answered;
         println!(
-            "seed {seed:>4}: {} cases, {} view answers, {} violation(s), vfilter fp {}/{} ({}), {:.1}s",
+            "seed {seed:>4}: {} cases, {} view answers, coverage hv {} / hvi {}, {} violation(s), vfilter fp {}/{} ({}), {:.1}s",
             summary.queries,
             summary.answered,
+            summary.hv_answered,
+            summary.hvi_answered,
             summary.violations.len(),
             summary.filter_false_positives,
             summary.filter_candidates,
@@ -198,7 +206,8 @@ fn main() -> ExitCode {
         "n/a".into()
     };
     println!(
-        "total: {total_cases} cases, {total_answered} view answers, {total_violations} violation(s), \
+        "total: {total_cases} cases, {total_answered} view answers, coverage hv {total_hv} / hvi {total_hvi}, \
+         {total_violations} violation(s), \
          measured vfilter false-positive rate {fp_rate} ({total_false_positives}/{total_candidates} admitted views)"
     );
     if failed {

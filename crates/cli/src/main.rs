@@ -4,7 +4,7 @@
 //! xvr info        --doc FILE
 //! xvr eval        --doc FILE [--engine naive|bn|bf] QUERY
 //! xvr answer      --doc FILE [(--view XPATH)...] [--views-file FILE]
-//!                 [--views-dir DIR] [--strategy bn|bf|mn|mv|hv|cb]
+//!                 [--views-dir DIR] [--strategy bn|bf|mn|mv|hv|cb|hvi]
 //!                 [--budget BYTES] [--show] [--explain]
 //!                 (QUERY | --queries-file FILE [--jobs N])
 //! xvr filter      --doc FILE [--views-file FILE] (--view XPATH)... QUERY
@@ -16,7 +16,7 @@
 //!                 [--addr HOST:PORT] [--jobs N]
 //! xvr loadgen     --addr HOST:PORT --queries-file FILE
 //!                 [--connections N] [--qps F] [--requests N]
-//!                 [--strategy bn|bf|mn|mv|hv|cb] [--no-cache] [--out FILE]
+//!                 [--strategy bn|bf|mn|mv|hv|cb|hvi] [--no-cache] [--out FILE]
 //! ```
 //!
 //! `--views-file` and `--queries-file` are text files with one XPath per
@@ -79,11 +79,11 @@ const USAGE: &str = "usage:
   xvr info        --doc FILE
   xvr eval        --doc FILE [--engine naive|bn|bf] QUERY
   xvr answer      --doc FILE [(--view XPATH)...] [--views-file FILE]
-                  [--views-dir DIR] [--strategy bn|bf|mn|mv|hv|cb]
+                  [--views-dir DIR] [--strategy bn|bf|mn|mv|hv|cb|hvi]
                   [--budget BYTES] [--show] [--explain] [--report]
                   (QUERY | --queries-file FILE [--jobs N])
   xvr stats       --doc FILE [(--view XPATH)...] [--views-file FILE]
-                  [--views-dir DIR] [--strategy bn|bf|mn|mv|hv|cb]
+                  [--views-dir DIR] [--strategy bn|bf|mn|mv|hv|cb|hvi]
                   [--budget BYTES] --queries-file FILE [--jobs N]
   xvr filter      --doc FILE [--views-file FILE] (--view XPATH)... QUERY
   xvr materialize --doc FILE (--view XPATH)... [--views-file FILE]
@@ -95,7 +95,7 @@ const USAGE: &str = "usage:
                   [--addr HOST:PORT] [--jobs N]
   xvr loadgen     --addr HOST:PORT --queries-file FILE
                   [--connections N] [--qps F] [--requests N]
-                  [--strategy bn|bf|mn|mv|hv|cb] [--no-cache] [--out FILE]";
+                  [--strategy bn|bf|mn|mv|hv|cb|hvi] [--no-cache] [--out FILE]";
 
 enum CliError {
     Usage(String),
@@ -269,7 +269,7 @@ fn eval(argv: &[String]) -> Result<ExitCode, CliError> {
 }
 
 /// The strategy vocabulary, for the near-miss suggestions below.
-const STRATEGY_NAMES: [&str; 6] = ["bn", "bf", "mn", "mv", "hv", "cb"];
+const STRATEGY_NAMES: [&str; 7] = ["bn", "bf", "mn", "mv", "hv", "cb", "hvi"];
 
 /// Levenshtein distance, for suggesting a strategy on a typo. Inputs are
 /// tiny (strategy names), so the quadratic DP is fine.
@@ -479,7 +479,9 @@ fn answer_batch(
         })
         .collect::<Result<_, _>>()?;
     let mut options = QueryOptions::strategy(strategy);
-    if parsed.flag("report") {
+    // HvIntersect always meters, so the coverage line below can say how
+    // many answers came through the intersection fallback.
+    if parsed.flag("report") || strategy == Strategy::HvIntersect {
         options = options.with_metrics();
     }
     let batch = snap.query_batch(&queries, &options, jobs);
@@ -509,6 +511,14 @@ fn answer_batch(
         batch.total.selection_us,
         batch.total.rewrite_us,
     );
+    if strategy == Strategy::HvIntersect {
+        eprintln!(
+            "coverage: {}/{} answered, {} via the intersection fallback",
+            batch.answered(),
+            batch.answers.len(),
+            batch.counters.get(xvr_core::Counter::IntersectAnswered),
+        );
+    }
     if parsed.flag("report") {
         eprintln!("batch counters (merged across {} job(s)):", batch.jobs);
         eprintln!("{}", batch.counters);
@@ -567,6 +577,14 @@ fn stats(argv: &[String]) -> Result<ExitCode, CliError> {
         batch.jobs,
         batch.wall_us
     );
+    if strategy == Strategy::HvIntersect {
+        outln!(
+            "coverage: {}/{} answered, {} via the intersection fallback",
+            batch.answered(),
+            batch.answers.len(),
+            batch.counters.get(xvr_core::Counter::IntersectAnswered),
+        );
+    }
     outln!("{}", snap.metrics().report());
     Ok(ExitCode::SUCCESS)
 }

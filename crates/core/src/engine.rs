@@ -52,6 +52,14 @@ pub enum Strategy {
     /// paper sketches in Section IV-B but omits: fragment bytes plus a
     /// per-view overhead, greedily minimized per covered obligation).
     Cb,
+    /// Heuristic view set, falling back to an intersection rewrite over
+    /// small subsets of VFILTER candidates when leaf-cover answerability
+    /// fails (Cautis et al., "Rewriting XPath Queries using View
+    /// Intersections"): the members' refined fragment-root arenas are
+    /// intersected with a galloping multi-way merge and the query's
+    /// root-path chain is verified on the intersected codes. Answers a
+    /// strict superset of the queries `Hv` answers.
+    HvIntersect,
 }
 
 impl Strategy {
@@ -64,11 +72,12 @@ impl Strategy {
             Strategy::Mv => "MV",
             Strategy::Hv => "HV",
             Strategy::Cb => "CB",
+            Strategy::HvIntersect => "HVI",
         }
     }
 
     /// Parse the paper's abbreviation (case-insensitive): `bn`, `bf`,
-    /// `mn`, `mv`, `hv`, `cb`.
+    /// `mn`, `mv`, `hv`, `cb`, `hvi`.
     pub fn parse(s: &str) -> Option<Strategy> {
         match s.to_ascii_lowercase().as_str() {
             "bn" => Some(Strategy::Bn),
@@ -77,6 +86,7 @@ impl Strategy {
             "mv" => Some(Strategy::Mv),
             "hv" => Some(Strategy::Hv),
             "cb" => Some(Strategy::Cb),
+            "hvi" => Some(Strategy::HvIntersect),
             _ => None,
         }
     }
@@ -92,8 +102,9 @@ impl Strategy {
         ]
     }
 
-    /// The paper's strategies plus the cost-based extension.
-    pub fn all_extended() -> [Strategy; 6] {
+    /// The paper's strategies plus the cost-based and intersection
+    /// extensions.
+    pub fn all_extended() -> [Strategy; 7] {
         [
             Strategy::Bn,
             Strategy::Bf,
@@ -101,6 +112,7 @@ impl Strategy {
             Strategy::Mv,
             Strategy::Hv,
             Strategy::Cb,
+            Strategy::HvIntersect,
         ]
     }
 }

@@ -157,6 +157,97 @@ pub fn leaf_cover(
     }
 }
 
+/// The leaf-cover of `v` used as a member of an *intersection* rewrite:
+/// the answer image is pinned to `m = RET(Q)` itself, and coverage may
+/// additionally use the **document-anchored prefix pinning** rule (see
+/// [`prefix_pinned_covered`]), which is unavailable to the per-obligation
+/// composable rule the greedy selection runs on. Returns `None` when no
+/// homomorphism `v → q` maps `RET(v)` onto `RET(Q)` — the completeness
+/// precondition of intersection rewriting (each member must contain the
+/// query at the answer position, so its refined fragment-root set is a
+/// superset of `ans(Q)`).
+pub fn intersect_cover(
+    v: &TreePattern,
+    q: &TreePattern,
+    obligations: &Obligations,
+) -> Option<LeafCover> {
+    let m = q.answer();
+    let preserves_answer = homomorphisms_capped(v, q, 512)
+        .iter()
+        .any(|h| h.image(v.answer()) == m);
+    if !preserves_answer {
+        return None;
+    }
+    let covered: Vec<PNodeId> = obligations
+        .nodes
+        .iter()
+        .copied()
+        .filter(|&n| node_covered(v, q, m, n, false) || prefix_pinned_covered(v, q, m, n))
+        .collect();
+    Some(LeafCover {
+        m,
+        covers_answer: true,
+        covered: covered.clone(),
+        // The solo rule is never consulted on the intersection path; keep
+        // the invariant `covered ⊆ covered_solo` without widening it.
+        covered_solo: covered,
+    })
+}
+
+/// Document-anchored prefix pinning, sound when every member of the join
+/// binds its fragment root to the *same* node `x` (the intersection
+/// setting, where all units share `m = RET(Q)`):
+///
+/// In any embedding of the chain `root → m` with `m ↦ x`, every chain node
+/// binds an ancestor of `x`. If the query prefix `root → q_att` is
+/// `/`-anchored and child-edge-only, `q_att` therefore binds the *unique*
+/// ancestor of `x` at depth `d` in every such embedding. A member view
+/// whose trunk prefix `root → trunk[d]` is likewise `/`-anchored and
+/// child-edge-only has its `trunk[d]` bound to that same node, so a branch
+/// (or attribute predicate) the view guarantees there holds exactly where
+/// the query needs it — no label alignment between the two prefixes is
+/// required, because the binding is pinned by depth alone.
+fn prefix_pinned_covered(v: &TreePattern, q: &TreePattern, m: PNodeId, n: PNodeId) -> bool {
+    if q.is_ancestor_or_self(m, n) {
+        return true;
+    }
+    let m_chain = q.root_path(m);
+    let n_chain = q.root_path(n);
+    let mut att_depth = 0;
+    while att_depth + 1 < m_chain.len()
+        && att_depth + 1 < n_chain.len()
+        && m_chain[att_depth + 1] == n_chain[att_depth + 1]
+    {
+        att_depth += 1;
+    }
+    // Query prefix root → q_att: `/`-anchored (the root's axis is the
+    // anchor) and child edges throughout.
+    if m_chain[..=att_depth]
+        .iter()
+        .any(|&c| q.axis(c) != Axis::Child)
+    {
+        return false;
+    }
+    // View trunk prefix of the same depth, `/`-anchored and child-only.
+    let trunk = v.trunk();
+    if trunk.len() <= att_depth {
+        return false;
+    }
+    if trunk[..=att_depth]
+        .iter()
+        .any(|&t| v.axis(t) != Axis::Child)
+    {
+        return false;
+    }
+    let v_att = trunk[att_depth];
+    let branch = &n_chain[att_depth + 1..];
+    if branch.is_empty() {
+        attr_guaranteed(v, v_att, q, n)
+    } else {
+        branch_guaranteed(v, v_att, q, branch)
+    }
+}
+
 fn node_covered(v: &TreePattern, q: &TreePattern, m: PNodeId, n: PNodeId, solo: bool) -> bool {
     // (A) Below (or at) the answer image: the fragment materializes the
     // whole subtree, so everything is checkable.
@@ -511,6 +602,61 @@ mod tests {
         assert!(covers.len() >= 2, "p occurs at two query positions");
         assert!(covers.iter().any(|c| c.covers_answer));
         assert!(covers.iter().any(|c| !c.covers_answer));
+    }
+
+    #[test]
+    fn intersect_cover_uses_prefix_pinning() {
+        // Q = /a/b[x][y]//c: the b → c edge is a descendant edge, so the
+        // composable suffix rule cannot pin b, and b is not the root — the
+        // ordinary covers claim neither branch. The intersection cover pins
+        // b as the depth-1 ancestor of the shared fragment root.
+        let mut s = Setup::new();
+        let q = s.pat("/a/b[x][y]//c");
+        let ob = Obligations::of(&q);
+        let v1 = s.pat("/a/b[x]//c");
+        let plain = best_cover(&v1, &q);
+        let plain_names = covered_names(&plain, &q, &s.labels);
+        assert!(!plain_names.contains(&"x".to_owned()), "{plain_names:?}");
+        let ic = intersect_cover(&v1, &q, &ob).expect("answer-preserving hom");
+        assert!(ic.covers_answer);
+        let names = covered_names(&ic, &q, &s.labels);
+        assert!(names.contains(&"x".to_owned()), "{names:?}");
+        assert!(names.contains(&"c".to_owned()), "below m: {names:?}");
+        assert!(!names.contains(&"y".to_owned()), "{names:?}");
+    }
+
+    #[test]
+    fn intersect_cover_rejects_unpinned_prefixes() {
+        let mut s = Setup::new();
+        // Descendant edge in the query prefix: the attachment is ambiguous.
+        let q = s.pat("//b[x]//c");
+        let ob = Obligations::of(&q);
+        let v = s.pat("//b[x]//c");
+        let ic = intersect_cover(&v, &q, &ob).expect("self-hom");
+        let names = covered_names(&ic, &q, &s.labels);
+        assert!(!names.contains(&"x".to_owned()), "{names:?}");
+        // Descendant edge in the view trunk prefix: the view's witness
+        // ancestor need not sit at the pinned depth.
+        let q2 = s.pat("/a/b[x]//c");
+        let ob2 = Obligations::of(&q2);
+        let v2 = s.pat("/a//b[x]//c");
+        if let Some(ic2) = intersect_cover(&v2, &q2, &ob2) {
+            let names2 = covered_names(&ic2, &q2, &s.labels);
+            assert!(!names2.contains(&"x".to_owned()), "{names2:?}");
+        }
+    }
+
+    #[test]
+    fn intersect_cover_requires_answer_preserving_hom() {
+        let mut s = Setup::new();
+        let q = s.pat("/a/b[x][y]//c");
+        let ob = Obligations::of(&q);
+        // Maps into q, but its answer lands on x, not on q's answer c.
+        let v = s.pat("/a/b/x");
+        assert!(intersect_cover(&v, &q, &ob).is_none());
+        // No homomorphism at all.
+        let v2 = s.pat("/a/b[z]//c");
+        assert!(intersect_cover(&v2, &q, &ob).is_none());
     }
 
     #[test]

@@ -99,7 +99,7 @@ pub use filter::{
     build_nfa, build_nfa_raw, filter_views, filter_views_metered, filter_views_opts, FilterOptions,
     FilterOutcome,
 };
-pub use leafcover::{leaf_cover, leaf_covers, LeafCover, Obligation, Obligations};
+pub use leafcover::{intersect_cover, leaf_cover, leaf_covers, LeafCover, Obligation, Obligations};
 pub use materialize::{MaterializedStore, MaterializedView};
 pub use metrics::{Counter, Hist, MetricsReport, QueryReport, SnapshotMetrics, StageCounters};
 pub use nfa::Nfa;
@@ -108,12 +108,13 @@ pub use oracle::{
     Invariant, OracleConfig, Reproducer, RunSummary, Violation,
 };
 pub use rewrite::{
-    rewrite, rewrite_cached, rewrite_metered, rewrite_scan, rewrite_scan_metered, RewriteCache,
-    RewriteError,
+    rewrite, rewrite_cached, rewrite_intersect, rewrite_intersect_metered, rewrite_metered,
+    rewrite_scan, rewrite_scan_metered, RewriteCache, RewriteError,
 };
 pub use select::{
     select_cost_based, select_cost_based_metered, select_heuristic, select_heuristic_metered,
-    select_minimum, select_minimum_metered, SelectedView, Selection,
+    select_intersection, select_intersection_metered, select_minimum, select_minimum_metered,
+    SelectedView, Selection,
 };
 pub use serve::{run_load, Client, LoadConfig, LoadReport, Server, ServerConfig, SnapshotCell};
 pub use snapshot::{AnswerTrace, BatchResult, EngineSnapshot, QueryOptions, QueryOutcome};

@@ -90,11 +90,26 @@ pub enum Counter {
     RewriteBytesCompared,
     /// Answer codes produced (all strategies, including `Bn`/`Bf`).
     AnswerCodes,
+    /// Intersection fallbacks attempted (`HvIntersect` after leaf-cover
+    /// answerability failed).
+    IntersectAttempts,
+    /// View subsets (size 2-3) probed by the intersection cover test.
+    IntersectSubsetsTried,
+    /// Multi-way galloping intersect joins executed over refined
+    /// fragment-root arenas.
+    IntersectJoins,
+    /// Flat-code comparisons performed by the intersect joins.
+    IntersectComparisons,
+    /// Galloping probes issued by the intersect joins.
+    IntersectGallopProbes,
+    /// Queries answered through the intersection fallback (as opposed to
+    /// the plain heuristic path of `HvIntersect`).
+    IntersectAnswered,
 }
 
 impl Counter {
     /// Number of counters (the dense array size).
-    pub const COUNT: usize = 25;
+    pub const COUNT: usize = 31;
 
     /// Every counter, in declaration (= index) order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -123,6 +138,12 @@ impl Counter {
         Counter::RewriteComparisonsSkipped,
         Counter::RewriteBytesCompared,
         Counter::AnswerCodes,
+        Counter::IntersectAttempts,
+        Counter::IntersectSubsetsTried,
+        Counter::IntersectJoins,
+        Counter::IntersectComparisons,
+        Counter::IntersectGallopProbes,
+        Counter::IntersectAnswered,
     ];
 
     /// Stable dotted name, `stage.metric`.
@@ -153,6 +174,12 @@ impl Counter {
             Counter::RewriteComparisonsSkipped => "rewrite.comparisons_skipped",
             Counter::RewriteBytesCompared => "rewrite.bytes_compared",
             Counter::AnswerCodes => "answer.codes",
+            Counter::IntersectAttempts => "intersect.attempts",
+            Counter::IntersectSubsetsTried => "intersect.subsets_tried",
+            Counter::IntersectJoins => "intersect.joins",
+            Counter::IntersectComparisons => "intersect.comparisons",
+            Counter::IntersectGallopProbes => "intersect.gallop_probes",
+            Counter::IntersectAnswered => "intersect.answered",
         }
     }
 }

@@ -1,4 +1,4 @@
-//! Differential + metamorphic oracle for the six answering strategies.
+//! Differential + metamorphic oracle for the seven answering strategies.
 //!
 //! The paper's central claim is *equivalent* rewriting: whatever a view
 //! strategy answers must be byte-identical to direct evaluation on the
@@ -33,6 +33,13 @@
 //!   - Join equivalence: the galloping flat-code holistic join must be
 //!     byte-identical to the legacy scan-merge join on the same selection
 //!     ([`Invariant::JoinEquivalence`]).
+//!   - Intersection soundness: every code an `HvIntersect` answer emits
+//!     must appear in the `Bn` ground truth — the multi-way intersect
+//!     join may only narrow, never invent
+//!     ([`Invariant::IntersectionSoundness`]).
+//!   - Coverage monotonicity: `HvIntersect` runs the `Hv` heuristic first
+//!     and falls back to intersection only on failure, so it must answer
+//!     every query `Hv` answers ([`Invariant::CoverageMonotonic`]).
 //!
 //! Cases additionally sweep the per-view **byte budget** (ample, zero, a
 //! tight constant, and exact fit — the budget resolved to precisely the
@@ -82,6 +89,11 @@ pub enum Invariant {
     /// The galloping flat-code join disagrees with the legacy scan-merge
     /// join on the same selection.
     JoinEquivalence,
+    /// An `HvIntersect` answer contained a code absent from the `Bn`
+    /// ground truth: the intersect join invented an answer.
+    IntersectionSoundness,
+    /// `Hv` answered but `HvIntersect` (heuristic-first fallback) did not.
+    CoverageMonotonic,
 }
 
 impl Invariant {
@@ -97,6 +109,8 @@ impl Invariant {
             Invariant::JobsDeterminism => "jobs_determinism",
             Invariant::CacheDeterminism => "cache_determinism",
             Invariant::JoinEquivalence => "join_equivalence",
+            Invariant::IntersectionSoundness => "intersection_soundness",
+            Invariant::CoverageMonotonic => "coverage_monotonic",
         }
     }
 
@@ -112,6 +126,8 @@ impl Invariant {
             Invariant::JobsDeterminism,
             Invariant::CacheDeterminism,
             Invariant::JoinEquivalence,
+            Invariant::IntersectionSoundness,
+            Invariant::CoverageMonotonic,
         ]
         .into_iter()
         .find(|i| i.as_str() == s)
@@ -136,6 +152,9 @@ pub enum Injection {
     DropLastCode,
     /// Pretend the `Hv` rewriting joined a view VFILTER rejected.
     ClaimFilteredView,
+    /// Drop the last code from every non-empty `HvIntersect` answer — an
+    /// intersect join that silently loses its final fragment root.
+    DropLastIntersect,
 }
 
 /// One self-contained failing (or once-failing) case: everything needed
@@ -327,7 +346,7 @@ pub fn load_corpus(dir: &Path) -> io::Result<Vec<(PathBuf, Reproducer)>> {
 /// Oracle knobs.
 #[derive(Clone, Debug)]
 pub struct OracleConfig {
-    /// Strategies to cross-check (default: all six).
+    /// Strategies to cross-check (default: all seven).
     pub strategies: Vec<Strategy>,
     /// Engine construction knobs for every rebuilt case.
     pub engine: EngineConfig,
@@ -447,6 +466,11 @@ pub struct CaseOutcome {
     pub queries: usize,
     /// Per-strategy successful view answers (guards against vacuity).
     pub answered: usize,
+    /// Queries the `Hv` heuristic answered (coverage baseline).
+    pub hv_answered: usize,
+    /// Queries `HvIntersect` answered (≥ `hv_answered`: the intersection
+    /// strategy tries the heuristic first).
+    pub hvi_answered: usize,
     /// Views VFILTER admitted, summed over queries (FP-rate denominator).
     pub filter_candidates: usize,
     /// Admitted views with *no* homomorphism into the query — VFILTER
@@ -462,6 +486,8 @@ impl CaseOutcome {
     fn merge(&mut self, other: CaseOutcome) {
         self.queries += other.queries;
         self.answered += other.answered;
+        self.hv_answered += other.hv_answered;
+        self.hvi_answered += other.hvi_answered;
         self.filter_candidates += other.filter_candidates;
         self.filter_false_positives += other.filter_false_positives;
         self.violations.extend(other.violations);
@@ -476,7 +502,8 @@ fn describe(r: &Result<crate::engine::Answer, AnswerError>) -> String {
     }
 }
 
-/// Apply the planted bug to an `Hv` result/trace pair.
+/// Apply the planted bug to the targeted strategy's result/trace pair
+/// (`Hv` for the classic injections, `HvIntersect` for the intersect one).
 fn inject(
     injection: Injection,
     strategy: Strategy,
@@ -484,12 +511,16 @@ fn inject(
     trace: &mut AnswerTrace,
     all_views: &[crate::view::ViewId],
 ) {
-    if strategy != Strategy::Hv {
+    let target = match injection {
+        Injection::DropLastIntersect => Strategy::HvIntersect,
+        _ => Strategy::Hv,
+    };
+    if strategy != target {
         return;
     }
     match injection {
         Injection::None => {}
-        Injection::DropLastCode => {
+        Injection::DropLastCode | Injection::DropLastIntersect => {
             if let Ok(a) = result {
                 a.codes.pop();
             }
@@ -568,7 +599,7 @@ fn check_query(
     }
 
     let all_ids: Vec<crate::view::ViewId> = snap.views().ids().collect();
-    let mut answerable = [false; 6];
+    let mut answerable = [false; 7];
     let strategy_slot = |s: Strategy| Strategy::all_extended().iter().position(|&x| x == s);
     for &s in &cfg.strategies {
         if s == Strategy::Bn {
@@ -650,6 +681,24 @@ fn check_query(
                     answerable[i] = true;
                 }
                 out.answered += usize::from(!matches!(s, Strategy::Bf));
+                out.hv_answered += usize::from(s == Strategy::Hv);
+                out.hvi_answered += usize::from(s == Strategy::HvIntersect);
+                // Intersection soundness: the intersect join may only
+                // narrow the member answer sets, so every emitted code must
+                // already be a ground-truth answer. (The differential check
+                // subsumes this for equality; a dedicated invariant keeps
+                // unsound joins distinguishable from incomplete ones.)
+                if s == Strategy::HvIntersect {
+                    if let Some(extra) = a.codes.iter().find(|c| !ground.contains(c)) {
+                        out.violations.push(fail(
+                            Invariant::IntersectionSoundness,
+                            Some(s),
+                            format!(
+                                "intersection answer emits code {extra} absent from direct evaluation"
+                            ),
+                        ));
+                    }
+                }
                 if a.codes != ground {
                     out.violations.push(fail(
                         Invariant::Differential,
@@ -690,6 +739,28 @@ fn check_query(
                 Invariant::MinimumMonotonicity,
                 Some(Strategy::Mn),
                 "Mv answered but Mn (superset candidates) did not".into(),
+            ));
+        }
+    }
+
+    // Coverage monotonicity: HvIntersect runs the Hv heuristic first and
+    // falls back to intersection only when it fails, so its answerable set
+    // is a superset of Hv's by construction — any regression here means
+    // the fallback broke the primary path.
+    let (hv, hvi) = (
+        strategy_slot(Strategy::Hv),
+        strategy_slot(Strategy::HvIntersect),
+    );
+    if let (Some(hv), Some(hvi)) = (hv, hvi) {
+        if answerable[hv]
+            && !answerable[hvi]
+            && cfg.strategies.contains(&Strategy::Hv)
+            && cfg.strategies.contains(&Strategy::HvIntersect)
+        {
+            out.violations.push(fail(
+                Invariant::CoverageMonotonic,
+                Some(Strategy::HvIntersect),
+                "Hv answered but HvIntersect (heuristic-first fallback) did not".into(),
             ));
         }
     }
@@ -1032,6 +1103,11 @@ pub struct RunSummary {
     pub queries: usize,
     /// Successful view-strategy answers across all triples.
     pub answered: usize,
+    /// Triples the `Hv` heuristic answered (coverage baseline).
+    pub hv_answered: usize,
+    /// Triples `HvIntersect` answered (coverage including the
+    /// intersection fallback; always ≥ `hv_answered`).
+    pub hvi_answered: usize,
     /// Views VFILTER admitted, summed over all triples.
     pub filter_candidates: usize,
     /// Admitted views with no homomorphism into their query (see
@@ -1069,6 +1145,8 @@ pub fn run_seed(
         summary.cases += 1;
         summary.queries += outcome.queries;
         summary.answered += outcome.answered;
+        summary.hv_answered += outcome.hv_answered;
+        summary.hvi_answered += outcome.hvi_answered;
         summary.filter_candidates += outcome.filter_candidates;
         summary.filter_false_positives += outcome.filter_false_positives;
         for v in outcome.violations {
@@ -1149,6 +1227,57 @@ mod tests {
             !still_fails(&shrunk, &small_cfg()),
             "case fails even without the injection"
         );
+    }
+
+    #[test]
+    fn injected_intersect_bug_is_caught_and_shrunk() {
+        let cfg = OracleConfig {
+            injection: Injection::DropLastIntersect,
+            ..OracleConfig::default()
+        };
+        let mut caught = None;
+        for seed in 0..12u64 {
+            let outcome = run_case(&small_spec(seed), &cfg);
+            if let Some(v) = outcome
+                .violations
+                .iter()
+                .find(|v| v.repro.invariant == Invariant::Differential)
+            {
+                caught = Some(v.clone());
+                break;
+            }
+        }
+        let v = caught.expect("DropLastIntersect must trip the differential check");
+        assert_eq!(v.repro.strategy, Some(Strategy::HvIntersect));
+        let shrunk = shrink(&v.repro, &cfg);
+        assert!(shrunk.views.len() <= v.repro.views.len());
+        assert!(
+            still_fails(&shrunk, &cfg),
+            "shrunk case no longer reproduces"
+        );
+        assert!(
+            !still_fails(&shrunk, &small_cfg()),
+            "case fails even without the injection"
+        );
+    }
+
+    #[test]
+    fn coverage_accounting_is_monotone_and_nonvacuous() {
+        let mut hv = 0;
+        let mut hvi = 0;
+        for seed in 0..4u64 {
+            let outcome = run_case(&small_spec(seed), &small_cfg());
+            assert!(
+                outcome.hvi_answered >= outcome.hv_answered,
+                "seed {seed}: HvIntersect coverage {} below Hv coverage {}",
+                outcome.hvi_answered,
+                outcome.hv_answered
+            );
+            hv += outcome.hv_answered;
+            hvi += outcome.hvi_answered;
+        }
+        assert!(hv > 0, "Hv never answered — coverage accounting vacuous");
+        assert!(hvi >= hv);
     }
 
     #[test]

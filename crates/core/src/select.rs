@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use xvr_pattern::{decompose, TreePattern};
 
 use crate::filter::FilterOutcome;
-use crate::leafcover::{leaf_covers, LeafCover, Obligations};
+use crate::leafcover::{intersect_cover, leaf_covers, LeafCover, Obligations};
 use crate::metrics::{Counter, StageCounters};
 use crate::view::{ViewId, ViewSet};
 
@@ -40,6 +40,12 @@ pub struct Selection {
     pub units: Vec<SelectedView>,
     /// Index of the anchor unit (its cover has `covers_answer`).
     pub anchor: usize,
+    /// `true` for a selection produced by [`select_intersection_metered`]:
+    /// every unit binds `m = RET(Q)` and the rewriting must intersect the
+    /// units' refined fragment-root sets
+    /// ([`crate::rewrite::rewrite_intersect`]) instead of running the
+    /// general holistic join.
+    pub intersection: bool,
 }
 
 impl Selection {
@@ -105,6 +111,7 @@ fn finalize(mut units: Vec<SelectedView>, obligations: &Obligations) -> Option<S
     Some(Selection {
         units: kept,
         anchor,
+        intersection: false,
     })
 }
 
@@ -174,6 +181,7 @@ pub fn select_minimum_metered(
                         cover: c.clone(),
                     }],
                     anchor: 0,
+                    intersection: false,
                 });
             }
         }
@@ -283,6 +291,7 @@ pub fn select_cost_based_metered(
                 cover: cover.clone(),
             }],
             anchor: 0,
+            intersection: false,
         });
     // Greedy weighted cover over composable units.
     let mut pending: Vec<xvr_pattern::PNodeId> = obligations.nodes.clone();
@@ -420,6 +429,7 @@ pub fn select_heuristic_metered(
                         cover: c.clone(),
                     }],
                     anchor: 0,
+                    intersection: false,
                 });
             }
             // Otherwise the best composable cover of this view covering `u`.
@@ -461,6 +471,85 @@ pub fn select_heuristic_metered(
         units.push(anchor_unit);
     }
     finalize(units, obligations)
+}
+
+/// Intersection selection (the `HvIntersect` fallback): when per-obligation
+/// leaf-cover answerability fails, enumerate small subsets (size 2–3) of
+/// the usable candidates whose *intersection covers* — leaf-covers pinned
+/// to `m = RET(Q)`, extended with document-anchored prefix pinning (see
+/// [`intersect_cover`]) — jointly cover every obligation. All members of
+/// the returned selection bind the answer node, so the rewriting intersects
+/// their refined fragment-root sets; completeness holds because each member
+/// contains the query at the answer position, soundness because every
+/// coverage claim is pinned to the shared binding.
+pub fn select_intersection(
+    q: &TreePattern,
+    views: &ViewSet,
+    candidates: &[ViewId],
+    obligations: &Obligations,
+) -> Option<Selection> {
+    select_intersection_metered(q, views, candidates, obligations, &mut StageCounters::new())
+}
+
+/// [`select_intersection`] recording observability counters
+/// (`intersect.attempts`, `intersect.subsets_tried`).
+pub fn select_intersection_metered(
+    q: &TreePattern,
+    views: &ViewSet,
+    candidates: &[ViewId],
+    obligations: &Obligations,
+    counters: &mut StageCounters,
+) -> Option<Selection> {
+    counters.bump(Counter::IntersectAttempts);
+    // Member candidates: views containing the query at the answer position,
+    // with their intersection covers.
+    let members: Vec<(ViewId, LeafCover)> = candidates
+        .iter()
+        .filter_map(|&v| {
+            counters.bump(Counter::SelectLeafCoverAttempts);
+            intersect_cover(&views.view(v).pattern, q, obligations).map(|c| (v, c))
+        })
+        .collect();
+    // Quick refutation: an obligation no member covers can never be
+    // covered by a subset union.
+    if obligations
+        .nodes
+        .iter()
+        .any(|n| !members.iter().any(|(_, c)| c.covered.contains(n)))
+    {
+        return None;
+    }
+    let mut found: Option<Vec<usize>> = None;
+    for size in 2..=3usize.min(members.len()) {
+        for_each_combination(members.len(), size, &mut |combo| {
+            if found.is_some() {
+                return;
+            }
+            counters.bump(Counter::IntersectSubsetsTried);
+            let jointly_covered = obligations
+                .nodes
+                .iter()
+                .all(|n| combo.iter().any(|&i| members[i].1.covered.contains(n)));
+            if jointly_covered {
+                found = Some(combo.to_vec());
+            }
+        });
+        if found.is_some() {
+            break;
+        }
+    }
+    let combo = found?;
+    Some(Selection {
+        units: combo
+            .iter()
+            .map(|&i| SelectedView {
+                view: members[i].0,
+                cover: members[i].1.clone(),
+            })
+            .collect(),
+        anchor: 0,
+        intersection: true,
+    })
 }
 
 #[cfg(test)]
@@ -613,6 +702,44 @@ mod tests {
         let (views, q, filter, ob) = setup(&["/s[t]/p", "//s//p"], "/s[f//i][t]/p");
         assert!(select_heuristic(&q, &views, &filter, &ob).is_none());
         assert!(select_cost_based(&q, &views, &filter.candidates, &ob, &|_| 1, 1).is_none());
+    }
+
+    #[test]
+    fn intersection_selection_recovers_heuristic_miss() {
+        // Neither view covers the other's branch under the composable rule
+        // (descendant edge b → c defeats suffix pinning), so every
+        // per-obligation strategy fails; the intersection pair succeeds.
+        let (views, q, filter, ob) = setup(&["/a/b[x]//c", "/a/b[y]//c"], "/a/b[x][y]//c");
+        assert!(select_heuristic(&q, &views, &filter, &ob).is_none());
+        assert!(select_minimum(&q, &views, &filter.candidates, &ob, 4).is_none());
+        let sel = select_intersection(&q, &views, &filter.candidates, &ob).expect("answerable");
+        assert!(sel.intersection);
+        assert_eq!(sel.view_ids(), vec![ViewId(0), ViewId(1)]);
+        assert_eq!(sel.units.len(), 2);
+        assert!(sel.units.iter().all(|u| u.cover.m == q.answer()));
+        assert!(sel.units[sel.anchor].cover.covers_answer);
+    }
+
+    #[test]
+    fn intersection_selection_size_three() {
+        let (views, q, filter, ob) = setup(
+            &["/a/b[x]//c", "/a/b[y]//c", "/a/b[z]//c"],
+            "/a/b[x][y][z]//c",
+        );
+        assert!(select_heuristic(&q, &views, &filter, &ob).is_none());
+        let sel = select_intersection(&q, &views, &filter.candidates, &ob).expect("answerable");
+        assert_eq!(sel.units.len(), 3);
+        assert!(sel.intersection);
+    }
+
+    #[test]
+    fn intersection_selection_rejects_uncoverable() {
+        // The y branch is guaranteed by no member: unanswerable.
+        let (views, q, filter, ob) = setup(&["/a/b[x]//c", "/a/b//c"], "/a/b[x][y]//c");
+        assert!(select_intersection(&q, &views, &filter.candidates, &ob).is_none());
+        // An unpinned query prefix (descendant to b) is also rejected.
+        let (views2, q2, filter2, ob2) = setup(&["//b[x]//c", "//b[y]//c"], "//b[x][y]//c");
+        assert!(select_intersection(&q2, &views2, &filter2.candidates, &ob2).is_none());
     }
 
     #[test]

@@ -46,9 +46,12 @@ use crate::leafcover::Obligations;
 use crate::materialize::MaterializedStore;
 use crate::metrics::{Counter, QueryReport, SnapshotMetrics, StageCounters};
 use crate::nfa::Nfa;
-use crate::rewrite::{rewrite_metered, rewrite_scan_metered, RewriteCache};
+use crate::rewrite::{
+    rewrite_intersect_metered, rewrite_metered, rewrite_scan_metered, RewriteCache,
+};
 use crate::select::{
-    select_cost_based_metered, select_heuristic_metered, select_minimum_metered, Selection,
+    select_cost_based_metered, select_heuristic_metered, select_intersection_metered,
+    select_minimum_metered, Selection,
 };
 use crate::view::{ViewId, ViewSet};
 
@@ -334,7 +337,7 @@ impl EngineSnapshot {
         let mut timings = StageTimings::default();
         let (candidates, lists): (Vec<ViewId>, Option<FilterOutcome>) = match strategy {
             Strategy::Mn => (self.views.ids().collect(), None),
-            Strategy::Mv | Strategy::Hv | Strategy::Cb => {
+            Strategy::Mv | Strategy::Hv | Strategy::Cb | Strategy::HvIntersect => {
                 let t0 = Instant::now();
                 let outcome = filter_views_metered(
                     q,
@@ -364,13 +367,22 @@ impl EngineSnapshot {
                 self.config.max_minimum_views,
                 counters,
             ),
-            Strategy::Hv => {
+            Strategy::Hv | Strategy::HvIntersect => {
                 let mut outcome = lists.expect("Hv always filters");
                 outcome.candidates = usable.clone();
                 for list in &mut outcome.lists {
                     list.retain(|(v, _)| usable.contains(v));
                 }
-                select_heuristic_metered(q, &self.views, &outcome, &obligations, counters)
+                let heuristic =
+                    select_heuristic_metered(q, &self.views, &outcome, &obligations, counters);
+                // HvIntersect = Hv plus an intersection fallback: only when
+                // leaf-cover answerability fails, search small subsets of
+                // the usable candidates whose intersection covers answer.
+                if heuristic.is_none() && strategy == Strategy::HvIntersect {
+                    select_intersection_metered(q, &self.views, &usable, &obligations, counters)
+                } else {
+                    heuristic
+                }
             }
             Strategy::Cb => select_cost_based_metered(
                 q,
@@ -481,7 +493,7 @@ impl EngineSnapshot {
                 };
                 (Ok(answer), AnswerTrace::default(), timings)
             }
-            Strategy::Mn | Strategy::Mv | Strategy::Hv | Strategy::Cb => {
+            Strategy::Mn | Strategy::Mv | Strategy::Hv | Strategy::Cb | Strategy::HvIntersect => {
                 let (selection, mut timings, usable) = self.lookup_metered(q, strategy, counters);
                 let mut trace = AnswerTrace {
                     usable,
@@ -501,7 +513,20 @@ impl EngineSnapshot {
                 counters.add(Counter::SelectViews, selection.view_ids().len() as u64);
                 let candidates = trace.usable.len();
                 let t0 = Instant::now();
-                let result = if self.config.scan_join {
+                let result = if selection.intersection {
+                    // Intersection selections join by set intersection of
+                    // same-`m` units; the scan-join switch does not apply
+                    // (there is no legacy scan variant of this join).
+                    rewrite_intersect_metered(
+                        q,
+                        &selection,
+                        &self.views,
+                        &self.store,
+                        &self.doc.fst,
+                        use_cache.then_some(self.rewrite_cache.as_ref()),
+                        counters,
+                    )
+                } else if self.config.scan_join {
                     rewrite_scan_metered(
                         q,
                         &selection,
@@ -525,6 +550,9 @@ impl EngineSnapshot {
                     Ok(codes) => codes,
                     Err(e) => return (Err(AnswerError::Rewrite(e)), trace, timings),
                 };
+                if selection.intersection {
+                    counters.bump(Counter::IntersectAnswered);
+                }
                 timings.rewrite_us = t0.elapsed().as_micros();
                 counters.add(Counter::AnswerCodes, codes.len() as u64);
                 let answer = Answer {

@@ -342,6 +342,9 @@ fn strategy_to_u8(s: Strategy) -> u8 {
         Strategy::Mv => 3,
         Strategy::Hv => 4,
         Strategy::Cb => 5,
+        // Appended in PR 8; tags 0-5 are unchanged, so pre-intersection
+        // clients interoperate — they just never send 6.
+        Strategy::HvIntersect => 6,
     }
 }
 

@@ -10,12 +10,27 @@
 use xvr_xml::{LabelTable, XmlTree};
 
 use crate::eval::matches_boolean;
-use crate::hom::exists_hom;
+use crate::hom::{exists_hom, homomorphisms_capped};
 use crate::pattern::{Axis, PLabel, PNodeId, TreePattern};
 
 /// Homomorphism-based containment: `sub ⊑ sup` (sound, incomplete).
 pub fn contains(sup: &TreePattern, sub: &TreePattern) -> bool {
     exists_hom(sup, sub)
+}
+
+/// Answer-preserving containment of `q` in the *intersection* of `members`:
+/// every member admits a homomorphism into `q` mapping its answer node onto
+/// `q`'s answer node. Each such homomorphism witnesses `ans(q) ⊆ ans(v)` on
+/// every document, hence `ans(q) ⊆ ⋂ᵢ ans(vᵢ)` — the completeness
+/// precondition of an intersection rewrite (Cautis et al., "Rewriting XPath
+/// Queries using View Intersections"). Sound and incomplete like
+/// [`contains`]; vacuously true for an empty member list.
+pub fn intersection_contains(members: &[&TreePattern], q: &TreePattern) -> bool {
+    members.iter().all(|v| {
+        homomorphisms_capped(v, q, 512)
+            .iter()
+            .any(|h| h.image(v.answer()) == q.answer())
+    })
 }
 
 /// Homomorphism-based equivalence (sound, incomplete).
@@ -231,6 +246,25 @@ mod tests {
         assert!(h && c);
         let (h2, c2) = check(r#"/a[@id="1"]"#, "/a[@id]");
         assert!(!h2 && !c2);
+    }
+
+    #[test]
+    fn intersection_containment() {
+        let mut labels = LabelTable::new();
+        let q = parse_pattern_with("/a/b[x][y]//c", &mut labels).unwrap();
+        let v1 = parse_pattern_with("/a/b[x]//c", &mut labels).unwrap();
+        let v2 = parse_pattern_with("/a/b[y]//c", &mut labels).unwrap();
+        // Both members contain the query at the answer position.
+        assert!(intersection_contains(&[&v1, &v2], &q));
+        assert!(intersection_contains(&[&v1], &q));
+        assert!(intersection_contains(&[], &q), "vacuous");
+        // A member whose answer cannot map onto q's answer breaks the test,
+        // even though it has homomorphisms into q elsewhere.
+        let v3 = parse_pattern_with("/a/b/x", &mut labels).unwrap();
+        assert!(!intersection_contains(&[&v1, &v3], &q));
+        // A member with no homomorphism at all breaks it too.
+        let v4 = parse_pattern_with("/a/b[z]//c", &mut labels).unwrap();
+        assert!(!intersection_contains(&[&v1, &v4], &q));
     }
 
     #[test]

@@ -31,7 +31,8 @@ pub mod pattern;
 pub mod region_eval;
 
 pub use containment::{
-    contains, contains_complete, equivalent, equivalent_complete, try_contains_complete,
+    contains, contains_complete, equivalent, equivalent_complete, intersection_contains,
+    try_contains_complete,
 };
 pub use decompose::{decompose, Decomposition};
 pub use eval::{
