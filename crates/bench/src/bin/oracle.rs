@@ -9,7 +9,7 @@
 //!
 //! ```text
 //! cargo run --release -p xvr-bench --bin oracle -- \
-//!     --seeds 0,1,2 --docs 12 --views 30 --queries 45 \
+//!     --seeds 0,1,2 --docs 15 --views 30 --queries 45 \
 //!     --corpus-dir tests/corpus
 //! ```
 //!
@@ -48,7 +48,7 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut args = Args {
         seeds: vec![0, 1, 2],
-        docs: 12,
+        docs: 15,
         views: 30,
         queries: 45,
         jobs: 4,

@@ -37,26 +37,23 @@ pub struct MaterializedView {
 impl MaterializedView {
     /// Global code of `node` inside fragment `frag_idx`.
     pub fn global_code(&self, frag_idx: usize, node: xvr_xml::NodeId) -> DeweyCode {
-        let frag = &self.fragments.fragments()[frag_idx];
-        let local = self.local_dewey[frag_idx].code_of(&frag.tree, node);
-        let mut comps = frag.code.components().to_vec();
+        let tree = self.fragments.tree(frag_idx);
+        let local = self.local_dewey[frag_idx].code_of(tree, node);
+        let mut comps = self.fragments.code(frag_idx).0;
         comps.extend_from_slice(&local.components()[1..]);
         DeweyCode(comps)
     }
 
     /// Index of the fragment rooted at `code`, if any.
     pub fn fragment_by_code(&self, code: &DeweyCode) -> Option<usize> {
-        self.fragments
-            .fragments()
-            .binary_search_by(|f| f.code.cmp(code))
-            .ok()
+        self.fragments.index_of_code(code)
     }
 
-    /// Fragment root codes in flat byte-comparable form (ascending, in
+    /// Fragment root codes, front-coded and byte-comparable (ascending, in
     /// lockstep with the fragment list) — the arena the rewriting stage's
-    /// galloping join slices its refined code lists out of.
-    pub fn flat_codes(&self) -> &xvr_xml::FlatCodes {
-        self.fragments.flat_codes()
+    /// galloping join decodes its refined code lists out of.
+    pub fn packed_codes(&self) -> &xvr_xml::PackedCodes {
+        self.fragments.packed_codes()
     }
 
     /// Is this view usable for *equivalent* rewriting?
@@ -104,9 +101,9 @@ impl MaterializedStore {
         let roots = eval(pattern, &doc.tree);
         let fragments = FragmentSet::materialize(doc, &roots, byte_budget);
         let local_dewey = fragments
-            .fragments()
+            .trees()
             .iter()
-            .map(|f| DeweyAssignment::assign(&f.tree, &doc.fst))
+            .map(|t| DeweyAssignment::assign(t, &doc.fst))
             .collect();
         self.views.insert(
             id,
@@ -145,9 +142,9 @@ impl MaterializedStore {
     /// the document's FST.
     pub fn install(&mut self, doc: &Document, id: ViewId, fragments: FragmentSet) {
         let local_dewey = fragments
-            .fragments()
+            .trees()
             .iter()
-            .map(|f| DeweyAssignment::assign(&f.tree, &doc.fst))
+            .map(|t| DeweyAssignment::assign(t, &doc.fst))
             .collect();
         self.views.insert(
             id,
@@ -179,11 +176,11 @@ impl MaterializedStore {
             let mut out = io::BufWriter::new(std::fs::File::create(path)?);
             writeln!(out, "# xvr-view v1 truncated={}", mv.fragments.truncated())?;
             writeln!(out, "{}", view.pattern.display(labels))?;
-            for frag in mv.fragments.fragments() {
-                let xml = xvr_xml::serialize(&frag.tree, labels)
+            for (code, tree) in mv.fragments.entries() {
+                let xml = xvr_xml::serialize(tree, labels)
                     .replace('\r', "&#13;")
                     .replace('\n', "&#10;");
-                writeln!(out, "{}\t{}", frag.code, xml)?;
+                writeln!(out, "{}\t{}", code, xml)?;
             }
         }
         Ok(())
@@ -214,10 +211,27 @@ impl MaterializedStore {
                 .next()
                 .transpose()?
                 .ok_or_else(|| bad(format!("{}: empty file", path.display())))?;
-            if !header.starts_with("# xvr-view v1") {
-                return Err(bad(format!("{}: not an xvr view file", path.display())));
-            }
-            let truncated = header.contains("truncated=true");
+            let rest = header
+                .strip_prefix("# xvr-view v1")
+                .ok_or_else(|| bad(format!("{}: not an xvr view file", path.display())))?;
+            // Strict field parse: `truncated=` guards whether a view may
+            // serve *equivalent* rewrites, so a malformed value must be an
+            // error, not a silent `false` (substring matching accepted
+            // `truncated=truex` and treated a missing field as complete).
+            let truncated = match rest
+                .trim()
+                .strip_prefix("truncated=")
+                .map(str::trim_end)
+            {
+                Some("true") => true,
+                Some("false") => false,
+                _ => {
+                    return Err(bad(format!(
+                        "{}: malformed header {header:?} (expected '# xvr-view v1 truncated=true|false')",
+                        path.display()
+                    )))
+                }
+            };
             let xpath = lines
                 .next()
                 .transpose()?
@@ -253,7 +267,7 @@ impl MaterializedStore {
                 codes.push(code);
                 trees.push(tree);
             }
-            let fragments = FragmentSet::from_parts(codes, trees, &doc.labels, truncated);
+            let fragments = FragmentSet::from_parts(codes, trees, truncated);
             let id = views.add(pattern);
             self.install(doc, id, fragments);
             loaded.push(id);
@@ -292,11 +306,11 @@ mod tests {
         let mv = store.get(v).unwrap();
         // Every fragment-internal node's global code must decode to its
         // label path within the original document.
-        for (i, frag) in mv.fragments.fragments().iter().enumerate() {
-            for n in frag.tree.iter() {
+        for (i, tree) in mv.fragments.trees().iter().enumerate() {
+            for n in tree.iter() {
                 let g = mv.global_code(i, n);
                 let decoded = doc.fst.decode(g.components()).unwrap();
-                let local_path = frag.tree.label_path(n);
+                let local_path = tree.label_path(n);
                 assert_eq!(
                     &decoded[decoded.len() - local_path.len()..],
                     &local_path[..]
@@ -338,13 +352,8 @@ mod tests {
             let codes_a: Vec<String> = a.fragments.codes().map(|c| c.to_string()).collect();
             let codes_b: Vec<String> = b.fragments.codes().map(|c| c.to_string()).collect();
             assert_eq!(codes_a, codes_b);
-            for (fa, fb) in a
-                .fragments
-                .fragments()
-                .iter()
-                .zip(b.fragments.fragments().iter())
-            {
-                assert_eq!(fa.tree.len(), fb.tree.len());
+            for (ta, tb) in a.fragments.trees().iter().zip(b.fragments.trees().iter()) {
+                assert_eq!(ta.len(), tb.len());
             }
         }
         std::fs::remove_dir_all(&dir).unwrap();
@@ -377,9 +386,80 @@ mod tests {
         let v = set.add(parse_pattern_with("//p", &mut labels).unwrap());
         let store = MaterializedStore::materialize_all(&doc, &set, usize::MAX);
         let mv = store.get(v).unwrap();
-        for (i, frag) in mv.fragments.fragments().iter().enumerate() {
-            assert_eq!(mv.fragment_by_code(&frag.code), Some(i));
+        for (i, code) in mv.fragments.codes().enumerate() {
+            assert_eq!(mv.fragment_by_code(&code), Some(i));
         }
         assert_eq!(mv.fragment_by_code(&DeweyCode(vec![9, 9, 9])), None);
+    }
+
+    /// Regression: the loader used to detect truncation with
+    /// `header.contains("truncated=true")`, so `truncated=truex`, a typoed
+    /// field name, or a missing field all silently loaded as *complete*
+    /// views — eligible for equivalent rewriting over an incomplete
+    /// fragment set. Malformed headers must be rejected outright.
+    #[test]
+    fn load_rejects_malformed_truncated_header() {
+        let doc = book_document();
+        for (i, header) in [
+            "# xvr-view v1 truncated=truex",
+            "# xvr-view v1 truncated=maybe",
+            "# xvr-view v1 trancated=true",
+            "# xvr-view v1",
+            "# xvr-view v1 truncated=",
+        ]
+        .iter()
+        .enumerate()
+        {
+            let dir = std::env::temp_dir().join(format!(
+                "xvr-store-hdr-{}-{i}",
+                std::process::id()
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(
+                dir.join("v0000.view"),
+                format!("{header}\n//s/p\n0.1.0\t<p/>\n"),
+            )
+            .unwrap();
+            let mut labels = doc.labels.clone();
+            let mut set = ViewSet::new();
+            let mut store = MaterializedStore::new();
+            let err = store.load(&doc, &mut set, &mut labels, &dir).unwrap_err();
+            assert!(
+                err.to_string().contains("malformed header"),
+                "{header:?} must be rejected, got: {err}"
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    /// Both header values survive a save/load round trip — a truncated
+    /// view must stay flagged (and thus excluded from equivalent
+    /// rewriting) after a restart.
+    #[test]
+    fn truncated_flag_round_trips_through_disk() {
+        let doc = book_document();
+        let mut labels = doc.labels.clone();
+        let mut set = ViewSet::new();
+        let complete = set.add(parse_pattern_with("//s[t]/p", &mut labels).unwrap());
+        let truncated = set.add(parse_pattern_with("//s", &mut labels).unwrap());
+        let mut store = MaterializedStore::new();
+        store.materialize(&doc, &set, complete, usize::MAX);
+        store.materialize(&doc, &set, truncated, 100);
+        assert!(store.get(complete).unwrap().complete());
+        assert!(!store.get(truncated).unwrap().complete());
+        let dir = std::env::temp_dir().join(format!("xvr-store-trunc-{}", std::process::id()));
+        store.save(&set, &labels, &dir).unwrap();
+
+        let mut labels2 = doc.labels.clone();
+        let mut set2 = ViewSet::new();
+        let mut store2 = MaterializedStore::new();
+        let loaded = store2.load(&doc, &mut set2, &mut labels2, &dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert!(store2.get(loaded[0]).unwrap().complete());
+        assert!(
+            !store2.get(loaded[1]).unwrap().complete(),
+            "truncation flag lost across save/load"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

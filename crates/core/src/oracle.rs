@@ -42,10 +42,12 @@
 //!     every query `Hv` answers ([`Invariant::CoverageMonotonic`]).
 //!
 //! Cases additionally sweep the per-view **byte budget** (ample, zero, a
-//! tight constant, and exact fit — the budget resolved to precisely the
-//! largest view's unbounded size), so truncation boundaries are exercised
-//! continuously; the resolved budget is recorded in reproducers and is a
-//! shrinking dimension of its own.
+//! tight constant, exact fit — the budget resolved to precisely the
+//! largest view's unbounded size — and near fit, one byte under it, which
+//! forces the footprint accounting itself to decide the truncation
+//! boundary), so truncation edges are exercised continuously; the
+//! resolved budget is recorded in reproducers and is a shrinking
+//! dimension of its own.
 //!
 //! On a violation the oracle **shrinks** the failing case — dropping
 //! views, pruning query branches, truncating the document — and emits a
@@ -382,6 +384,12 @@ pub enum BudgetSpec {
     /// Exactly the largest view's unbounded size: every view fits, with
     /// the biggest one landing precisely on the boundary.
     ExactFit,
+    /// One byte under the largest view's unbounded size: the footprint
+    /// accounting alone decides which view(s) truncate — exactly the
+    /// largest — so an under-counting size model (the pre-streaming
+    /// `size_bytes` bug) shifts the truncation set and trips the
+    /// strategy-agreement invariants.
+    NearFit,
 }
 
 /// One randomized (document, view set, query workload) instance.
@@ -412,9 +420,9 @@ fn mix(mut z: u64) -> u64 {
 impl CaseSpec {
     /// Derive the `index`-th case of `master_seed`: independent document,
     /// view, and query seeds, with the document size cycling through three
-    /// variants and the byte budget through four ([`BudgetSpec`]; index 0
+    /// variants and the byte budget through five ([`BudgetSpec`]; index 0
     /// is always ample, so single-case callers stay non-vacuous). The
-    /// cycles are coprime: 12 consecutive indices cover every combination.
+    /// cycles are coprime: 15 consecutive indices cover every combination.
     pub fn derive(master_seed: u64, index: usize, n_views: usize, n_queries: usize) -> CaseSpec {
         let base = mix(master_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut doc = Config::tiny(mix(base));
@@ -437,11 +445,12 @@ impl CaseSpec {
                 doc.categories = 10;
             }
         }
-        let budget = match index % 4 {
+        let budget = match index % 5 {
             0 => BudgetSpec::Ample,
             1 => BudgetSpec::Zero,
             2 => BudgetSpec::Tight,
-            _ => BudgetSpec::ExactFit,
+            3 => BudgetSpec::ExactFit,
+            _ => BudgetSpec::NearFit,
         };
         CaseSpec {
             doc,
@@ -867,19 +876,25 @@ fn resolve_budget(spec: BudgetSpec, doc: &xvr_xml::Document, views: &[TreePatter
         BudgetSpec::Ample => usize::MAX,
         BudgetSpec::Zero => 0,
         BudgetSpec::Tight => TIGHT_BUDGET,
-        BudgetSpec::ExactFit => {
-            let mut set = crate::view::ViewSet::new();
-            for v in views {
-                set.add(v.clone());
-            }
-            let store =
-                crate::materialize::MaterializedStore::materialize_all(doc, &set, usize::MAX);
-            set.ids()
-                .filter_map(|id| store.get(id).map(|mv| mv.fragments.total_bytes()))
-                .max()
-                .unwrap_or(0)
-        }
+        BudgetSpec::ExactFit => largest_view_bytes(doc, views),
+        // One under exact fit: the largest view truncates, everything
+        // else fits, and where that line falls is decided entirely by
+        // the footprint accounting.
+        BudgetSpec::NearFit => largest_view_bytes(doc, views).saturating_sub(1),
     }
+}
+
+/// The largest view's unbounded materialization size over `views`.
+fn largest_view_bytes(doc: &xvr_xml::Document, views: &[TreePattern]) -> usize {
+    let mut set = crate::view::ViewSet::new();
+    for v in views {
+        set.add(v.clone());
+    }
+    let store = crate::materialize::MaterializedStore::materialize_all(doc, &set, usize::MAX);
+    set.ids()
+        .filter_map(|id| store.get(id).map(|mv| mv.fragments.total_bytes()))
+        .max()
+        .unwrap_or(0)
 }
 
 /// Run all checks for one [`CaseSpec`]: generate the document, the view

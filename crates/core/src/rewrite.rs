@@ -286,19 +286,20 @@ impl RewriteCache {
             return Ok(Arc::clone(hit));
         }
         counters.bump(Counter::RewriteCacheMisses);
-        let mut all: Vec<&[u8]> = Vec::new();
+        let mut all: Vec<Vec<u8>> = Vec::new();
         for &v in key {
-            all.extend(
-                store
-                    .get(v)
-                    .expect("selected views are materialized")
-                    .flat_codes()
-                    .iter(),
-            );
+            let mv = store.get(v).expect("selected views are materialized");
+            let mut cur = mv.packed_codes().cursor();
+            while let Some(code) = cur.advance() {
+                all.push(code.to_vec());
+            }
         }
         all.sort_unstable_by(|a, b| flat_cmp(a, b));
         all.dedup();
-        let val = Arc::new(PrefixTree::build_sorted(all, fst)?);
+        let val = Arc::new(PrefixTree::build_sorted(
+            all.iter().map(|c| c.as_slice()),
+            fst,
+        )?);
         Ok(Arc::clone(
             self.trees
                 .write()
@@ -346,12 +347,11 @@ impl RewriteCache {
             return Ok(Arc::clone(hit));
         }
         counters.bump(Counter::RewriteCacheMisses);
-        let frags = mv.fragments.fragments();
-        let mut bits = vec![0u64; frags.len().div_ceil(64)];
-        for (fi, frag) in frags.iter().enumerate() {
+        let mut bits = vec![0u64; mv.fragments.len().div_ceil(64)];
+        for (fi, code) in mv.fragments.codes().enumerate() {
             let path = fst
-                .decode(frag.code.components())
-                .ok_or_else(|| RewriteError::UndecodableCode(frag.code.clone()))?;
+                .decode(code.components())
+                .ok_or_else(|| RewriteError::UndecodableCode(code.clone()))?;
             // The positional DP walks the decoded ancestor path once per
             // chain node.
             counters.add(
@@ -393,18 +393,20 @@ fn compute_refined(
     let mut codes = FlatCodes::new();
     counters.add(
         Counter::RewriteFragmentsScanned,
-        mv.fragments.fragments().len() as u64,
+        mv.fragments.len() as u64,
     );
-    for (fi, frag) in mv.fragments.fragments().iter().enumerate() {
+    let mut cur = mv.fragments.packed_codes().cursor();
+    for tree in mv.fragments.trees() {
+        let code = cur.advance().expect("code arena in lockstep with trees");
         let keep = if is_trivial(compensating) {
             // matches_anchored on a single attr-free node is exactly a
             // root label check.
-            label.matches(frag.tree.label(frag.tree.root()))
+            label.matches(tree.label(tree.root()))
         } else {
-            matches_anchored_in(compensating, &frag.tree, frag.tree.root(), scratch)
+            matches_anchored_in(compensating, tree, tree.root(), scratch)
         };
         if keep {
-            codes.push_encoded(mv.flat_codes().get(fi));
+            codes.push_encoded(code);
         }
     }
     codes
@@ -428,22 +430,24 @@ fn compute_anchor_pairs(
     };
     counters.add(
         Counter::RewriteFragmentsScanned,
-        mv.fragments.fragments().len() as u64,
+        mv.fragments.len() as u64,
     );
-    for (fi, frag) in mv.fragments.fragments().iter().enumerate() {
+    let mut cur = mv.fragments.packed_codes().cursor();
+    for (fi, tree) in mv.fragments.trees().iter().enumerate() {
+        let code = cur.advance().expect("code arena in lockstep with trees");
         let globals: Vec<DeweyCode> = if trivial_answer_is_root {
-            if !label.matches(frag.tree.label(frag.tree.root())) {
+            if !label.matches(tree.label(tree.root())) {
                 continue;
             }
-            vec![mv.global_code(fi, frag.tree.root())]
+            vec![mv.global_code(fi, tree.root())]
         } else {
-            let answers = eval_anchored_in(compensating, &frag.tree, frag.tree.root(), scratch);
+            let answers = eval_anchored_in(compensating, tree, tree.root(), scratch);
             if answers.is_empty() {
                 continue;
             }
             answers.into_iter().map(|n| mv.global_code(fi, n)).collect()
         };
-        anchors.codes.push_encoded(mv.flat_codes().get(fi));
+        anchors.codes.push_encoded(code);
         anchors.answers.push(globals);
         anchors.frag.push(fi as u32);
     }
@@ -1050,40 +1054,39 @@ pub fn rewrite_scan_metered(
         let trivial = is_trivial(&compensating);
         counters.add(
             Counter::RewriteFragmentsScanned,
-            mv.fragments.fragments().len() as u64,
+            mv.fragments.len() as u64,
         );
         if i == selection.anchor {
             let trivial_answer_is_root = trivial && compensating.answer() == compensating.root();
             let mut pairs: Vec<(DeweyCode, Vec<DeweyCode>)> = Vec::new();
-            for (fi, frag) in mv.fragments.fragments().iter().enumerate() {
+            for (fi, (code, tree)) in mv.fragments.entries().enumerate() {
                 if trivial_answer_is_root {
-                    if label.matches(frag.tree.label(frag.tree.root())) {
-                        let global = mv.global_code(fi, frag.tree.root());
-                        pairs.push((frag.code.clone(), vec![global]));
+                    if label.matches(tree.label(tree.root())) {
+                        let global = mv.global_code(fi, tree.root());
+                        pairs.push((code, vec![global]));
                     }
                     continue;
                 }
-                let answers =
-                    eval_anchored_in(&compensating, &frag.tree, frag.tree.root(), &mut scratch);
+                let answers = eval_anchored_in(&compensating, tree, tree.root(), &mut scratch);
                 if answers.is_empty() {
                     continue;
                 }
                 let globals: Vec<DeweyCode> =
                     answers.into_iter().map(|n| mv.global_code(fi, n)).collect();
-                pairs.push((frag.code.clone(), globals));
+                pairs.push((code, globals));
             }
             refined.push(pairs.iter().map(|(c, _)| c.clone()).collect());
             anchor_pairs = Some(pairs);
         } else {
             let mut codes: Vec<DeweyCode> = Vec::new();
-            for frag in mv.fragments.fragments() {
+            for (code, tree) in mv.fragments.entries() {
                 let keep = if trivial {
-                    label.matches(frag.tree.label(frag.tree.root()))
+                    label.matches(tree.label(tree.root()))
                 } else {
-                    matches_anchored_in(&compensating, &frag.tree, frag.tree.root(), &mut scratch)
+                    matches_anchored_in(&compensating, tree, tree.root(), &mut scratch)
                 };
                 if keep {
-                    codes.push(frag.code.clone());
+                    codes.push(code);
                 }
             }
             refined.push(codes);
@@ -1511,9 +1514,9 @@ mod tests {
         let mut encoded: Vec<Vec<u8>> = Vec::new();
         for v in [0u32, 1] {
             let mv = store.get(crate::view::ViewId(v)).unwrap();
-            for frag in mv.fragments.fragments() {
-                dewey.push(frag.code.clone());
-                encoded.push(xvr_xml::encode_code(&frag.code));
+            for code in mv.fragments.codes() {
+                encoded.push(xvr_xml::encode_code(&code));
+                dewey.push(code);
             }
         }
         let (scan_tree, scan_codes) = scan_prefix_tree(dewey.iter(), &doc.fst).unwrap();

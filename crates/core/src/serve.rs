@@ -536,12 +536,21 @@ impl std::fmt::Display for LoadReport {
     }
 }
 
-/// Nearest-rank percentile over an ascending-sorted slice.
-fn percentile(sorted: &[u64], p: f64) -> u64 {
+/// Nearest-rank percentile over an ascending-sorted slice: the value at
+/// rank `ceil(p·n/100)` (1-based), clamped into the slice; 0 when empty.
+///
+/// The rank is computed as `(p * n) / 100`, not `(p / 100) * n`: for
+/// integer `p` the product `p·n` is exact in an f64, so the division
+/// rounds once and `ceil` lands on the true rational rank. The reversed
+/// order misranks whenever `p/100` is unrepresentable — e.g. `p = 7`,
+/// `n = 100` computes `7.000000000000001`, ceils to rank 8, and reports
+/// the wrong element. The property tests in `tests/proptest_core.rs`
+/// hold this against an integer-arithmetic reference.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    let rank = ((p * sorted.len() as f64) / 100.0).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 

@@ -1,0 +1,87 @@
+//! Property tests for `xvr-core` numeric utilities.
+//!
+//! The load generator's percentile reporting uses nearest-rank selection;
+//! these tests pin it to an exact integer-arithmetic reference, including
+//! the edges the float formulation gets wrong (see `serve::percentile`).
+
+use proptest::prelude::*;
+use xvr_core::serve::percentile;
+
+/// Exact nearest-rank reference: the value at 1-based rank
+/// `ceil(p·n/100)` (clamped into the slice), computed entirely in integer
+/// arithmetic so no float rounding can shift the rank.
+fn reference(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len();
+    let rank = (p * n).div_ceil(100).clamp(1, n);
+    sorted[rank - 1]
+}
+
+proptest! {
+    /// Integer percentiles 0..=100 agree with the exact reference on
+    /// arbitrary (duplicate-heavy) inputs of any size, including
+    /// single-element slices.
+    #[test]
+    fn percentile_matches_nearest_rank_reference(
+        // Narrow value domain forces duplicate runs.
+        mut values in prop::collection::vec(0u64..16, 1..400),
+        p in 0usize..=100,
+    ) {
+        values.sort_unstable();
+        prop_assert_eq!(
+            percentile(&values, p as f64),
+            reference(&values, p),
+            "p={} n={}", p, values.len()
+        );
+    }
+
+    /// p=100 is the maximum and p=0 clamps to the minimum, for every
+    /// input.
+    #[test]
+    fn percentile_extremes(mut values in prop::collection::vec(any::<u64>(), 1..200)) {
+        values.sort_unstable();
+        prop_assert_eq!(percentile(&values, 100.0), *values.last().unwrap());
+        prop_assert_eq!(percentile(&values, 0.0), values[0]);
+    }
+
+    /// On a constant (all-duplicates) slice every percentile is that
+    /// constant.
+    #[test]
+    fn percentile_of_constant_slice(v in any::<u64>(), n in 1usize..300, p in 0usize..=100) {
+        let values = vec![v; n];
+        prop_assert_eq!(percentile(&values, p as f64), v);
+    }
+
+    /// Percentiles are monotone in p.
+    #[test]
+    fn percentile_monotone_in_p(
+        mut values in prop::collection::vec(any::<u64>(), 1..200),
+        p1 in 0usize..=100,
+        p2 in 0usize..=100,
+    ) {
+        values.sort_unstable();
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(percentile(&values, lo as f64) <= percentile(&values, hi as f64));
+    }
+}
+
+/// Regression: `(p / 100) * n` misranks when `p/100` is unrepresentable —
+/// `7.0 / 100.0 * 100.0 == 7.000000000000001` ceils to rank 8 and reports
+/// `sorted[7]` instead of `sorted[6]`. The `(p * n) / 100` order is exact
+/// for integer `p`.
+#[test]
+fn percentile_survives_unrepresentable_ratios() {
+    let values: Vec<u64> = (1..=100).collect();
+    for p in 1..=100u64 {
+        assert_eq!(
+            percentile(&values, p as f64),
+            p,
+            "p={p} over 1..=100 must return exactly p"
+        );
+    }
+    assert_eq!(percentile(&[42], 100.0), 42);
+    assert_eq!(percentile(&[42], 1.0), 42);
+    assert_eq!(percentile(&[], 50.0), 0);
+}

@@ -191,7 +191,7 @@ fn match_sets_filtered(
             }
             for &pc in pattern.children(pn) {
                 let ok = match pattern.axis(pc) {
-                    Axis::Child => tree.children(x).iter().any(|&y| d[pc.index()][y.index()]),
+                    Axis::Child => tree.children(x).any(|y| d[pc.index()][y.index()]),
                     Axis::Descendant => desc_flags
                         .iter()
                         .find(|(id, _)| *id == pc)
@@ -251,7 +251,7 @@ fn match_sets(
             }
             for &pc in pattern.children(pn) {
                 let ok = match pattern.axis(pc) {
-                    Axis::Child => tree.children(x).iter().any(|&y| d[pc.index()][y.index()]),
+                    Axis::Child => tree.children(x).any(|y| d[pc.index()][y.index()]),
                     Axis::Descendant => desc_flags
                         .iter()
                         .find(|(id, _)| *id == pc)
@@ -281,7 +281,7 @@ fn has_descendant_in(tree: &XmlTree, set: &[bool], scratch: &mut EvalScratch) ->
     let mut order: Vec<NodeId> = tree.iter().collect();
     order.reverse();
     for x in order {
-        for &c in tree.children(x) {
+        for c in tree.children(x) {
             if set[c.index()] || out[c.index()] {
                 out[x.index()] = true;
                 break;

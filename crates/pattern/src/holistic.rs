@@ -161,7 +161,7 @@ fn matching_paths(pp: &PathPattern, pidx: &PathIndex) -> Vec<xvr_xml::index::Pat
     };
     candidates
         .into_iter()
-        .filter(|&pid| pp.matches_labels(pidx.path(pid)))
+        .filter(|&pid| pp.matches_labels(&pidx.path(pid)))
         .collect()
 }
 

@@ -144,7 +144,7 @@ impl DeweyAssignment {
         for node in tree.iter() {
             let m = fst.fanout(tree.label(node));
             let mut prev: Option<u32> = None;
-            for &child in tree.children(node) {
+            for child in tree.children(node) {
                 let k = fst
                     .child_index(tree.label(node), tree.label(child))
                     .expect("FST must cover every parent/child label pair in the tree");
@@ -177,13 +177,19 @@ impl DeweyAssignment {
         self.components.resize(tree.len(), 0);
         // The appended node is the last child: its component must exceed
         // its predecessor's and hit the right residue.
-        let siblings = tree.children(parent);
-        debug_assert_eq!(*siblings.last().unwrap(), new_root);
+        debug_assert_eq!(tree.last_child(parent), Some(new_root));
         let m = fst.fanout(tree.label(parent));
         let k = fst
             .child_index(tree.label(parent), tree.label(new_root))
             .expect("stable append requires a known label pair");
-        let value = match siblings.len().checked_sub(2).map(|i| siblings[i]) {
+        let mut prev_sib: Option<NodeId> = None;
+        for c in tree.children(parent) {
+            if c == new_root {
+                break;
+            }
+            prev_sib = Some(c);
+        }
+        let value = match prev_sib {
             None => k,
             Some(prev) => {
                 let base = self.components[prev.index()] + 1;
@@ -195,7 +201,7 @@ impl DeweyAssignment {
         for node in tree.descendants_or_self(new_root) {
             let m = fst.fanout(tree.label(node));
             let mut prev: Option<u32> = None;
-            for &child in tree.children(node) {
+            for child in tree.children(node) {
                 let k = fst
                     .child_index(tree.label(node), tree.label(child))
                     .expect("stable append requires known label pairs");
@@ -243,7 +249,7 @@ mod tests {
         let doc = book_document();
         for node in doc.tree.iter() {
             let mut prev: Option<u32> = None;
-            for &c in doc.tree.children(node) {
+            for c in doc.tree.children(node) {
                 let v = doc.dewey.component(c);
                 if let Some(p) = prev {
                     assert!(v > p, "sibling components must strictly increase");
@@ -258,7 +264,7 @@ mod tests {
         let doc = book_document();
         for node in doc.tree.iter() {
             let m = doc.fst.fanout(doc.tree.label(node));
-            for &c in doc.tree.children(node) {
+            for c in doc.tree.children(node) {
                 let k = doc
                     .fst
                     .child_index(doc.tree.label(node), doc.tree.label(c))

@@ -5,46 +5,94 @@
 //! extended Dewey code. The code is what lets the rewriting stage join
 //! fragments of different views and reason about their ancestor label-paths
 //! without touching the base document (Section V of the paper).
+//!
+//! Storage layout: the subtree copies live in a plain `Vec<XmlTree>`
+//! (struct-of-arrays inside each tree), and the root codes live
+//! front-coded in a [`PackedCodes`] arena, sorted in document order and in
+//! lockstep with the tree list. Materialization is **streaming**: each
+//! candidate root's full storage footprint is computed from the base
+//! document *before* any subtree is copied, so a fragment the budget
+//! rejects is never extracted at all — at XMark scale 1.0 that is the
+//! difference between a bounded pass and cloning megabytes just to throw
+//! them away.
 
 use crate::dewey::DeweyCode;
-use crate::flat::FlatCodes;
-use crate::label::LabelTable;
-use crate::serializer::serialized_len;
+use crate::flat::{decode_code, encode_code, flat_cmp};
+use crate::packed::PackedCodes;
 use crate::tree::{Document, NodeId, XmlTree};
 
-/// One materialized fragment: a subtree copy plus its provenance code.
-#[derive(Clone, Debug)]
-pub struct Fragment {
-    /// Extended Dewey code of the fragment root in the base document.
-    pub code: DeweyCode,
-    /// Deep copy of the subtree rooted at the answer-node binding.
-    pub tree: XmlTree,
+/// Fixed per-node tree storage: the five `u32` columns of
+/// [`XmlTree`](crate::XmlTree)'s struct-of-arrays layout.
+pub const NODE_BYTES: usize = 20;
+
+/// Per-node charge for the local extended-Dewey component the engine
+/// assigns to every fragment tree (`MaterializedView::local_dewey`).
+pub const LOCAL_DEWEY_BYTES: usize = 4;
+
+/// Per-fragment slack for the packed code arena's entry headers, restart
+/// offsets, and tail buffer (a few bytes each, amortized).
+pub const FRAGMENT_SLACK_BYTES: usize = 8;
+
+/// Full storage footprint the fragment rooted at `node` *would* occupy if
+/// materialized, computed from the base document without extracting
+/// anything: the subtree's tree heap (mirroring `XmlTree::heap_size`
+/// entry-for-entry), the per-node local Dewey component, the encoded root
+/// code, and the arena slack.
+pub fn fragment_footprint(doc: &Document, node: NodeId) -> usize {
+    subtree_heap_bytes(&doc.tree, node)
+        + encode_code(&doc.dewey.code_of(&doc.tree, node)).len()
+        + FRAGMENT_SLACK_BYTES
 }
 
-impl Fragment {
-    /// Extract the fragment for `node` from `doc`.
-    pub fn extract(doc: &Document, node: NodeId) -> Fragment {
-        Fragment {
-            code: doc.dewey.code_of(&doc.tree, node),
-            tree: doc.tree.extract_subtree(node),
+/// Tree-heap + local-Dewey bytes of the subtree at `node`, summed with the
+/// same per-entry accounting as `XmlTree::heap_size` (4-byte map key +
+/// 24-byte header + payload per text/attr entry), so it equals
+/// `extract_subtree(node).heap_size() + LOCAL_DEWEY_BYTES * size` exactly.
+fn subtree_heap_bytes(tree: &XmlTree, node: NodeId) -> usize {
+    let mut bytes = 0usize;
+    for n in tree.descendants_or_self(node) {
+        bytes += NODE_BYTES + LOCAL_DEWEY_BYTES;
+        if let Some(t) = tree.text(n) {
+            bytes += 4 + 24 + t.len();
+        }
+        let attrs = tree.attrs(n);
+        if !attrs.is_empty() {
+            bytes += 4 + 24;
+            for (_, v) in attrs {
+                bytes += 4 + 24 + v.len();
+            }
         }
     }
-
-    /// Serialized size of the fragment in bytes.
-    pub fn size_bytes(&self, labels: &LabelTable) -> usize {
-        serialized_len(&self.tree, labels, self.tree.root()) + self.code.len() * 4
-    }
+    bytes
 }
 
-/// All fragments of one materialized view, sorted by code (document order).
+/// What [`FragmentSet::materialize_with_stats`] did: how many candidate
+/// roots were offered, sized, admitted — and how many subtrees were
+/// actually copied. `extractions == admitted` always; the field exists so
+/// tests can assert the rejected path performs **zero** extraction work.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaterializeStats {
+    /// Candidate roots offered (length of the binding list).
+    pub candidates: usize,
+    /// Fragments admitted under the budget.
+    pub admitted: usize,
+    /// Fragments sized and refused (at most 1: the first refusal stops the
+    /// pass, leaving later candidates unsized).
+    pub rejected: usize,
+    /// Subtree deep-copies performed.
+    pub extractions: usize,
+}
+
+/// All fragments of one materialized view, sorted by root code (document
+/// order): subtree copies plus a front-coded arena of their root codes.
 #[derive(Clone, Debug, Default)]
 pub struct FragmentSet {
-    fragments: Vec<Fragment>,
-    /// Root codes in flat byte-comparable form, struct-of-arrays: entry `i`
-    /// encodes `fragments[i].code`. The rewriting stage's holistic join
-    /// runs entirely on this arena (memcmp-style compares, no
-    /// per-component decoding); kept in lockstep by every mutator.
-    flat: FlatCodes,
+    /// Fragment trees, in ascending root-code order.
+    trees: Vec<XmlTree>,
+    /// Root codes, front-coded, in lockstep with `trees`. The rewriting
+    /// stage's holistic join gallops over this arena (restart points keep
+    /// the exponential-probe primitive intact).
+    packed: PackedCodes,
     total_bytes: usize,
     /// True when materialization stopped early because of the size budget.
     truncated: bool,
@@ -62,67 +110,98 @@ impl FragmentSet {
     /// so `total_bytes() <= byte_budget` holds unconditionally and
     /// `!truncated()` really means "every binding is here".
     ///
+    /// Sizing happens against the *base document* before any copy is made
+    /// ([`fragment_footprint`]); a rejected fragment costs one subtree scan,
+    /// never an extraction.
+    ///
     /// Returns the set even when truncated; check [`FragmentSet::truncated`]
     /// before using a truncated set for *equivalent* rewriting.
     pub fn materialize(doc: &Document, roots: &[NodeId], byte_budget: usize) -> FragmentSet {
-        let mut set = FragmentSet::default();
-        for &r in roots {
-            let frag = Fragment::extract(doc, r);
-            let sz = frag.size_bytes(&doc.labels);
-            if set.total_bytes + sz > byte_budget {
-                set.truncated = true;
-                break;
-            }
-            set.total_bytes += sz;
-            set.fragments.push(frag);
-        }
-        set.fragments.sort_by(|a, b| a.code.cmp(&b.code));
-        set.rebuild_flat();
-        set
+        FragmentSet::materialize_with_stats(doc, roots, byte_budget).0
     }
 
-    /// Assemble a set from externally produced parts (e.g. loaded from
-    /// disk); fragments are sorted by code and sizes recomputed.
-    pub fn from_parts(
-        codes: Vec<DeweyCode>,
-        trees: Vec<XmlTree>,
-        labels: &LabelTable,
-        truncated: bool,
-    ) -> FragmentSet {
-        assert_eq!(codes.len(), trees.len());
-        let mut fragments: Vec<Fragment> = codes
-            .into_iter()
-            .zip(trees)
-            .map(|(code, tree)| Fragment { code, tree })
-            .collect();
-        fragments.sort_by(|a, b| a.code.cmp(&b.code));
-        let total_bytes = fragments.iter().map(|f| f.size_bytes(labels)).sum();
+    /// [`FragmentSet::materialize`] plus a work tally.
+    pub fn materialize_with_stats(
+        doc: &Document,
+        roots: &[NodeId],
+        byte_budget: usize,
+    ) -> (FragmentSet, MaterializeStats) {
+        let mut stats = MaterializeStats {
+            candidates: roots.len(),
+            ..MaterializeStats::default()
+        };
+        let mut admitted: Vec<(Vec<u8>, NodeId)> = Vec::new();
+        let mut total_bytes = 0usize;
+        let mut truncated = false;
+        for &r in roots {
+            let code = encode_code(&doc.dewey.code_of(&doc.tree, r));
+            let sz = subtree_heap_bytes(&doc.tree, r) + code.len() + FRAGMENT_SLACK_BYTES;
+            if total_bytes + sz > byte_budget {
+                truncated = true;
+                stats.rejected += 1;
+                break;
+            }
+            total_bytes += sz;
+            admitted.push((code, r));
+            stats.admitted += 1;
+        }
+        // Sort by code first (byte order = document order), then extract:
+        // the packed arena is append-only and must be built in order.
+        admitted.sort_by(|a, b| flat_cmp(&a.0, &b.0));
         let mut set = FragmentSet {
-            fragments,
-            flat: FlatCodes::new(),
+            trees: Vec::with_capacity(admitted.len()),
+            packed: PackedCodes::new(),
             total_bytes,
             truncated,
         };
-        set.rebuild_flat();
-        set
+        for (code, r) in &admitted {
+            set.packed.push(code);
+            set.trees.push(doc.tree.extract_subtree(*r));
+            stats.extractions += 1;
+        }
+        (set, stats)
     }
 
-    /// The fragments, in document order of their roots.
-    pub fn fragments(&self) -> &[Fragment] {
-        &self.fragments
+    /// Assemble a set from externally produced parts (e.g. loaded from
+    /// disk); fragments are sorted by code and footprints recomputed from
+    /// the trees themselves.
+    pub fn from_parts(codes: Vec<DeweyCode>, trees: Vec<XmlTree>, truncated: bool) -> FragmentSet {
+        assert_eq!(codes.len(), trees.len());
+        let mut pairs: Vec<(Vec<u8>, XmlTree)> = codes
+            .iter()
+            .map(encode_code)
+            .zip(trees)
+            .collect();
+        pairs.sort_by(|a, b| flat_cmp(&a.0, &b.0));
+        let mut set = FragmentSet {
+            trees: Vec::with_capacity(pairs.len()),
+            packed: PackedCodes::new(),
+            total_bytes: 0,
+            truncated,
+        };
+        for (code, tree) in pairs {
+            set.total_bytes += tree.heap_size()
+                + tree.len() * LOCAL_DEWEY_BYTES
+                + code.len()
+                + FRAGMENT_SLACK_BYTES;
+            set.packed.push(&code);
+            set.trees.push(tree);
+        }
+        set
     }
 
     /// Number of fragments.
     pub fn len(&self) -> usize {
-        self.fragments.len()
+        self.trees.len()
     }
 
     /// True when no fragment was materialized.
     pub fn is_empty(&self) -> bool {
-        self.fragments.is_empty()
+        self.trees.is_empty()
     }
 
-    /// Total serialized bytes across fragments.
+    /// Full storage footprint in bytes across fragments: tree heaps,
+    /// per-node local Dewey components, and the code arena (with slack).
     pub fn total_bytes(&self) -> usize {
         self.total_bytes
     }
@@ -132,35 +211,86 @@ impl FragmentSet {
         self.truncated
     }
 
-    /// Root codes in document order.
-    pub fn codes(&self) -> impl Iterator<Item = &DeweyCode> {
-        self.fragments.iter().map(|f| &f.code)
+    /// The fragment trees, in document order of their roots.
+    pub fn trees(&self) -> &[XmlTree] {
+        &self.trees
     }
 
-    /// Root codes in flat byte-comparable form (ascending, in lockstep
-    /// with [`FragmentSet::fragments`]).
-    pub fn flat_codes(&self) -> &FlatCodes {
-        &self.flat
+    /// Tree of fragment `i`.
+    pub fn tree(&self, i: usize) -> &XmlTree {
+        &self.trees[i]
     }
 
-    /// Retain only fragments whose index passes `keep`; preserves order.
+    /// Root code of fragment `i`, decoded (costs one bounded block decode
+    /// in the packed arena plus the component decode).
+    pub fn code(&self, i: usize) -> DeweyCode {
+        decode_code(&self.packed.get(i)).expect("packed arena holds only canonical codes")
+    }
+
+    /// Root codes in document order (sequential decode, O(1) amortized).
+    pub fn codes(&self) -> Codes<'_> {
+        Codes {
+            cursor: self.packed.cursor(),
+        }
+    }
+
+    /// `(root code, fragment tree)` pairs in document order.
+    pub fn entries(&self) -> impl Iterator<Item = (DeweyCode, &XmlTree)> {
+        self.codes().zip(self.trees.iter())
+    }
+
+    /// Index of the fragment rooted at exactly `code`, if any.
+    pub fn index_of_code(&self, code: &DeweyCode) -> Option<usize> {
+        self.packed.binary_search(&encode_code(code)).ok()
+    }
+
+    /// Root codes in front-coded byte-comparable form (ascending, in
+    /// lockstep with [`FragmentSet::trees`]).
+    pub fn packed_codes(&self) -> &PackedCodes {
+        &self.packed
+    }
+
+    /// Retain only fragments whose index passes `keep`; preserves order
+    /// and recomputes the footprint over the survivors.
     pub fn retain_indices(&mut self, keep: &[bool]) {
-        debug_assert_eq!(keep.len(), self.fragments.len());
-        let mut i = 0;
-        self.fragments.retain(|_| {
-            let k = keep[i];
+        debug_assert_eq!(keep.len(), self.trees.len());
+        let mut packed = PackedCodes::new();
+        let mut total_bytes = 0usize;
+        let mut cur = self.packed.cursor();
+        let mut i = 0usize;
+        while let Some(code) = cur.advance() {
+            if keep[i] {
+                packed.push(code);
+                total_bytes += self.trees[i].heap_size()
+                    + self.trees[i].len() * LOCAL_DEWEY_BYTES
+                    + code.len()
+                    + FRAGMENT_SLACK_BYTES;
+            }
             i += 1;
+        }
+        let mut j = 0usize;
+        self.trees.retain(|_| {
+            let k = keep[j];
+            j += 1;
             k
         });
-        self.rebuild_flat();
+        self.packed = packed;
+        self.total_bytes = total_bytes;
     }
+}
 
-    /// Re-derive the flat code arena from the (code-sorted) fragments.
-    fn rebuild_flat(&mut self) {
-        self.flat = FlatCodes::new();
-        for f in &self.fragments {
-            self.flat.push_components(f.code.components());
-        }
+/// Iterator over a set's root codes; see [`FragmentSet::codes`].
+pub struct Codes<'a> {
+    cursor: crate::packed::Cursor<'a>,
+}
+
+impl Iterator for Codes<'_> {
+    type Item = DeweyCode;
+
+    fn next(&mut self) -> Option<DeweyCode> {
+        self.cursor
+            .advance()
+            .map(|bytes| decode_code(bytes).expect("packed arena holds only canonical codes"))
     }
 }
 
@@ -191,10 +321,10 @@ mod tests {
     fn budget_truncates() {
         let doc = book_document();
         let roots = p_nodes(&doc);
-        let set = FragmentSet::materialize(&doc, &roots, 40);
+        let set = FragmentSet::materialize(&doc, &roots, 80);
         assert!(set.truncated());
         assert!(set.len() < 8);
-        assert!(set.total_bytes() <= 40, "budget is a hard cap");
+        assert!(set.total_bytes() <= 80, "budget is a hard cap");
     }
 
     #[test]
@@ -207,11 +337,77 @@ mod tests {
         assert!(set.truncated(), "an empty-by-budget set is incomplete");
     }
 
+    /// Regression (streaming materialization): a budget that admits
+    /// nothing must copy nothing. The pre-streaming implementation
+    /// extracted every candidate subtree *before* checking the budget.
+    #[test]
+    fn budget_zero_performs_zero_extractions() {
+        let doc = book_document();
+        let roots = p_nodes(&doc);
+        let (set, stats) = FragmentSet::materialize_with_stats(&doc, &roots, 0);
+        assert!(set.is_empty());
+        assert_eq!(stats.extractions, 0, "rejected fragments must not be cloned");
+        assert_eq!(stats.admitted, 0);
+        assert_eq!(stats.rejected, 1, "sizing stops at the first refusal");
+        assert_eq!(stats.candidates, roots.len());
+        // And when the budget admits everything, the tallies agree.
+        let (full, full_stats) = FragmentSet::materialize_with_stats(&doc, &roots, usize::MAX);
+        assert_eq!(full_stats.extractions, full.len());
+        assert_eq!(full_stats.admitted, roots.len());
+        assert_eq!(full_stats.rejected, 0);
+    }
+
+    /// Regression (footprint accounting): the reported total must cover
+    /// every backing buffer — tree heaps, the packed code arena, and the
+    /// per-node local-Dewey provision — not just the serialized text size.
+    #[test]
+    fn size_bytes_covers_all_backing_buffers() {
+        let doc = book_document();
+        let s = doc.labels.get("s").unwrap();
+        let roots: Vec<NodeId> = doc
+            .tree
+            .iter()
+            .filter(|&n| doc.tree.label(n) == s)
+            .collect();
+        let set = FragmentSet::materialize(&doc, &roots, usize::MAX);
+        let tree_heap: usize = set.trees().iter().map(|t| t.heap_size()).sum();
+        let local_dewey: usize = set
+            .trees()
+            .iter()
+            .map(|t| t.len() * LOCAL_DEWEY_BYTES)
+            .sum();
+        let backing = tree_heap + local_dewey + set.packed_codes().heap_size();
+        assert!(
+            set.total_bytes() >= backing,
+            "total_bytes {} undercounts backing buffers {}",
+            set.total_bytes(),
+            backing
+        );
+    }
+
+    #[test]
+    fn footprint_matches_extracted_tree_exactly() {
+        let doc = book_document();
+        for n in doc.tree.iter() {
+            let predicted = fragment_footprint(&doc, n);
+            let tree = doc.tree.extract_subtree(n);
+            let code = encode_code(&doc.dewey.code_of(&doc.tree, n));
+            assert_eq!(
+                predicted,
+                tree.heap_size()
+                    + tree.len() * LOCAL_DEWEY_BYTES
+                    + code.len()
+                    + FRAGMENT_SLACK_BYTES,
+                "node {n:?}"
+            );
+        }
+    }
+
     #[test]
     fn single_oversized_fragment_flags_truncated() {
         let doc = book_document();
         let roots = p_nodes(&doc);
-        let first_sz = Fragment::extract(&doc, roots[0]).size_bytes(&doc.labels);
+        let first_sz = fragment_footprint(&doc, roots[0]);
         assert!(first_sz > 1);
         // Budget below the first fragment: nothing stored, truncated set.
         let set = FragmentSet::materialize(&doc, &roots, first_sz - 1);
@@ -245,9 +441,11 @@ mod tests {
         let roots = p_nodes(&doc);
         let set = FragmentSet::materialize(&doc, &roots, usize::MAX);
         let codes: Vec<_> = set.codes().collect();
+        assert_eq!(codes.len(), set.len());
         for w in codes.windows(2) {
             assert!(w[0] < w[1]);
         }
+        assert!(set.packed_codes().is_strictly_sorted());
     }
 
     #[test]
@@ -260,41 +458,43 @@ mod tests {
             .filter(|&n| doc.tree.label(n) == s)
             .collect();
         let set = FragmentSet::materialize(&doc, &sections, usize::MAX);
-        for (frag, &src) in set.fragments().iter().zip(sections.iter()) {
+        for (tree, &src) in set.trees().iter().zip(sections.iter()) {
             // Sorted order equals input order here (sections collected in
             // document order), so pairing is valid.
-            assert_eq!(frag.tree.len(), doc.tree.subtree_size(src));
-            assert_eq!(frag.tree.label(frag.tree.root()), s);
+            assert_eq!(tree.len(), doc.tree.subtree_size(src));
+            assert_eq!(tree.label(tree.root()), s);
         }
     }
 
     #[test]
-    fn flat_arena_tracks_fragments() {
+    fn packed_arena_tracks_fragments() {
         let doc = book_document();
         let roots = p_nodes(&doc);
         let mut set = FragmentSet::materialize(&doc, &roots, usize::MAX);
         let check = |set: &FragmentSet| {
-            assert_eq!(set.flat_codes().len(), set.len());
-            assert!(set.flat_codes().is_strictly_sorted());
-            for (i, frag) in set.fragments().iter().enumerate() {
-                assert_eq!(
-                    crate::flat::decode_code(set.flat_codes().get(i)),
-                    Some(frag.code.clone())
-                );
+            assert_eq!(set.packed_codes().len(), set.len());
+            assert!(set.packed_codes().is_strictly_sorted());
+            for (i, code) in set.codes().enumerate() {
+                assert_eq!(set.code(i), code);
+                assert_eq!(set.index_of_code(&code), Some(i));
             }
+            assert_eq!(set.entries().count(), set.len());
         };
         check(&set);
-        // Mutators keep the arena in lockstep.
+        // Mutators keep the arena in lockstep and re-account the total.
+        let before = set.total_bytes();
         let keep: Vec<bool> = (0..set.len()).map(|i| i % 2 == 0).collect();
         set.retain_indices(&keep);
         check(&set);
+        assert_eq!(set.len(), 4);
+        assert!(set.total_bytes() < before);
         let rebuilt = FragmentSet::from_parts(
-            set.fragments().iter().map(|f| f.code.clone()).collect(),
-            set.fragments().iter().map(|f| f.tree.clone()).collect(),
-            &doc.labels,
+            set.codes().collect(),
+            set.trees().to_vec(),
             false,
         );
         check(&rebuilt);
+        assert_eq!(rebuilt.total_bytes(), set.total_bytes());
     }
 
     #[test]
@@ -303,8 +503,8 @@ mod tests {
         let roots = p_nodes(&doc);
         let set = FragmentSet::materialize(&doc, &roots, usize::MAX);
         let p = doc.labels.get("p").unwrap();
-        for frag in set.fragments() {
-            let path = doc.fst.decode(frag.code.components()).unwrap();
+        for code in set.codes() {
+            let path = doc.fst.decode(code.components()).unwrap();
             assert_eq!(*path.last().unwrap(), p);
         }
     }

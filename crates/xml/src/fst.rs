@@ -36,7 +36,7 @@ impl Fst {
         };
         for node in tree.iter() {
             let pl = tree.label(node);
-            for &child in tree.children(node) {
+            for child in tree.children(node) {
                 fst.observe(pl, tree.label(child));
             }
         }

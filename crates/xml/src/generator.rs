@@ -389,8 +389,7 @@ mod tests {
         let names: Vec<&str> = doc
             .tree
             .children(doc.tree.root())
-            .iter()
-            .map(|&c| doc.labels.name(doc.tree.label(c)))
+            .map(|c| doc.labels.name(doc.tree.label(c)))
             .collect();
         assert_eq!(
             names,

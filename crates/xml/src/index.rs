@@ -56,11 +56,22 @@ impl NodeIndex {
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct PathId(u32);
 
+/// Sentinel for "no parent path" (the root path's parent).
+const NO_PATH: u32 = u32::MAX;
+
 /// Label-path → nodes, plus label → paths-ending-in-label.
+///
+/// Paths are interned as a **trie**: each distinct path is one
+/// `(parent path id, last label)` step, so a path of length `d` shares its
+/// first `d-1` steps with every sibling path instead of duplicating the
+/// whole label sequence twice (once as data, once as a hash-map key). Keys
+/// are 8 bytes regardless of depth.
 #[derive(Clone, Debug)]
 pub struct PathIndex {
-    paths: Vec<Vec<Label>>,
-    by_path: HashMap<Vec<Label>, PathId>,
+    /// Trie step per path: (parent path id or `NO_PATH`, last label).
+    steps: Vec<(u32, Label)>,
+    /// (parent path id, last label) → path id. One 8-byte key per path.
+    by_step: HashMap<(u32, Label), PathId>,
     nodes_by_path: Vec<Vec<NodeId>>,
     /// For each label, the ids of all paths whose last step is that label.
     paths_by_tail: Vec<Vec<PathId>>,
@@ -72,8 +83,8 @@ impl PathIndex {
     /// Build the index with one pre-order scan.
     pub fn build(tree: &XmlTree, labels: &LabelTable) -> PathIndex {
         let mut idx = PathIndex {
-            paths: Vec::new(),
-            by_path: HashMap::new(),
+            steps: Vec::new(),
+            by_step: HashMap::new(),
             nodes_by_path: Vec::new(),
             paths_by_tail: vec![Vec::new(); labels.len()],
             node_path: vec![PathId(0); tree.len()],
@@ -82,52 +93,71 @@ impl PathIndex {
             return idx;
         }
         // Depth-first with an explicit stack of (node, parent's path id).
-        let mut stack: Vec<(NodeId, Option<PathId>)> = vec![(tree.root(), None)];
-        let mut scratch: Vec<Label> = Vec::new();
+        // Pushing the sibling before the first child makes the LIFO pop
+        // order pre-order, so per-path node lists come out sorted.
+        let mut stack: Vec<(NodeId, u32)> = vec![(tree.root(), NO_PATH)];
         while let Some((node, parent_path)) = stack.pop() {
-            scratch.clear();
-            if let Some(pp) = parent_path {
-                scratch.extend_from_slice(&idx.paths[pp.0 as usize]);
-            }
-            scratch.push(tree.label(node));
-            let pid = match idx.by_path.get(scratch.as_slice()) {
-                Some(&pid) => pid,
-                None => {
-                    let pid = PathId(idx.paths.len() as u32);
-                    idx.by_path.insert(scratch.clone(), pid);
-                    idx.paths.push(scratch.clone());
-                    idx.nodes_by_path.push(Vec::new());
-                    idx.paths_by_tail[tree.label(node).index()].push(pid);
-                    pid
-                }
-            };
+            let pid = idx.intern_step(parent_path, tree.label(node));
             idx.nodes_by_path[pid.0 as usize].push(node);
             idx.node_path[node.index()] = pid;
-            for &c in tree.children(node).iter().rev() {
-                stack.push((c, Some(pid)));
+            if parent_path != NO_PATH {
+                if let Some(sib) = tree.next_sibling(node) {
+                    stack.push((sib, parent_path));
+                }
+            }
+            if let Some(fc) = tree.first_child(node) {
+                stack.push((fc, pid.0));
             }
         }
-        // The DFS above visits in document order per path already (stack is
-        // LIFO with reversed children), so node lists are sorted.
         idx
+    }
+
+    fn intern_step(&mut self, parent: u32, label: Label) -> PathId {
+        match self.by_step.get(&(parent, label)) {
+            Some(&pid) => pid,
+            None => {
+                let pid = PathId(self.steps.len() as u32);
+                self.by_step.insert((parent, label), pid);
+                self.steps.push((parent, label));
+                self.nodes_by_path.push(Vec::new());
+                self.paths_by_tail[label.index()].push(pid);
+                pid
+            }
+        }
     }
 
     /// Number of distinct label-paths.
     pub fn path_count(&self) -> usize {
-        self.paths.len()
+        self.steps.len()
     }
 
-    /// The label sequence of `pid`.
-    pub fn path(&self, pid: PathId) -> &[Label] {
-        &self.paths[pid.0 as usize]
-    }
-
-    /// Nodes whose root path is exactly `path`.
-    pub fn nodes_on_path(&self, path: &[Label]) -> &[NodeId] {
-        match self.by_path.get(path) {
-            Some(pid) => &self.nodes_by_path[pid.0 as usize],
-            None => &[],
+    /// The label sequence of `pid`, reconstructed by walking the trie
+    /// towards the root.
+    pub fn path(&self, pid: PathId) -> Vec<Label> {
+        let mut out = Vec::new();
+        let mut cur = pid.0;
+        while cur != NO_PATH {
+            let (parent, label) = self.steps[cur as usize];
+            out.push(label);
+            cur = parent;
         }
+        out.reverse();
+        out
+    }
+
+    /// Nodes whose root path is exactly `path` (a trie walk from the root).
+    pub fn nodes_on_path(&self, path: &[Label]) -> &[NodeId] {
+        let mut cur = NO_PATH;
+        for &l in path {
+            match self.by_step.get(&(cur, l)) {
+                Some(pid) => cur = pid.0,
+                None => return &[],
+            }
+        }
+        if cur == NO_PATH {
+            return &[];
+        }
+        &self.nodes_by_path[cur as usize]
     }
 
     /// Ids of all paths ending with label `l`.
@@ -145,7 +175,7 @@ impl PathIndex {
 
     /// All path ids.
     pub fn path_ids(&self) -> impl Iterator<Item = PathId> {
-        (0..self.paths.len() as u32).map(PathId)
+        (0..self.steps.len() as u32).map(PathId)
     }
 
     /// Path id of a specific node.
@@ -153,14 +183,13 @@ impl PathIndex {
         self.node_path[node.index()]
     }
 
-    /// Approximate heap footprint in bytes. Dominated by per-node entries,
-    /// so roughly proportional to document size times path-key overhead —
-    /// this is what makes the "full index" expensive, as in the paper.
+    /// Approximate heap footprint in bytes. Dominated by per-node entries;
+    /// the interned trie steps cost 8 bytes per distinct path (plus the
+    /// 12-byte hash entry) no matter how deep the paths are.
     pub fn heap_size(&self) -> usize {
-        let path_bytes: usize = self.paths.iter().map(|p| p.len() * 4 + 24).sum();
+        let step_bytes = self.steps.len() * (8 + 12);
         let node_bytes: usize = self.nodes_by_path.iter().map(|v| v.len() * 4 + 24).sum();
-        // Hash map keys duplicate the path labels.
-        path_bytes * 2 + node_bytes + self.node_path.len() * 4 + self.paths_by_tail.len() * 24
+        step_bytes + node_bytes + self.node_path.len() * 4 + self.paths_by_tail.len() * 24
     }
 }
 

@@ -27,6 +27,7 @@ pub mod fst;
 pub mod generator;
 pub mod index;
 pub mod label;
+pub mod packed;
 pub mod parser;
 pub mod region;
 pub mod samples;
@@ -37,12 +38,13 @@ pub mod tree;
 pub use dewey::{DeweyAssignment, DeweyCode};
 pub use error::ParseError;
 pub use flat::{encode_code, flat_cmp, flat_is_prefix, intersect_many, CmpStats, FlatCodes};
-pub use fragment::{Fragment, FragmentSet};
+pub use fragment::{fragment_footprint, FragmentSet, MaterializeStats};
 pub use fst::Fst;
 pub use index::{NodeIndex, PathIndex};
 pub use label::{Label, LabelTable};
+pub use packed::PackedCodes;
 pub use parser::parse_document;
 pub use region::{Region, RegionEncoding};
 pub use serializer::serialize;
 pub use stats::DocStats;
-pub use tree::{CodeStability, Document, NodeId, XmlNode, XmlTree};
+pub use tree::{CodeStability, Document, NodeId, XmlTree};

@@ -1,0 +1,458 @@
+//! Front-coded (delta-encoded) storage for sorted flat Dewey codes.
+//!
+//! [`FlatCodes`](crate::FlatCodes) stores every code in full plus a 4-byte
+//! offset per entry. A materialized view's root codes are *sorted* and
+//! neighbouring codes share long prefixes (siblings differ only in their
+//! last component), so the fragment store keeps them **front-coded**: each
+//! entry records how many bytes it shares with its predecessor (`lcp`) and
+//! only the differing suffix. Every [`RESTART_INTERVAL`]-th entry is a
+//! **restart point** written in full (`lcp = 0`), which bounds random
+//! access at `O(RESTART_INTERVAL)` sequential decodes and — because the
+//! restart codes are plain, fully-encoded flat codes — keeps the galloping
+//! lower-bound primitive working: the gallop runs over restart points and
+//! finishes with a short in-block scan ([`PackedCodes::gallop_lower_bound`]).
+//!
+//! Entry layout: `uvarint(lcp) ++ uvarint(suffix_len) ++ suffix_bytes`,
+//! where the uvarints are ordinary LEB128 (headers are never compared, so
+//! they need no order preservation). The suffix of a restart entry *is* the
+//! full encoded code and can be borrowed zero-copy.
+
+use std::cmp::Ordering;
+
+use crate::flat::{flat_cmp, CmpStats, FlatCodes};
+
+/// Every `RESTART_INTERVAL`-th code is stored in full.
+pub const RESTART_INTERVAL: usize = 16;
+
+fn push_uvarint(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn read_uvarint(bytes: &[u8], pos: &mut usize) -> u32 {
+    let mut v = 0u32;
+    let mut shift = 0;
+    loop {
+        let b = bytes[*pos];
+        *pos += 1;
+        v |= ((b & 0x7F) as u32) << shift;
+        if b & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+/// Sorted flat codes, front-coded with periodic restart points.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PackedCodes {
+    /// Concatenated entries (see module docs for the layout).
+    bytes: Vec<u8>,
+    /// Byte offset of entry `i * RESTART_INTERVAL` in `bytes`.
+    restarts: Vec<u32>,
+    len: usize,
+    /// Last appended code in full — the delta base for the next push.
+    tail: Vec<u8>,
+}
+
+impl PackedCodes {
+    /// Fresh empty arena.
+    pub fn new() -> PackedCodes {
+        PackedCodes::default()
+    }
+
+    /// Number of codes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// No codes stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append an encoded code. Codes must be pushed in ascending
+    /// [`flat_cmp`] order (the sorted-arena invariant front-coding needs).
+    pub fn push(&mut self, code: &[u8]) {
+        debug_assert!(
+            self.is_empty() || flat_cmp(&self.tail, code) != Ordering::Greater,
+            "PackedCodes::push requires ascending code order"
+        );
+        let lcp = if self.len.is_multiple_of(RESTART_INTERVAL) {
+            self.restarts.push(self.bytes.len() as u32);
+            0
+        } else {
+            self.tail
+                .iter()
+                .zip(code.iter())
+                .take_while(|(a, b)| a == b)
+                .count()
+        };
+        push_uvarint(&mut self.bytes, lcp as u32);
+        push_uvarint(&mut self.bytes, (code.len() - lcp) as u32);
+        self.bytes.extend_from_slice(&code[lcp..]);
+        self.tail.clear();
+        self.tail.extend_from_slice(code);
+        self.len += 1;
+    }
+
+    /// The restart code of block `b` (entry `b * RESTART_INTERVAL`),
+    /// borrowed zero-copy — restart entries are stored in full.
+    fn restart_code(&self, b: usize) -> &[u8] {
+        let mut pos = self.restarts[b] as usize;
+        let lcp = read_uvarint(&self.bytes, &mut pos);
+        debug_assert_eq!(lcp, 0, "restart entries are written in full");
+        let suffix_len = read_uvarint(&self.bytes, &mut pos) as usize;
+        &self.bytes[pos..pos + suffix_len]
+    }
+
+    /// Decode the code at index `i` into `out` (cleared first). Costs at
+    /// most [`RESTART_INTERVAL`] sequential entry decodes from the
+    /// preceding restart point.
+    pub fn get_into(&self, i: usize, out: &mut Vec<u8>) {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let block = i / RESTART_INTERVAL;
+        let mut pos = self.restarts[block] as usize;
+        out.clear();
+        for _ in 0..=(i - block * RESTART_INTERVAL) {
+            let lcp = read_uvarint(&self.bytes, &mut pos) as usize;
+            let suffix_len = read_uvarint(&self.bytes, &mut pos) as usize;
+            out.truncate(lcp);
+            out.extend_from_slice(&self.bytes[pos..pos + suffix_len]);
+            pos += suffix_len;
+        }
+    }
+
+    /// The code at index `i` as a fresh vector.
+    pub fn get(&self, i: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.get_into(i, &mut out);
+        out
+    }
+
+    /// Sequential decoder over all codes — the cheap full-scan path
+    /// (no per-entry restart seek). A lending cursor, not an `Iterator`:
+    /// each [`Cursor::advance`] overwrites the previous slice.
+    pub fn cursor(&self) -> Cursor<'_> {
+        Cursor {
+            packed: self,
+            pos: 0,
+            idx: 0,
+            buf: Vec::new(),
+        }
+    }
+
+    /// First index `>= from` whose code compares `>= key`. Same contract
+    /// (and tallying discipline) as [`FlatCodes::gallop_lower_bound`]:
+    /// exponential probing — here over the restart points, which are plain
+    /// flat codes — pins the target block in `O(log d)` probes, and a
+    /// bounded in-block scan (< [`RESTART_INTERVAL`] entries) lands the
+    /// exact index.
+    pub fn gallop_lower_bound(&self, from: usize, key: &[u8], stats: &mut CmpStats) -> usize {
+        let n = self.len;
+        if from >= n {
+            return n;
+        }
+        let work_before = stats.comparisons;
+        let b_from = from / RESTART_INTERVAL;
+        let n_blocks = self.restarts.len();
+        // Entries at-or-after `from` are all >= restart(b_from); if even
+        // that restart is past `key`, `from` itself is the lower bound.
+        let result = if probe(stats, self.restart_code(b_from), key) != Ordering::Less {
+            from
+        } else {
+            // Gallop over restarts: find the last block whose restart code
+            // is < key (it exists: b_from qualifies).
+            let mut lo = b_from;
+            let mut step = 1usize;
+            let mut hi = loop {
+                let next = lo + step;
+                if next >= n_blocks {
+                    break n_blocks;
+                }
+                if probe(stats, self.restart_code(next), key) == Ordering::Less {
+                    lo = next;
+                    step <<= 1;
+                } else {
+                    break next;
+                }
+            };
+            // Last `< key` restart is in [lo, hi); binary search.
+            let mut l = lo + 1;
+            while l < hi {
+                let mid = l + (hi - l) / 2;
+                if probe(stats, self.restart_code(mid), key) == Ordering::Less {
+                    l = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            let block = l - 1;
+            // Scan the block sequentially; the answer is inside it or is
+            // the next block's first entry (whose restart is >= key).
+            let block_first = block * RESTART_INTERVAL;
+            let block_end = (block_first + RESTART_INTERVAL).min(n);
+            let start = from.max(block_first);
+            let mut found = block_end;
+            let mut pos = self.restarts[block] as usize;
+            let mut buf = Vec::new();
+            for j in block_first..block_end {
+                let lcp = read_uvarint(&self.bytes, &mut pos) as usize;
+                let suffix_len = read_uvarint(&self.bytes, &mut pos) as usize;
+                buf.truncate(lcp);
+                buf.extend_from_slice(&self.bytes[pos..pos + suffix_len]);
+                pos += suffix_len;
+                if j < start {
+                    continue;
+                }
+                if stats.compare(&buf, key) != Ordering::Less {
+                    found = j;
+                    break;
+                }
+            }
+            found
+        };
+        let work = stats.comparisons - work_before;
+        // A scan-merge would have compared every entry in [from, result].
+        stats.skipped += ((result - from + 1) as u64).saturating_sub(work);
+        result
+    }
+
+    /// Plain lower bound from the start of the arena.
+    pub fn lower_bound(&self, key: &[u8]) -> usize {
+        let mut scratch = CmpStats::default();
+        self.gallop_lower_bound(0, key, &mut scratch)
+    }
+
+    /// `Ok(index)` of an exact match, `Err(insertion_point)` otherwise.
+    pub fn binary_search(&self, key: &[u8]) -> Result<usize, usize> {
+        let i = self.lower_bound(key);
+        if i < self.len && self.get(i) == key {
+            Ok(i)
+        } else {
+            Err(i)
+        }
+    }
+
+    /// True when codes are in strictly ascending [`flat_cmp`] order.
+    pub fn is_strictly_sorted(&self) -> bool {
+        let mut prev: Option<Vec<u8>> = None;
+        let mut cur = self.cursor();
+        while let Some(code) = cur.advance() {
+            if let Some(p) = &prev {
+                if flat_cmp(p, code) != Ordering::Less {
+                    return false;
+                }
+            }
+            prev = Some(code.to_vec());
+        }
+        true
+    }
+
+    /// Expand back into a plain [`FlatCodes`] arena.
+    pub fn to_flat(&self) -> FlatCodes {
+        let mut out = FlatCodes::new();
+        let mut cur = self.cursor();
+        while let Some(code) = cur.advance() {
+            out.push_encoded(code);
+        }
+        out
+    }
+
+    /// Heap footprint in bytes (entry stream + restart offsets + the
+    /// delta-base tail buffer).
+    pub fn heap_size(&self) -> usize {
+        self.bytes.len() + self.restarts.len() * 4 + self.tail.len()
+    }
+}
+
+#[inline]
+fn probe(stats: &mut CmpStats, a: &[u8], b: &[u8]) -> Ordering {
+    stats.probes += 1;
+    stats.compare(a, b)
+}
+
+/// Lending sequential decoder over a [`PackedCodes`]; see
+/// [`PackedCodes::cursor`].
+pub struct Cursor<'a> {
+    packed: &'a PackedCodes,
+    pos: usize,
+    idx: usize,
+    buf: Vec<u8>,
+}
+
+impl Cursor<'_> {
+    /// Decode the next code; `None` past the end. The returned slice is
+    /// valid until the next call.
+    pub fn advance(&mut self) -> Option<&[u8]> {
+        if self.idx >= self.packed.len {
+            return None;
+        }
+        let bytes = &self.packed.bytes;
+        let lcp = read_uvarint(bytes, &mut self.pos) as usize;
+        let suffix_len = read_uvarint(bytes, &mut self.pos) as usize;
+        self.buf.truncate(lcp);
+        self.buf.extend_from_slice(&bytes[self.pos..self.pos + suffix_len]);
+        self.pos += suffix_len;
+        self.idx += 1;
+        Some(&self.buf)
+    }
+
+    /// Index of the entry the next [`Cursor::advance`] will return.
+    pub fn index(&self) -> usize {
+        self.idx
+    }
+}
+
+impl FromIterator<Vec<u8>> for PackedCodes {
+    fn from_iter<I: IntoIterator<Item = Vec<u8>>>(iter: I) -> PackedCodes {
+        let mut pc = PackedCodes::new();
+        for code in iter {
+            pc.push(&code);
+        }
+        pc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::encode_components;
+
+    fn sorted_arena(comps: &[&[u32]]) -> (PackedCodes, FlatCodes) {
+        let mut encoded: Vec<Vec<u8>> = comps.iter().map(|c| encode_components(c)).collect();
+        encoded.sort_by(|a, b| flat_cmp(a, b));
+        let packed: PackedCodes = encoded.iter().cloned().collect();
+        let mut flat = FlatCodes::new();
+        for e in &encoded {
+            flat.push_encoded(e);
+        }
+        (packed, flat)
+    }
+
+    fn book_like() -> (PackedCodes, FlatCodes) {
+        // Deep sibling-heavy shape: long shared prefixes.
+        let mut comps: Vec<Vec<u32>> = Vec::new();
+        for a in 0..5u32 {
+            for b in 0..9u32 {
+                comps.push(vec![0, a, b]);
+                for c in 0..4u32 {
+                    comps.push(vec![0, a, b, 130 + c]);
+                }
+            }
+        }
+        let mut encoded: Vec<Vec<u8>> = comps.iter().map(|c| encode_components(c)).collect();
+        encoded.sort_by(|a, b| flat_cmp(a, b));
+        let packed: PackedCodes = encoded.iter().cloned().collect();
+        let mut flat = FlatCodes::new();
+        for e in &encoded {
+            flat.push_encoded(e);
+        }
+        (packed, flat)
+    }
+
+    #[test]
+    fn random_access_matches_flat() {
+        let (packed, flat) = book_like();
+        assert_eq!(packed.len(), flat.len());
+        let mut buf = Vec::new();
+        for i in 0..flat.len() {
+            packed.get_into(i, &mut buf);
+            assert_eq!(buf.as_slice(), flat.get(i), "entry {i}");
+        }
+    }
+
+    #[test]
+    fn cursor_scans_in_order() {
+        let (packed, flat) = book_like();
+        let mut cur = packed.cursor();
+        for i in 0..flat.len() {
+            assert_eq!(cur.index(), i);
+            assert_eq!(cur.advance().unwrap(), flat.get(i), "entry {i}");
+        }
+        assert!(cur.advance().is_none());
+        assert!(packed.is_strictly_sorted());
+        assert_eq!(packed.to_flat(), flat);
+    }
+
+    #[test]
+    fn front_coding_is_smaller_than_flat_on_shared_prefixes() {
+        let (packed, flat) = book_like();
+        assert!(
+            packed.heap_size() < flat.heap_size(),
+            "packed {} >= flat {}",
+            packed.heap_size(),
+            flat.heap_size()
+        );
+    }
+
+    #[test]
+    fn gallop_matches_flat_reference() {
+        let (packed, flat) = book_like();
+        let n = flat.len();
+        let probes: Vec<Vec<u32>> = vec![
+            vec![0],
+            vec![0, 2],
+            vec![0, 2, 5],
+            vec![0, 2, 5, 131],
+            vec![0, 4, 8, 133],
+            vec![0, 9],
+            vec![9],
+        ];
+        for p in &probes {
+            let key = encode_components(p);
+            for from in [0usize, 1, 7, n / 2, n.saturating_sub(1), n] {
+                let mut s1 = CmpStats::default();
+                let mut s2 = CmpStats::default();
+                assert_eq!(
+                    packed.gallop_lower_bound(from, &key, &mut s1),
+                    flat.gallop_lower_bound(from, &key, &mut s2),
+                    "key {p:?} from {from}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binary_search_hits_and_misses() {
+        let (packed, _) = sorted_arena(&[&[0], &[0, 3], &[0, 3, 1], &[0, 500]]);
+        assert_eq!(packed.binary_search(&encode_components(&[0, 3])), Ok(1));
+        assert_eq!(packed.binary_search(&encode_components(&[0, 4])), Err(3));
+        assert_eq!(packed.binary_search(&encode_components(&[])), Err(0));
+    }
+
+    #[test]
+    fn empty_arena() {
+        let pc = PackedCodes::new();
+        assert!(pc.is_empty());
+        assert_eq!(pc.len(), 0);
+        let mut stats = CmpStats::default();
+        assert_eq!(pc.gallop_lower_bound(0, &[1], &mut stats), 0);
+        assert!(pc.cursor().advance().is_none());
+        assert!(pc.is_strictly_sorted());
+    }
+
+    #[test]
+    fn restart_blocks_bound_random_access() {
+        // More entries than one restart block.
+        let comps: Vec<Vec<u32>> = (0..100u32).map(|i| vec![0, i]).collect();
+        let packed: PackedCodes = comps.iter().map(|c| encode_components(c)).collect();
+        let mut buf = Vec::new();
+        for (i, c) in comps.iter().enumerate() {
+            packed.get_into(i, &mut buf);
+            assert_eq!(buf, encode_components(c));
+        }
+        // Restart count matches ceil(len / K).
+        assert_eq!(
+            packed.restarts.len(),
+            packed.len().div_ceil(RESTART_INTERVAL)
+        );
+    }
+}

@@ -372,8 +372,8 @@ mod tests {
         assert_eq!(doc.len(), 3);
         let root = doc.tree.root();
         assert_eq!(doc.labels.name(doc.tree.label(root)), "a");
-        let b = doc.tree.children(root)[0];
-        assert_eq!(doc.tree.node(b).text.as_deref(), Some("hi"));
+        let b = doc.tree.first_child(root).unwrap();
+        assert_eq!(doc.tree.text(b), Some("hi"));
     }
 
     #[test]
@@ -391,14 +391,14 @@ mod tests {
         let root = doc.tree.root();
         let id = doc.labels.get("id").unwrap();
         assert_eq!(doc.tree.attr(root, id), Some("r1"));
-        let b = doc.tree.children(root)[0];
+        let b = doc.tree.first_child(root).unwrap();
         assert_eq!(doc.tree.attr(b, id), Some("c"));
     }
 
     #[test]
     fn decodes_entities_and_cdata() {
         let doc = parse_document("<a>x &lt;&amp;&gt; <![CDATA[<raw>]]> &#65;&#x42;</a>").unwrap();
-        let text = doc.tree.node(doc.tree.root()).text.clone().unwrap();
+        let text = doc.tree.text(doc.tree.root()).unwrap().to_owned();
         assert_eq!(text, "x <&> <raw> AB");
     }
 
@@ -442,7 +442,7 @@ mod tests {
     fn utf8_text_survives() {
         let doc = parse_document("<a>héllo wörld ❤</a>").unwrap();
         assert_eq!(
-            doc.tree.node(doc.tree.root()).text.as_deref(),
+            doc.tree.text(doc.tree.root()),
             Some("héllo wörld ❤")
         );
     }
@@ -454,7 +454,7 @@ mod tests {
         let t1 = parse_tree_with("<a><b/></a>", &mut labels).unwrap();
         let t2 = parse_tree_with("<b><a/></b>", &mut labels).unwrap();
         assert_eq!(t1.label(t1.root()), a);
-        assert_eq!(t2.label(t2.children(t2.root())[0]), a);
+        assert_eq!(t2.label(t2.first_child(t2.root()).unwrap()), a);
         assert_eq!(labels.len(), 2);
     }
 }

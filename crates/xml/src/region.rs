@@ -58,7 +58,9 @@ impl RegionEncoding {
             return RegionEncoding { regions };
         }
         let mut counter = 0u32;
-        // Explicit DFS emitting start on entry and end on exit.
+        // Explicit DFS emitting start on entry and end on exit. Pushing the
+        // next sibling's `Enter` *below* this node's `Exit` keeps nesting
+        // correct without materializing (or reversing) child lists.
         enum Step {
             Enter(NodeId, u16),
             Exit(NodeId),
@@ -70,9 +72,14 @@ impl RegionEncoding {
                     counter += 1;
                     regions[n.index()].start = counter;
                     regions[n.index()].level = level;
+                    if level > 0 {
+                        if let Some(sib) = tree.next_sibling(n) {
+                            stack.push(Step::Enter(sib, level));
+                        }
+                    }
                     stack.push(Step::Exit(n));
-                    for &c in tree.children(n).iter().rev() {
-                        stack.push(Step::Enter(c, level + 1));
+                    if let Some(fc) = tree.first_child(n) {
+                        stack.push(Step::Enter(fc, level + 1));
                     }
                 }
                 Step::Exit(n) => {

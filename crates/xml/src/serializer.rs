@@ -35,18 +35,17 @@ pub fn serialize_pretty(tree: &XmlTree, labels: &LabelTable) -> String {
 pub fn serialized_len(tree: &XmlTree, labels: &LabelTable, node: NodeId) -> usize {
     let mut total = 0usize;
     for n in tree.descendants_or_self(node) {
-        let node_ref = tree.node(n);
-        let name_len = labels.name(node_ref.label).len();
+        let name_len = labels.name(tree.label(n)).len();
         // `<name ...>` + `</name>` or `<name/>`.
-        if node_ref.children.is_empty() && node_ref.text.is_none() {
+        if !tree.has_children(n) && tree.text(n).is_none() {
             total += name_len + 3; // <name/>
         } else {
             total += 2 * name_len + 5; // <name></name>
         }
-        for (a, v) in &node_ref.attrs {
+        for (a, v) in tree.attrs(n) {
             total += labels.name(*a).len() + escaped_len(v) + 4; // ` a="v"`
         }
-        if let Some(t) = &node_ref.text {
+        if let Some(t) = tree.text(n) {
             total += escaped_len(t);
         }
     }
@@ -78,17 +77,16 @@ fn push_escaped(s: &str, out: &mut String) {
 }
 
 fn write_open(tree: &XmlTree, labels: &LabelTable, node: NodeId, out: &mut String) -> bool {
-    let n = tree.node(node);
     out.push('<');
-    out.push_str(labels.name(n.label));
-    for (a, v) in &n.attrs {
+    out.push_str(labels.name(tree.label(node)));
+    for (a, v) in tree.attrs(node) {
         out.push(' ');
         out.push_str(labels.name(*a));
         out.push_str("=\"");
         push_escaped(v, out);
         out.push('"');
     }
-    if n.children.is_empty() && n.text.is_none() {
+    if !tree.has_children(node) && tree.text(node).is_none() {
         out.push_str("/>");
         false
     } else {
@@ -101,15 +99,14 @@ fn write_node(tree: &XmlTree, labels: &LabelTable, node: NodeId, out: &mut Strin
     if !write_open(tree, labels, node, out) {
         return;
     }
-    let n = tree.node(node);
-    if let Some(t) = &n.text {
+    if let Some(t) = tree.text(node) {
         push_escaped(t, out);
     }
-    for &c in &n.children {
+    for c in tree.children(node) {
         write_node(tree, labels, c, out);
     }
     out.push_str("</");
-    out.push_str(labels.name(n.label));
+    out.push_str(labels.name(tree.label(node)));
     out.push('>');
 }
 
@@ -121,21 +118,20 @@ fn write_pretty(tree: &XmlTree, labels: &LabelTable, node: NodeId, depth: usize,
         out.push('\n');
         return;
     }
-    let n = tree.node(node);
-    if n.children.is_empty() {
-        if let Some(t) = &n.text {
+    if !tree.has_children(node) {
+        if let Some(t) = tree.text(node) {
             push_escaped(t, out);
         }
     } else {
         out.push('\n');
-        if let Some(t) = &n.text {
+        if let Some(t) = tree.text(node) {
             for _ in 0..=depth {
                 out.push_str("  ");
             }
             push_escaped(t, out);
             out.push('\n');
         }
-        for &c in &n.children {
+        for c in tree.children(node) {
             write_pretty(tree, labels, c, depth + 1, out);
         }
         for _ in 0..depth {
@@ -143,7 +139,7 @@ fn write_pretty(tree: &XmlTree, labels: &LabelTable, node: NodeId, depth: usize,
         }
     }
     out.push_str("</");
-    out.push_str(labels.name(n.label));
+    out.push_str(labels.name(tree.label(node)));
     out.push_str(">\n");
 }
 
@@ -168,7 +164,7 @@ mod tests {
                         .iter()
                         .map(|&l| labels.name(l).to_owned())
                         .collect::<Vec<_>>(),
-                    tree.node(n).text.clone(),
+                    tree.text(n).map(str::to_owned),
                 )
             })
             .collect();
@@ -181,7 +177,7 @@ mod tests {
                         .iter()
                         .map(|&l| labels2.name(l).to_owned())
                         .collect::<Vec<_>>(),
-                    tree2.node(n).text.clone(),
+                    tree2.text(n).map(str::to_owned),
                 )
             })
             .collect();
@@ -215,7 +211,7 @@ mod tests {
     #[test]
     fn subtree_serialization() {
         let (labels, tree) = parse_tree("<a><b><c/></b><d/></a>").unwrap();
-        let b = tree.children(tree.root())[0];
+        let b = tree.first_child(tree.root()).unwrap();
         assert_eq!(serialize_subtree(&tree, &labels, b), "<b><c/></b>");
     }
 }

@@ -49,22 +49,23 @@ impl DocStats {
             histogram[tree.label(node).index()] += 1;
             depth_sum += depth;
             height = height.max(depth);
-            let n = tree.node(node);
-            if n.children.is_empty() {
+            let mut fanout = 0usize;
+            for c in tree.children(node) {
+                fanout += 1;
+                stack.push((c, depth + 1));
+            }
+            if fanout == 0 {
                 leaves += 1;
             } else {
                 internal += 1;
-                fanout_sum += n.children.len();
-                max_fanout = max_fanout.max(n.children.len());
+                fanout_sum += fanout;
+                max_fanout = max_fanout.max(fanout);
             }
-            if n.text.is_some() {
+            if tree.text(node).is_some() {
                 text_nodes += 1;
             }
-            if !n.attrs.is_empty() {
+            if !tree.attrs(node).is_empty() {
                 attributed_nodes += 1;
-            }
-            for &c in &n.children {
-                stack.push((c, depth + 1));
             }
         }
         let nodes = tree.len();

@@ -1,9 +1,24 @@
-//! Arena-based XML tree and the [`Document`] bundle.
+//! Struct-of-arrays XML tree and the [`Document`] bundle.
 //!
 //! The paper models XML data as an unordered tree whose nodes carry a label
 //! over a finite alphabet. We additionally keep text content and attributes
 //! (needed for the paper's "comparison predicates" extension) but all
 //! structural algorithms operate on labels only.
+//!
+//! # Storage layout
+//!
+//! The tree is stored as parallel arrays indexed by [`NodeId`]: one `Label`
+//! plus four `u32` links (`parent`, `first_child`, `last_child`,
+//! `next_sibling`) per node — 20 bytes of fixed cost instead of the ~88-byte
+//! node struct (with a per-node child `Vec` and two more heap boxes) of the
+//! original arena. Text and attributes are *sparse* in real corpora (XMark
+//! leaves carry text; almost nothing carries attributes), so they live in
+//! side maps keyed by node id rather than as per-node `Option`/`Vec` fields.
+//! Child lists are implied by the `first_child`/`next_sibling` chain;
+//! [`XmlTree::children`] is an iterator over that chain, and every traversal
+//! in the crate works from the chain without materializing child vectors.
+
+use std::collections::HashMap;
 
 use crate::dewey::DeweyAssignment;
 use crate::fst::Fst;
@@ -20,29 +35,36 @@ impl NodeId {
     }
 }
 
-/// One element node.
-#[derive(Clone, Debug)]
-pub struct XmlNode {
-    /// Element label, interned in the document's [`LabelTable`].
-    pub label: Label,
-    /// Parent element; `None` for the root.
-    pub parent: Option<NodeId>,
-    /// Child elements in document order.
-    pub children: Vec<NodeId>,
-    /// Concatenated text content directly under this element, if any.
-    pub text: Option<String>,
-    /// Attributes as (name-label, value) pairs.
-    pub attrs: Vec<(Label, String)>,
-}
+/// Sentinel for "no node" in the link arrays.
+const NONE: u32 = u32::MAX;
 
-/// An arena of [`XmlNode`]s forming a single rooted tree.
+/// An arena forming a single rooted tree, laid out struct-of-arrays.
 ///
 /// The tree does not own a [`LabelTable`]; callers thread the table
 /// alongside so that documents, fragments, and patterns can share one label
 /// space (the paper's alphabet `L`).
 #[derive(Clone, Debug, Default)]
 pub struct XmlTree {
-    nodes: Vec<XmlNode>,
+    /// Element label per node, interned in the document's [`LabelTable`].
+    labels: Vec<Label>,
+    /// Parent link per node; `NONE` for the root.
+    parents: Vec<u32>,
+    /// First child in document order; `NONE` for leaves.
+    first_child: Vec<u32>,
+    /// Last child in document order; `NONE` for leaves (O(1) appends).
+    last_child: Vec<u32>,
+    /// Next sibling in document order; `NONE` for last children.
+    next_sibling: Vec<u32>,
+    /// Concatenated text content directly under an element. Sparse: most
+    /// interior nodes carry no text, so this is a side map, not a column.
+    texts: HashMap<u32, String>,
+    /// Attributes as (name-label, value) pairs. Sparse like `texts`.
+    attrs: HashMap<u32, Vec<(Label, String)>>,
+}
+
+#[inline]
+fn link(raw: u32) -> Option<NodeId> {
+    (raw != NONE).then_some(NodeId(raw))
 }
 
 impl XmlTree {
@@ -56,91 +78,133 @@ impl XmlTree {
     /// # Panics
     /// Panics on an empty tree.
     pub fn root(&self) -> NodeId {
-        assert!(!self.nodes.is_empty(), "empty XmlTree has no root");
+        assert!(!self.labels.is_empty(), "empty XmlTree has no root");
         NodeId(0)
     }
 
     /// Number of element nodes.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.labels.len()
     }
 
     /// True when the tree has no nodes at all.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
-    }
-
-    /// Immutable access to a node.
-    #[inline]
-    pub fn node(&self, id: NodeId) -> &XmlNode {
-        &self.nodes[id.index()]
-    }
-
-    /// Mutable access to a node.
-    #[inline]
-    pub fn node_mut(&mut self, id: NodeId) -> &mut XmlNode {
-        &mut self.nodes[id.index()]
+        self.labels.is_empty()
     }
 
     /// Label of `id`.
     #[inline]
     pub fn label(&self, id: NodeId) -> Label {
-        self.node(id).label
+        self.labels[id.index()]
     }
 
     /// Parent of `id`, `None` for the root.
     #[inline]
     pub fn parent(&self, id: NodeId) -> Option<NodeId> {
-        self.node(id).parent
+        link(self.parents[id.index()])
     }
 
-    /// Children of `id` in document order.
+    /// First child of `id` in document order.
     #[inline]
-    pub fn children(&self, id: NodeId) -> &[NodeId] {
-        &self.node(id).children
+    pub fn first_child(&self, id: NodeId) -> Option<NodeId> {
+        link(self.first_child[id.index()])
+    }
+
+    /// Last child of `id` in document order.
+    #[inline]
+    pub fn last_child(&self, id: NodeId) -> Option<NodeId> {
+        link(self.last_child[id.index()])
+    }
+
+    /// Next sibling of `id` in document order.
+    #[inline]
+    pub fn next_sibling(&self, id: NodeId) -> Option<NodeId> {
+        link(self.next_sibling[id.index()])
+    }
+
+    /// Children of `id` in document order (walks the sibling chain).
+    #[inline]
+    pub fn children(&self, id: NodeId) -> Children<'_> {
+        Children {
+            tree: self,
+            next: self.first_child(id),
+        }
+    }
+
+    /// Number of children of `id` (walks the sibling chain).
+    pub fn child_count(&self, id: NodeId) -> usize {
+        self.children(id).count()
+    }
+
+    /// True iff `id` has at least one child.
+    #[inline]
+    pub fn has_children(&self, id: NodeId) -> bool {
+        self.first_child[id.index()] != NONE
+    }
+
+    /// `i`-th child of `id` in document order, if present.
+    pub fn child_at(&self, id: NodeId, i: usize) -> Option<NodeId> {
+        self.children(id).nth(i)
     }
 
     /// Add the root element. Must be the first node added.
     pub fn add_root(&mut self, label: Label) -> NodeId {
-        assert!(self.nodes.is_empty(), "root already present");
-        self.nodes.push(XmlNode {
-            label,
-            parent: None,
-            children: Vec::new(),
-            text: None,
-            attrs: Vec::new(),
-        });
+        assert!(self.labels.is_empty(), "root already present");
+        self.push_node(label, NONE);
         NodeId(0)
     }
 
     /// Append a child element under `parent`.
     pub fn add_child(&mut self, parent: NodeId, label: Label) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(XmlNode {
-            label,
-            parent: Some(parent),
-            children: Vec::new(),
-            text: None,
-            attrs: Vec::new(),
-        });
-        self.nodes[parent.index()].children.push(id);
+        let id = self.push_node(label, parent.0);
+        let prev_last = self.last_child[parent.index()];
+        if prev_last == NONE {
+            self.first_child[parent.index()] = id.0;
+        } else {
+            self.next_sibling[prev_last as usize] = id.0;
+        }
+        self.last_child[parent.index()] = id.0;
+        id
+    }
+
+    fn push_node(&mut self, label: Label, parent: u32) -> NodeId {
+        let id = NodeId(self.labels.len() as u32);
+        self.labels.push(label);
+        self.parents.push(parent);
+        self.first_child.push(NONE);
+        self.last_child.push(NONE);
+        self.next_sibling.push(NONE);
         id
     }
 
     /// Set the text content of `id` (replacing any previous text).
     pub fn set_text(&mut self, id: NodeId, text: impl Into<String>) {
-        self.node_mut(id).text = Some(text.into());
+        self.texts.insert(id.0, text.into());
+    }
+
+    /// Text content of `id`, if any.
+    #[inline]
+    pub fn text(&self, id: NodeId) -> Option<&str> {
+        self.texts.get(&id.0).map(String::as_str)
     }
 
     /// Append an attribute to `id`.
     pub fn add_attr(&mut self, id: NodeId, name: Label, value: impl Into<String>) {
-        self.node_mut(id).attrs.push((name, value.into()));
+        self.attrs
+            .entry(id.0)
+            .or_default()
+            .push((name, value.into()));
+    }
+
+    /// Attributes of `id` as (name-label, value) pairs, document order.
+    #[inline]
+    pub fn attrs(&self, id: NodeId) -> &[(Label, String)] {
+        self.attrs.get(&id.0).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Attribute value of `name` on `id`, if present.
     pub fn attr(&self, id: NodeId, name: Label) -> Option<&str> {
-        self.node(id)
-            .attrs
+        self.attrs(id)
             .iter()
             .find(|(n, _)| *n == name)
             .map(|(_, v)| v.as_str())
@@ -190,22 +254,38 @@ impl XmlTree {
     }
 
     /// Pre-order (document-order) traversal of the subtree rooted at `id`.
+    ///
+    /// O(1) space: the successor of a node is its first child, else the
+    /// next sibling of its nearest ancestor-or-self below `id`.
     pub fn descendants_or_self(&self, id: NodeId) -> DescendantsOrSelf<'_> {
         DescendantsOrSelf {
             tree: self,
-            stack: vec![id],
+            next: Some(id),
+            top: id,
         }
     }
 
     /// Pre-order traversal of the whole tree.
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
-        if self.is_empty() {
-            DescendantsOrSelf {
-                tree: self,
-                stack: vec![],
-            }
+        let next = if self.is_empty() {
+            None
         } else {
-            self.descendants_or_self(self.root())
+            Some(self.root())
+        };
+        DescendantsOrSelf {
+            tree: self,
+            next,
+            top: NodeId(0),
+        }
+    }
+
+    fn copy_payload(&mut self, dst: NodeId, src_tree: &XmlTree, src: NodeId) {
+        if let Some(t) = src_tree.text(src) {
+            self.set_text(dst, t);
+        }
+        let a = src_tree.attrs(src);
+        if !a.is_empty() {
+            self.attrs.insert(dst.0, a.to_vec());
         }
     }
 
@@ -215,20 +295,23 @@ impl XmlTree {
     /// tree's root is the copy of `root`. Used to materialize view fragments.
     pub fn extract_subtree(&self, root: NodeId) -> XmlTree {
         let mut out = XmlTree::new();
-        let src = self.node(root);
-        let new_root = out.add_root(src.label);
-        out.node_mut(new_root).text = src.text.clone();
-        out.node_mut(new_root).attrs = src.attrs.clone();
-        // Explicit stack of (source node, destination parent) pairs.
-        let mut stack: Vec<(NodeId, NodeId)> =
-            src.children.iter().rev().map(|&c| (c, new_root)).collect();
-        while let Some((src_id, dst_parent)) = stack.pop() {
-            let s = self.node(src_id);
-            let d = out.add_child(dst_parent, s.label);
-            out.node_mut(d).text = s.text.clone();
-            out.node_mut(d).attrs = s.attrs.clone();
-            for &c in s.children.iter().rev() {
-                stack.push((c, d));
+        let new_root = out.add_root(self.label(root));
+        out.copy_payload(new_root, self, root);
+        // (source node, destination parent): pushing the sibling before the
+        // first child makes the LIFO pop order exactly pre-order, so ids in
+        // `out` are assigned in document order.
+        let mut stack: Vec<(NodeId, NodeId)> = Vec::new();
+        if let Some(fc) = self.first_child(root) {
+            stack.push((fc, new_root));
+        }
+        while let Some((src, dst_parent)) = stack.pop() {
+            let d = out.add_child(dst_parent, self.label(src));
+            out.copy_payload(d, self, src);
+            if let Some(sib) = self.next_sibling(src) {
+                stack.push((sib, dst_parent));
+            }
+            if let Some(fc) = self.first_child(src) {
+                stack.push((fc, d));
             }
         }
         out
@@ -239,21 +322,19 @@ impl XmlTree {
     pub fn append_subtree(&mut self, parent: NodeId, sub: &XmlTree) -> NodeId {
         let src_root = sub.root();
         let new_root = self.add_child(parent, sub.label(src_root));
-        self.node_mut(new_root).text = sub.node(src_root).text.clone();
-        self.node_mut(new_root).attrs = sub.node(src_root).attrs.clone();
-        let mut stack: Vec<(NodeId, NodeId)> = sub
-            .children(src_root)
-            .iter()
-            .rev()
-            .map(|&c| (c, new_root))
-            .collect();
+        self.copy_payload(new_root, sub, src_root);
+        let mut stack: Vec<(NodeId, NodeId)> = Vec::new();
+        if let Some(fc) = sub.first_child(src_root) {
+            stack.push((fc, new_root));
+        }
         while let Some((src, dst_parent)) = stack.pop() {
-            let n = sub.node(src);
-            let d = self.add_child(dst_parent, n.label);
-            self.node_mut(d).text = n.text.clone();
-            self.node_mut(d).attrs = n.attrs.clone();
-            for &c in n.children.iter().rev() {
-                stack.push((c, d));
+            let d = self.add_child(dst_parent, sub.label(src));
+            self.copy_payload(d, sub, src);
+            if let Some(sib) = sub.next_sibling(src) {
+                stack.push((sib, dst_parent));
+            }
+            if let Some(fc) = sub.first_child(src) {
+                stack.push((fc, d));
             }
         }
         new_root
@@ -268,6 +349,44 @@ impl XmlTree {
     pub fn height(&self) -> usize {
         self.iter().map(|n| self.depth(n)).max().unwrap_or(0)
     }
+
+    /// Total number of bytes of text content across all nodes.
+    pub fn text_bytes(&self) -> usize {
+        self.texts.values().map(String::len).sum()
+    }
+
+    /// Total attribute payload bytes (values only) across all nodes.
+    pub fn attr_bytes(&self) -> usize {
+        self.attrs
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|(_, val)| val.len())
+            .sum()
+    }
+
+    /// Heap footprint of this tree in bytes.
+    ///
+    /// Deterministic accounting over the backing buffers (`len`-based, not
+    /// `capacity`-based, so two structurally identical trees report the
+    /// same size): 20 bytes per node for the five fixed columns, plus the
+    /// sparse text/attribute maps charged at entry granularity (key +
+    /// header + payload).
+    pub fn heap_size(&self) -> usize {
+        let mut bytes = self.labels.len() * (4 + 4 + 4 + 4 + 4);
+        // Map entry: 4-byte key + 24-byte String header + payload.
+        for t in self.texts.values() {
+            bytes += 4 + 24 + t.len();
+        }
+        // Map entry: 4-byte key + 24-byte Vec header, then 4-byte label +
+        // 24-byte String header + payload per attribute.
+        for a in self.attrs.values() {
+            bytes += 4 + 24;
+            for (_, v) in a {
+                bytes += 4 + 24 + v.len();
+            }
+        }
+        bytes
+    }
 }
 
 /// Whether an append left previously issued extended Dewey codes valid.
@@ -279,6 +398,22 @@ pub enum CodeStability {
     /// and all previously issued codes (including materialized fragments)
     /// are stale.
     Reencoded,
+}
+
+/// Iterator over the children of one node, in document order.
+#[derive(Clone)]
+pub struct Children<'a> {
+    tree: &'a XmlTree,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.tree.next_sibling(cur);
+        Some(cur)
+    }
 }
 
 /// Iterator over a node and its ancestors, nearest first.
@@ -296,19 +431,32 @@ impl Iterator for AncestorsOrSelf<'_> {
     }
 }
 
-/// Pre-order iterator over a subtree.
+/// Pre-order iterator over a subtree, O(1) space via the sibling chain.
 pub struct DescendantsOrSelf<'a> {
     tree: &'a XmlTree,
-    stack: Vec<NodeId>,
+    next: Option<NodeId>,
+    /// Subtree root: traversal never escapes it.
+    top: NodeId,
 }
 
 impl Iterator for DescendantsOrSelf<'_> {
     type Item = NodeId;
     fn next(&mut self) -> Option<NodeId> {
-        let cur = self.stack.pop()?;
-        for &c in self.tree.children(cur).iter().rev() {
-            self.stack.push(c);
-        }
+        let cur = self.next?;
+        self.next = if let Some(fc) = self.tree.first_child(cur) {
+            Some(fc)
+        } else {
+            let mut n = cur;
+            loop {
+                if n == self.top {
+                    break None;
+                }
+                if let Some(sib) = self.tree.next_sibling(n) {
+                    break Some(sib);
+                }
+                n = self.tree.parent(n).expect("non-root node has a parent");
+            }
+        };
         Some(cur)
     }
 }
@@ -373,15 +521,12 @@ impl Document {
             .child_index(self.tree.label(parent), sub.label(sub.root()))
             .is_none();
         if !grows {
-            for n in sub.iter() {
-                for &c in sub.children(n) {
+            'outer: for n in sub.iter() {
+                for c in sub.children(n) {
                     if self.fst.child_index(sub.label(n), sub.label(c)).is_none() {
                         grows = true;
-                        break;
+                        break 'outer;
                     }
-                }
-                if grows {
-                    break;
                 }
             }
         }
@@ -414,8 +559,6 @@ impl Document {
             cur = self
                 .tree
                 .children(cur)
-                .iter()
-                .copied()
                 .find(|&c| self.dewey.component(c) == target)?;
         }
         Some(cur)
@@ -442,21 +585,25 @@ mod tests {
         let (t, x) = small();
         let r = x.root();
         assert_eq!(x.len(), 4);
-        assert_eq!(x.children(r).len(), 2);
-        let b = x.children(r)[0];
+        assert_eq!(x.child_count(r), 2);
+        let b = x.child_at(r, 0).unwrap();
         assert_eq!(t.name(x.label(b)), "b");
         assert_eq!(x.parent(b), Some(r));
         assert_eq!(x.depth(b), 1);
-        let c_under_b = x.children(b)[0];
+        let c_under_b = x.child_at(b, 0).unwrap();
         assert_eq!(x.depth(c_under_b), 2);
+        assert_eq!(x.first_child(r), Some(b));
+        assert_eq!(x.last_child(r), x.child_at(r, 1));
+        assert_eq!(x.next_sibling(b), x.child_at(r, 1));
+        assert_eq!(x.next_sibling(c_under_b), None);
     }
 
     #[test]
     fn ancestor_checks() {
         let (_, x) = small();
         let r = x.root();
-        let b = x.children(r)[0];
-        let cb = x.children(b)[0];
+        let b = x.child_at(r, 0).unwrap();
+        let cb = x.child_at(b, 0).unwrap();
         assert!(x.is_ancestor(r, cb));
         assert!(x.is_ancestor(b, cb));
         assert!(!x.is_ancestor(cb, b));
@@ -467,8 +614,8 @@ mod tests {
     #[test]
     fn label_path_is_root_to_node() {
         let (t, x) = small();
-        let b = x.children(x.root())[0];
-        let cb = x.children(b)[0];
+        let b = x.child_at(x.root(), 0).unwrap();
+        let cb = x.child_at(b, 0).unwrap();
         let names: Vec<&str> = x.label_path(cb).into_iter().map(|l| t.name(l)).collect();
         assert_eq!(names, vec!["a", "b", "c"]);
     }
@@ -481,15 +628,43 @@ mod tests {
     }
 
     #[test]
+    fn descendants_stay_inside_subtree() {
+        let (_, x) = small();
+        let b = x.child_at(x.root(), 0).unwrap();
+        // b's subtree is {b, c-under-b}; the traversal must not leak into
+        // b's next sibling.
+        let got: Vec<NodeId> = x.descendants_or_self(b).collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], b);
+        assert_eq!(got[1], x.child_at(b, 0).unwrap());
+    }
+
+    #[test]
     fn extract_subtree_copies_structure() {
         let (t, x) = small();
-        let b = x.children(x.root())[0];
+        let b = x.child_at(x.root(), 0).unwrap();
         let sub = x.extract_subtree(b);
         assert_eq!(sub.len(), 2);
         assert_eq!(t.name(sub.label(sub.root())), "b");
-        let child = sub.children(sub.root())[0];
+        let child = sub.child_at(sub.root(), 0).unwrap();
         assert_eq!(t.name(sub.label(child)), "c");
         assert_eq!(sub.parent(child), Some(sub.root()));
+    }
+
+    #[test]
+    fn extract_subtree_assigns_preorder_ids() {
+        let doc = crate::samples::book_document();
+        let sub = doc.tree.extract_subtree(doc.tree.root());
+        assert_eq!(sub.len(), doc.tree.len());
+        // Pre-order position == id order in a freshly extracted tree.
+        let order: Vec<NodeId> = sub.iter().collect();
+        for (i, n) in order.iter().enumerate() {
+            assert_eq!(n.index(), i);
+        }
+        // Labels match position-by-position with the source pre-order.
+        let src_labels: Vec<Label> = doc.tree.iter().map(|n| doc.tree.label(n)).collect();
+        let dst_labels: Vec<Label> = sub.iter().map(|n| sub.label(n)).collect();
+        assert_eq!(src_labels, dst_labels);
     }
 
     #[test]
@@ -502,8 +677,18 @@ mod tests {
         x.add_attr(r, id, "k1");
         x.set_text(r, "hello");
         assert_eq!(x.attr(r, id), Some("k1"));
-        assert_eq!(x.node(r).text.as_deref(), Some("hello"));
+        assert_eq!(x.text(r), Some("hello"));
         assert_eq!(x.attr(r, a), None);
+        assert_eq!(x.attrs(r).len(), 1);
+    }
+
+    #[test]
+    fn heap_size_tracks_nodes_and_payload() {
+        let (_, x) = small();
+        assert_eq!(x.heap_size(), 4 * 20);
+        let mut y = x.clone();
+        y.set_text(y.root(), "hi");
+        assert_eq!(y.heap_size(), 4 * 20 + 4 + 24 + 2);
     }
 
     #[test]
@@ -545,8 +730,8 @@ mod tests {
             doc.fst.decode(code.components()).unwrap(),
             doc.tree.label_path(new_node)
         );
-        let siblings = doc.tree.children(s_node);
-        let prev = siblings[siblings.len() - 2];
+        let n_sib = doc.tree.child_count(s_node);
+        let prev = doc.tree.child_at(s_node, n_sib - 2).unwrap();
         assert!(doc.dewey.code_of(&doc.tree, prev) < code);
     }
 
@@ -576,7 +761,7 @@ mod tests {
         let mut doc = crate::samples::book_document();
         // Append a full section subtree (all label pairs known).
         let book = doc.tree.root();
-        let existing_s = doc.tree.children(book)[4];
+        let existing_s = doc.tree.child_at(book, 4).unwrap();
         let sub = doc.tree.extract_subtree(existing_s);
         let (new_node, stability) = doc.append_subtree(book, &sub);
         assert_eq!(stability, CodeStability::Stable);
@@ -597,7 +782,7 @@ mod tests {
         let (_, x) = small();
         assert_eq!(x.subtree_size(x.root()), 4);
         assert_eq!(x.height(), 2);
-        let b = x.children(x.root())[0];
+        let b = x.child_at(x.root(), 0).unwrap();
         assert_eq!(x.subtree_size(b), 2);
     }
 }

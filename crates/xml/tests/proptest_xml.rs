@@ -66,7 +66,7 @@ fn signature(labels: &LabelTable, tree: &XmlTree) -> Vec<(Vec<String>, Option<St
                     .iter()
                     .map(|&l| labels.name(l).to_owned())
                     .collect(),
-                tree.node(n).text.clone(),
+                tree.text(n).map(str::to_owned),
             )
         })
         .collect()
@@ -122,9 +122,16 @@ proptest! {
         let (labels, tree) = build(&s);
         let doc = Document::from_tree(labels, tree);
         for n in doc.tree.iter().step_by(3) {
-            let frag = xvr_xml::Fragment::extract(&doc, n);
-            prop_assert_eq!(frag.tree.len(), doc.tree.subtree_size(n));
-            prop_assert_eq!(frag.tree.label(frag.tree.root()), doc.tree.label(n));
+            let sub = doc.tree.extract_subtree(n);
+            prop_assert_eq!(sub.len(), doc.tree.subtree_size(n));
+            prop_assert_eq!(sub.label(sub.root()), doc.tree.label(n));
+            prop_assert_eq!(
+                xvr_xml::fragment_footprint(&doc, n),
+                sub.heap_size()
+                    + sub.len() * xvr_xml::fragment::LOCAL_DEWEY_BYTES
+                    + xvr_xml::encode_code(&doc.dewey.code_of(&doc.tree, n)).len()
+                    + xvr_xml::fragment::FRAGMENT_SLACK_BYTES
+            );
         }
     }
 }
