@@ -211,7 +211,13 @@ fn main() {
                 .collect::<Vec<f64>>()
         })
         .filter(|v| !v.is_empty())
-        .unwrap_or_else(|| if fast { vec![0.01] } else { vec![0.01, 0.1, 1.0] });
+        .unwrap_or_else(|| {
+            if fast {
+                vec![0.01]
+            } else {
+                vec![0.01, 0.1, 1.0]
+            }
+        });
 
     let mut rows = Vec::new();
     for &scale in &scales {

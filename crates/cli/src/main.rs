@@ -11,6 +11,8 @@
 //! xvr materialize --doc FILE (--view XPATH)... [--views-file FILE]
 //!                 [--budget BYTES] --out DIR
 //! xvr generate    [--scale F] [--seed N] [--out FILE]
+//! xvr advise      --doc FILE --workload FILE [--budget BYTES]
+//!                 [--seed N] [--jobs N]
 //! xvr serve       --doc FILE [(--view XPATH)...] [--views-file FILE]
 //!                 [--views-dir DIR] [--budget BYTES]
 //!                 [--addr HOST:PORT] [--jobs N]
@@ -34,7 +36,10 @@ use std::fmt::Write as _;
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use xvr_core::{Engine, EngineConfig, EngineSnapshot, QueryError, QueryOptions, Strategy};
+use xvr_core::{
+    parse_budget, Advisor, AdvisorConfig, Engine, EngineConfig, EngineSnapshot, QueryError,
+    QueryOptions, Strategy, ViewCatalog, ViewSetSpec, Workload,
+};
 use xvr_xml::serializer::serialize_subtree;
 use xvr_xml::{parse_document, DocStats, Document};
 
@@ -90,6 +95,8 @@ const USAGE: &str = "usage:
                   [--budget BYTES] --out DIR
   xvr append      --doc FILE --at CODE --xml XML [--out FILE]
   xvr generate    [--scale F] [--seed N] [--out FILE]
+  xvr advise      --doc FILE --workload FILE [--budget BYTES]
+                  [--seed N] [--jobs N]
   xvr serve       --doc FILE [(--view XPATH)...] [--views-file FILE]
                   [--views-dir DIR] [--budget BYTES]
                   [--addr HOST:PORT] [--jobs N]
@@ -172,6 +179,7 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
         "generate" => generate(rest),
         "materialize" => materialize(rest),
         "append" => append(rest),
+        "advise" => advise(rest),
         "serve" => serve::serve(rest),
         "loadgen" => loadgen::loadgen(rest),
         "--help" | "-h" | "help" => {
@@ -183,17 +191,12 @@ fn run(argv: &[String]) -> Result<ExitCode, CliError> {
 }
 
 /// Read a workload file: one XPath per line, blank lines and `#`
-/// comments ignored. Shared by `answer --queries-file`, `stats`, and
-/// `loadgen`.
+/// comments ignored (the shared [`xvr_core::clean_lines`] format).
+/// Shared by `answer --queries-file`, `stats`, `advise`, and `loadgen`.
 fn read_workload(path: &str) -> Result<Vec<String>, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::Input(format!("cannot read {path}: {e}")))?;
-    Ok(text
-        .lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .map(str::to_owned)
-        .collect())
+    Ok(xvr_core::parse_views_text(&text))
 }
 
 fn load_doc(path: &str) -> Result<Document, CliError> {
@@ -202,20 +205,28 @@ fn load_doc(path: &str) -> Result<Document, CliError> {
     parse_document(&text).map_err(|e| CliError::Input(format!("{path}: {e}")))
 }
 
-/// Views from repeated `--view` flags plus an optional `--views-file`.
-fn collect_views(parsed: &Parsed) -> Result<Vec<String>, CliError> {
-    let mut views: Vec<String> = parsed.multi("view").to_vec();
+/// The shared `--view`/`--views-file`/`--views-dir`/`--budget` flags as
+/// a declarative [`ViewSetSpec`] — the one place the CLI's view-set
+/// vocabulary is interpreted, whichever subcommand accepts it.
+fn view_spec(parsed: &Parsed) -> Result<ViewSetSpec, CliError> {
+    let mut spec = ViewSetSpec::new();
+    spec.inline = parsed.multi("view").to_vec();
     if let Some(file) = parsed.opt("views-file") {
-        let text = std::fs::read_to_string(file)
-            .map_err(|e| CliError::Input(format!("cannot read {file}: {e}")))?;
-        for line in text.lines() {
-            let line = line.trim();
-            if !line.is_empty() && !line.starts_with('#') {
-                views.push(line.to_owned());
-            }
-        }
+        spec = spec.with_views_file(file);
     }
-    Ok(views)
+    if let Some(dir) = parsed.opt("views-dir") {
+        spec = spec.with_views_dir(dir);
+    }
+    if let Some(b) = parsed.opt("budget") {
+        spec = spec.with_budget(parse_budget(b)?);
+    }
+    Ok(spec)
+}
+
+/// Views from repeated `--view` flags plus an optional `--views-file`,
+/// resolved through the catalog (one line format, one error surface).
+fn collect_views(parsed: &Parsed) -> Result<Vec<String>, CliError> {
+    Ok(view_spec(parsed)?.resolve()?.sources().to_vec())
 }
 
 fn info(argv: &[String]) -> Result<ExitCode, CliError> {
@@ -311,35 +322,17 @@ fn strategy_of(name: &str) -> Result<Strategy, CliError> {
 }
 
 /// Build an engine from the shared `--doc`/`--view`/`--views-file`/
-/// `--views-dir`/`--budget` flags (used by `answer` and `stats`).
-fn engine_with_views(parsed: &Parsed) -> Result<Engine, CliError> {
+/// `--views-dir`/`--budget` flags through a [`ViewCatalog`] (used by
+/// `answer`, `stats`, and `serve`). The returned catalog carries the
+/// replayable view sources (`serve` hands them to `swap-doc`).
+fn engine_with_views(parsed: &Parsed) -> Result<(Engine, ViewCatalog), CliError> {
     let doc = load_doc(parsed.req("doc")?)?;
-    let views = collect_views(parsed)?;
-    let budget = match parsed.opt("budget") {
-        Some(b) => b
-            .parse()
-            .map_err(|_| CliError::Usage("--budget must be an integer".into()))?,
-        None => usize::MAX,
-    };
-    let mut engine = Engine::new(
-        doc,
-        EngineConfig {
-            fragment_budget: budget,
-            ..EngineConfig::default()
-        },
-    );
-    for v in &views {
-        engine
-            .add_view_str(v)
-            .map_err(|e| CliError::Input(format!("view `{v}`: {e}")))?;
+    let catalog = view_spec(parsed)?.resolve()?;
+    let (engine, dir_loads) = catalog.build_engine(doc, EngineConfig::default())?;
+    for (dir, loaded) in &dir_loads {
+        eprintln!("loaded {} view(s) from {}", loaded.len(), dir.display());
     }
-    if let Some(dir) = parsed.opt("views-dir") {
-        let loaded = engine
-            .load_views(std::path::Path::new(dir))
-            .map_err(|e| CliError::Input(format!("loading views from {dir}: {e}")))?;
-        eprintln!("loaded {} view(s) from {dir}", loaded.len());
-    }
-    Ok(engine)
+    Ok((engine, catalog))
 }
 
 fn answer(argv: &[String]) -> Result<ExitCode, CliError> {
@@ -358,7 +351,7 @@ fn answer(argv: &[String]) -> Result<ExitCode, CliError> {
         &["show", "explain", "report"],
     )?;
     let strategy = strategy_of(parsed.opt("strategy").unwrap_or("hv"))?;
-    let engine = engine_with_views(&parsed)?;
+    let (engine, _) = engine_with_views(&parsed)?;
     let base = matches!(strategy, Strategy::Bn | Strategy::Bf);
     if engine.views().is_empty() && !base {
         return Err(CliError::Usage(
@@ -542,7 +535,7 @@ fn stats(argv: &[String]) -> Result<ExitCode, CliError> {
         &[],
     )?;
     let strategy = strategy_of(parsed.opt("strategy").unwrap_or("hv"))?;
-    let engine = engine_with_views(&parsed)?;
+    let (engine, _) = engine_with_views(&parsed)?;
     let base = matches!(strategy, Strategy::Bn | Strategy::Bf);
     if engine.views().is_empty() && !base {
         return Err(CliError::Usage(
@@ -634,9 +627,7 @@ fn materialize(argv: &[String]) -> Result<ExitCode, CliError> {
         ));
     }
     let budget = match parsed.opt("budget") {
-        Some(b) => b
-            .parse()
-            .map_err(|_| CliError::Usage("--budget must be an integer".into()))?,
+        Some(b) => parse_budget(b)?,
         None => usize::MAX,
     };
     let mut engine = Engine::new(
@@ -689,6 +680,55 @@ fn append(argv: &[String]) -> Result<ExitCode, CliError> {
         .map_err(|e| CliError::Input(format!("cannot write {target}: {e}")))?;
     eprintln!("wrote {target}");
     Ok(ExitCode::SUCCESS)
+}
+
+/// `xvr advise`: propose a view set for a workload under a byte budget.
+///
+/// Reads the workload (one XPath per line, duplicates fold into
+/// frequencies), runs the [`Advisor`] over the document, and prints the
+/// winning proposal: one stdout line per view — `XPATH<TAB>BYTES<TAB>
+/// WEIGHT`, ready to paste into a `--views-file` — with the scored
+/// summary on stderr. Exit 1 when the proposal covers none of the
+/// workload (nothing materializable under the budget helps).
+fn advise(argv: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = Parsed::parse(
+        argv,
+        &["doc", "workload"],
+        &["budget", "seed", "jobs"],
+        &[],
+        &[],
+    )?;
+    let doc = load_doc(parsed.req("doc")?)?;
+    let path = parsed.req("workload")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Input(format!("cannot read {path}: {e}")))?;
+    let workload = Workload::parse(&text)?;
+    let mut config = AdvisorConfig::default();
+    if let Some(b) = parsed.opt("budget") {
+        config.budget = parse_budget(b)?;
+    }
+    if let Some(s) = parsed.opt("seed") {
+        config.seed = s
+            .parse()
+            .map_err(|_| CliError::Usage("--seed must be an integer".into()))?;
+    }
+    if let Some(j) = parsed.opt("jobs") {
+        config.jobs = j
+            .parse()
+            .ok()
+            .filter(|&j| j >= 1)
+            .ok_or_else(|| CliError::Usage("--jobs must be a positive integer".into()))?;
+    }
+    let proposal = Advisor::new(config).advise(&doc, &workload)?;
+    for v in &proposal.views {
+        outln!("{}\t{}\t{}", v.xpath, v.bytes, v.weight);
+    }
+    eprintln!("{proposal}");
+    Ok(if proposal.score.answered_weight > 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
 }
 
 fn generate(argv: &[String]) -> Result<ExitCode, CliError> {

@@ -14,7 +14,7 @@ use std::process::ExitCode;
 use xvr_core::{Server, ServerConfig};
 
 use crate::args::Parsed;
-use crate::{collect_views, engine_with_views, out_fmt, CliError};
+use crate::{engine_with_views, out_fmt, CliError};
 
 pub fn serve(argv: &[String]) -> Result<ExitCode, CliError> {
     let parsed = Parsed::parse(
@@ -24,11 +24,12 @@ pub fn serve(argv: &[String]) -> Result<ExitCode, CliError> {
         &["view"],
         &[],
     )?;
-    let engine = engine_with_views(&parsed)?;
-    // The replayable view sources for swap-doc: the --view/--views-file
-    // text. Views loaded from --views-dir are materialized artifacts
-    // without source text and are not replayed across a document swap.
-    let view_sources = collect_views(&parsed)?;
+    // The catalog carries the replayable view sources for swap-doc: the
+    // --view/--views-file text. Views loaded from --views-dir are
+    // materialized artifacts without source text and are not replayed
+    // across a document swap.
+    let (engine, catalog) = engine_with_views(&parsed)?;
+    let view_sources = catalog.sources().to_vec();
     let jobs: usize = match parsed.opt("jobs") {
         Some(j) => j
             .parse()

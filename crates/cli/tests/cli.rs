@@ -632,3 +632,151 @@ fn loadgen_writes_latency_json() {
     ));
     assert!(guard.0.wait().unwrap().success());
 }
+
+/// `xvr advise` proposes a view set for a workload file and prints it as
+/// `XPATH<TAB>BYTES<TAB>WEIGHT` lines; the proposed views, fed back as a
+/// `--views-file`, answer the whole workload.
+#[test]
+fn advise_proposes_views_that_answer_the_workload() {
+    let doc = write_doc();
+    // Duplicates fold into frequencies; comments/CRLF are tolerated.
+    let workload = tempfile::write(
+        "# workload\n//book[author]/title\r\n//book[author]/title\n\n//shelf/book\n",
+    );
+    let out = xvr()
+        .args(["advise", "--doc"])
+        .arg(doc.path())
+        .arg("--workload")
+        .arg(workload.path())
+        .args(["--seed", "42"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let mut views_file = String::new();
+    for line in stdout.lines() {
+        let cols: Vec<&str> = line.split('\t').collect();
+        assert_eq!(cols.len(), 3, "expected XPATH\\tBYTES\\tWEIGHT: {line:?}");
+        cols[1].parse::<u64>().expect("bytes column");
+        cols[2].parse::<u64>().expect("weight column");
+        views_file.push_str(cols[0]);
+        views_file.push('\n');
+    }
+    assert!(!views_file.is_empty(), "no views proposed: {stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("proposal:"), "{stderr}");
+    assert!(stderr.contains("coverage 3/3"), "{stderr}");
+
+    // Round trip: the proposal is a valid --views-file for answer.
+    let views = tempfile::write(&views_file);
+    let queries = tempfile::write("//book[author]/title\n//shelf/book\n");
+    let out = xvr()
+        .args(["answer", "--doc"])
+        .arg(doc.path())
+        .arg("--views-file")
+        .arg(views.path())
+        .arg("--queries-file")
+        .arg(queries.path())
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Same seed, same workload ⇒ byte-identical advise output, at any
+/// `--jobs` setting (throughput measurement never leaks into the
+/// proposal).
+#[test]
+fn advise_is_deterministic_across_jobs() {
+    let doc = write_doc();
+    let workload = tempfile::write("//book[author]/title\n//shelf/book\n");
+    let run = |jobs: &str| {
+        let out = xvr()
+            .args(["advise", "--doc"])
+            .arg(doc.path())
+            .arg("--workload")
+            .arg(workload.path())
+            .args(["--seed", "7", "--jobs", jobs])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    assert_eq!(run("1"), run("8"));
+}
+
+/// The catalog refactor keeps the shared view flags working together:
+/// --view, --views-file (with comments/CRLF), and --budget combine, and
+/// answers stay identical to registering the same views one by one.
+#[test]
+fn answer_combines_view_flags_through_the_catalog() {
+    let doc = write_doc();
+    let views = tempfile::write("# file views\n//shelf/book\r\n");
+    let query = "//shelf/book[author]/title";
+    let combined = xvr()
+        .args(["answer", "--doc"])
+        .arg(doc.path())
+        .args(["--view", "//book[author]/title", "--views-file"])
+        .arg(views.path())
+        .args(["--budget", "1048576"])
+        .arg(query)
+        .output()
+        .unwrap();
+    assert!(
+        combined.status.success(),
+        "{}",
+        String::from_utf8_lossy(&combined.stderr)
+    );
+    let inline_only = xvr()
+        .args(["answer", "--doc"])
+        .arg(doc.path())
+        .args(["--view", "//book[author]/title", "--view", "//shelf/book"])
+        .arg(query)
+        .output()
+        .unwrap();
+    assert!(inline_only.status.success());
+    assert_eq!(combined.stdout, inline_only.stdout, "answers diverged");
+}
+
+/// One --budget vocabulary everywhere: a malformed budget is an input
+/// error (exit 3) with the offending value named, identically for
+/// answer and advise.
+#[test]
+fn budget_errors_are_uniform_across_commands() {
+    let doc = write_doc();
+    let workload = tempfile::write("//shelf/book\n");
+    let answer = xvr()
+        .args(["answer", "--doc"])
+        .arg(doc.path())
+        .args(["--view", "//shelf/book", "--budget", "12k"])
+        .arg("//shelf/book")
+        .output()
+        .unwrap();
+    let advise = xvr()
+        .args(["advise", "--doc"])
+        .arg(doc.path())
+        .arg("--workload")
+        .arg(workload.path())
+        .args(["--budget", "12k"])
+        .output()
+        .unwrap();
+    for out in [&answer, &advise] {
+        assert_eq!(out.status.code(), Some(3));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("budget `12k` is not an integer byte count"),
+            "{stderr}"
+        );
+    }
+}

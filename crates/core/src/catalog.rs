@@ -1,0 +1,253 @@
+//! `ViewCatalog` / `ViewSetSpec`: one abstraction for declaring and
+//! loading a view set, shared by every surface that used to roll its own.
+//!
+//! Before this module the same plumbing existed three times: the CLI's
+//! `answer`, `stats`, and `serve` commands each combined repeated
+//! `--view` flags, a `--views-file`, a `--views-dir`, and a `--budget`
+//! into an [`Engine`] by hand, and the server kept its own replay list of
+//! view sources for `swap-doc`. A [`ViewSetSpec`] is the declarative
+//! form of that input; [`ViewSetSpec::resolve`] reads the files once and
+//! produces a [`ViewCatalog`] whose [`sources`](ViewCatalog::sources)
+//! are exactly the replayable view definitions (inline + file views, in
+//! order — directory stores are document-specific materializations and
+//! are deliberately *not* replayable, same as before), and
+//! [`ViewCatalog::build_engine`] turns a document into an engine with
+//! every view registered under one budget and one error surface
+//! ([`QueryError`]).
+
+use std::path::{Path, PathBuf};
+
+use xvr_xml::Document;
+
+use crate::engine::{Engine, EngineConfig};
+use crate::error::QueryError;
+use crate::view::ViewId;
+
+/// Iterate the meaningful lines of a view/workload file: strip a
+/// trailing `\r` (CRLF files), trim, and skip blank lines and `#`
+/// comments. The single definition of the line format every list-of-
+/// XPaths file in the system uses.
+pub fn clean_lines(text: &str) -> impl Iterator<Item = &str> {
+    text.lines()
+        .map(|l| l.strip_suffix('\r').unwrap_or(l).trim())
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+}
+
+/// Parse a views file's text into its XPath sources (see [`clean_lines`]
+/// for the line format).
+pub fn parse_views_text(text: &str) -> Vec<String> {
+    clean_lines(text).map(str::to_owned).collect()
+}
+
+/// Parse a `--budget` value: a plain byte count. One definition of the
+/// budget syntax for every command that accepts one.
+pub fn parse_budget(s: &str) -> Result<usize, QueryError> {
+    s.trim()
+        .parse()
+        .map_err(|_| QueryError::input(format!("budget `{s}` is not an integer byte count")))
+}
+
+/// Declarative description of a view set: where the definitions come
+/// from and the per-view materialization budget. Mirrors the CLI's
+/// `--view` / `--views-file` / `--views-dir` / `--budget` flags but is
+/// usable from any surface (CLI, server, advisor, embedding code).
+#[derive(Clone, Debug, Default)]
+pub struct ViewSetSpec {
+    /// Inline XPath view definitions (`--view`, repeatable).
+    pub inline: Vec<String>,
+    /// Files of one XPath per line (`--views-file`).
+    pub files: Vec<PathBuf>,
+    /// Directories of persisted materializations (`--views-dir`).
+    pub dirs: Vec<PathBuf>,
+    /// Per-view fragment byte budget; `None` keeps the engine default.
+    pub budget: Option<usize>,
+}
+
+impl ViewSetSpec {
+    /// An empty spec (no views, default budget).
+    pub fn new() -> ViewSetSpec {
+        ViewSetSpec::default()
+    }
+
+    /// Add an inline view definition.
+    pub fn with_view(mut self, xpath: impl Into<String>) -> ViewSetSpec {
+        self.inline.push(xpath.into());
+        self
+    }
+
+    /// Add a views file.
+    pub fn with_views_file(mut self, path: impl Into<PathBuf>) -> ViewSetSpec {
+        self.files.push(path.into());
+        self
+    }
+
+    /// Add a persisted-store directory.
+    pub fn with_views_dir(mut self, path: impl Into<PathBuf>) -> ViewSetSpec {
+        self.dirs.push(path.into());
+        self
+    }
+
+    /// Set the per-view byte budget.
+    pub fn with_budget(mut self, bytes: usize) -> ViewSetSpec {
+        self.budget = Some(bytes);
+        self
+    }
+
+    /// Read every referenced file and fold the spec into a
+    /// [`ViewCatalog`]. I/O failures carry the offending path.
+    pub fn resolve(&self) -> Result<ViewCatalog, QueryError> {
+        let mut sources = self.inline.clone();
+        for file in &self.files {
+            let text = std::fs::read_to_string(file)
+                .map_err(|e| QueryError::input(format!("cannot read {}: {e}", file.display())))?;
+            sources.extend(parse_views_text(&text));
+        }
+        Ok(ViewCatalog {
+            sources,
+            dirs: self.dirs.clone(),
+            budget: self.budget,
+        })
+    }
+}
+
+/// Per-directory load report from [`ViewCatalog::build_engine`]: which
+/// [`ViewId`]s each store directory contributed, in load order.
+pub type DirLoads = Vec<(PathBuf, Vec<ViewId>)>;
+
+/// A resolved view catalog: the ordered view sources (inline + file
+/// definitions) plus any persisted-store directories, ready to build
+/// engines from. This is the unit the server replays on `swap-doc` and
+/// the advisor emits proposals as.
+#[derive(Clone, Debug, Default)]
+pub struct ViewCatalog {
+    sources: Vec<String>,
+    dirs: Vec<PathBuf>,
+    budget: Option<usize>,
+}
+
+impl ViewCatalog {
+    /// A catalog from bare XPath sources (no files, no dirs).
+    pub fn from_sources(sources: Vec<String>) -> ViewCatalog {
+        ViewCatalog {
+            sources,
+            dirs: Vec::new(),
+            budget: None,
+        }
+    }
+
+    /// The replayable view definitions, in registration order. Views
+    /// loaded from a `--views-dir` store are *not* included: a persisted
+    /// materialization belongs to one document and cannot be replayed
+    /// onto another.
+    pub fn sources(&self) -> &[String] {
+        &self.sources
+    }
+
+    /// Iterate the persisted-store directories.
+    pub fn dirs(&self) -> impl Iterator<Item = &Path> {
+        self.dirs.iter().map(PathBuf::as_path)
+    }
+
+    /// The per-view byte budget, if one was specified.
+    pub fn budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// True when the catalog names no view at all.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty() && self.dirs.is_empty()
+    }
+
+    /// Build an [`Engine`] over `doc` with every catalog view
+    /// registered: the budget (if set) overrides
+    /// [`EngineConfig::fragment_budget`], inline/file sources are added
+    /// in order, then each store directory is loaded. Returns the engine
+    /// and, per directory, how many views it contributed. Every failure
+    /// is a [`QueryError`] with the offending view or path named.
+    pub fn build_engine(
+        &self,
+        doc: Document,
+        mut config: EngineConfig,
+    ) -> Result<(Engine, DirLoads), QueryError> {
+        if let Some(b) = self.budget {
+            config.fragment_budget = b;
+        }
+        let mut engine = Engine::new(doc, config);
+        for v in &self.sources {
+            engine
+                .add_view_str(v)
+                .map_err(|e| QueryError::input(format!("view `{v}`: {e}")))?;
+        }
+        let mut dir_loads = Vec::with_capacity(self.dirs.len());
+        for dir in &self.dirs {
+            let loaded = engine.load_views(dir).map_err(|e| {
+                QueryError::input(format!("loading views from {}: {e}", dir.display()))
+            })?;
+            dir_loads.push((dir.clone(), loaded));
+        }
+        Ok((engine, dir_loads))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xvr_xml::samples::book_document;
+
+    #[test]
+    fn clean_lines_handles_blank_comment_crlf() {
+        let text = "//s[t]/p\r\n\n  # a comment\n\t//s[p]/f  \r\n#tail\n";
+        let got: Vec<&str> = clean_lines(text).collect();
+        assert_eq!(got, vec!["//s[t]/p", "//s[p]/f"]);
+    }
+
+    #[test]
+    fn budget_parser_accepts_bytes_and_rejects_junk() {
+        assert_eq!(parse_budget("131072").unwrap(), 131072);
+        assert_eq!(parse_budget(" 42 ").unwrap(), 42);
+        for bad in ["", "12k", "-1", "lots"] {
+            assert!(parse_budget(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn catalog_builds_the_same_engine_as_manual_registration() {
+        let srcs = ["//s[t]/p", "//s[p]/f"];
+        // Old path: by hand.
+        let mut manual = Engine::new(book_document(), EngineConfig::default());
+        for s in srcs {
+            manual.add_view_str(s).unwrap();
+        }
+        // New path: through the catalog.
+        let spec = ViewSetSpec::new().with_view(srcs[0]).with_view(srcs[1]);
+        let (engine, dirs) = spec
+            .resolve()
+            .unwrap()
+            .build_engine(book_document(), EngineConfig::default())
+            .unwrap();
+        assert!(dirs.is_empty());
+        assert_eq!(engine.views().len(), manual.views().len());
+        assert_eq!(engine.store().total_bytes(), manual.store().total_bytes());
+    }
+
+    #[test]
+    fn bad_view_is_named_in_the_error() {
+        let spec = ViewSetSpec::new().with_view("//s[");
+        let err = match spec
+            .resolve()
+            .unwrap()
+            .build_engine(book_document(), EngineConfig::default())
+        {
+            Err(e) => e,
+            Ok(_) => panic!("bad view must not build"),
+        };
+        assert!(err.to_string().contains("view `//s[`"), "{err}");
+    }
+
+    #[test]
+    fn missing_views_file_is_named_in_the_error() {
+        let spec = ViewSetSpec::new().with_views_file("/nonexistent/views.txt");
+        let err = spec.resolve().unwrap_err();
+        assert!(err.to_string().contains("/nonexistent/views.txt"), "{err}");
+    }
+}

@@ -32,6 +32,11 @@ pub enum QueryError {
     Wire(WireError),
     /// Transport or file I/O failed, with what was being touched.
     Io(String, std::io::Error),
+    /// Caller-supplied input was invalid in a way that needs context a
+    /// bare parse error cannot carry (which view source, which workload
+    /// line, an empty workload, a bad budget). Classified as
+    /// [`Status::Input`], like parse errors.
+    Input(String),
 }
 
 impl QueryError {
@@ -46,6 +51,7 @@ impl QueryError {
             QueryError::Answer(AnswerError::Rewrite(_)) => Status::Internal,
             QueryError::Wire(_) => Status::BadRequest,
             QueryError::Io(..) => Status::Input,
+            QueryError::Input(_) => Status::Input,
         }
     }
 
@@ -57,6 +63,11 @@ impl QueryError {
     /// Build an I/O variant that remembers what was being accessed.
     pub fn io(context: impl Into<String>, e: std::io::Error) -> QueryError {
         QueryError::Io(context.into(), e)
+    }
+
+    /// Build an [`QueryError::Input`] variant from any displayable message.
+    pub fn input(message: impl Into<String>) -> QueryError {
+        QueryError::Input(message.into())
     }
 }
 
@@ -72,6 +83,7 @@ impl fmt::Display for QueryError {
             QueryError::Answer(e) => write!(f, "{e}"),
             QueryError::Wire(e) => write!(f, "protocol error: {e}"),
             QueryError::Io(what, e) => write!(f, "{what}: {e}"),
+            QueryError::Input(msg) => f.write_str(msg),
         }
     }
 }
@@ -84,6 +96,7 @@ impl std::error::Error for QueryError {
             QueryError::Answer(e) => Some(e),
             QueryError::Wire(e) => Some(e),
             QueryError::Io(_, e) => Some(e),
+            QueryError::Input(_) => None,
         }
     }
 }

@@ -74,6 +74,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod advise;
+pub mod catalog;
 pub mod engine;
 pub mod error;
 pub mod explain;
@@ -90,6 +92,10 @@ pub mod snapshot;
 pub mod view;
 pub mod wire;
 
+pub use advise::{
+    Advisor, AdvisorConfig, Proposal, ProposedView, SetScore, Workload, WorkloadEntry,
+};
+pub use catalog::{clean_lines, parse_budget, parse_views_text, ViewCatalog, ViewSetSpec};
 pub use engine::{
     Answer, AnswerError, Engine, EngineConfig, StageTimings, Strategy, UpdateError, UpdateStats,
 };
@@ -120,6 +126,6 @@ pub use serve::{run_load, Client, LoadConfig, LoadReport, Server, ServerConfig, 
 pub use snapshot::{AnswerTrace, BatchResult, EngineSnapshot, QueryOptions, QueryOutcome};
 pub use view::{View, ViewId, ViewSet};
 pub use wire::{
-    read_frame, write_frame, BatchItem, Request, Response, Status, WireError, WireOptions,
-    MAX_FRAME_LEN,
+    read_frame, write_frame, AdviceView, BatchItem, Request, Response, Status, WireError,
+    WireOptions, MAX_FRAME_LEN,
 };

@@ -410,10 +410,8 @@ mod tests {
         .iter()
         .enumerate()
         {
-            let dir = std::env::temp_dir().join(format!(
-                "xvr-store-hdr-{}-{i}",
-                std::process::id()
-            ));
+            let dir =
+                std::env::temp_dir().join(format!("xvr-store-hdr-{}-{i}", std::process::id()));
             std::fs::create_dir_all(&dir).unwrap();
             std::fs::write(
                 dir.join("v0000.view"),

@@ -391,10 +391,7 @@ fn compute_refined(
 ) -> FlatCodes {
     let label = compensating.label(compensating.root());
     let mut codes = FlatCodes::new();
-    counters.add(
-        Counter::RewriteFragmentsScanned,
-        mv.fragments.len() as u64,
-    );
+    counters.add(Counter::RewriteFragmentsScanned, mv.fragments.len() as u64);
     let mut cur = mv.fragments.packed_codes().cursor();
     for tree in mv.fragments.trees() {
         let code = cur.advance().expect("code arena in lockstep with trees");
@@ -428,10 +425,7 @@ fn compute_anchor_pairs(
         answers: Vec::new(),
         frag: Vec::new(),
     };
-    counters.add(
-        Counter::RewriteFragmentsScanned,
-        mv.fragments.len() as u64,
-    );
+    counters.add(Counter::RewriteFragmentsScanned, mv.fragments.len() as u64);
     let mut cur = mv.fragments.packed_codes().cursor();
     for (fi, tree) in mv.fragments.trees().iter().enumerate() {
         let code = cur.advance().expect("code arena in lockstep with trees");
@@ -1052,10 +1046,7 @@ pub fn rewrite_scan_metered(
         let compensating = q.subtree_pattern(unit.cover.m, Axis::Descendant);
         let label = compensating.label(compensating.root());
         let trivial = is_trivial(&compensating);
-        counters.add(
-            Counter::RewriteFragmentsScanned,
-            mv.fragments.len() as u64,
-        );
+        counters.add(Counter::RewriteFragmentsScanned, mv.fragments.len() as u64);
         if i == selection.anchor {
             let trivial_answer_is_root = trivial && compensating.answer() == compensating.root();
             let mut pairs: Vec<(DeweyCode, Vec<DeweyCode>)> = Vec::new();

@@ -39,11 +39,13 @@ use std::time::{Duration, Instant};
 
 use xvr_pattern::TreePattern;
 
+use crate::advise::{Advisor, AdvisorConfig, Workload};
 use crate::engine::Engine;
 use crate::error::QueryError;
 use crate::snapshot::{EngineSnapshot, QueryOptions};
 use crate::wire::{
-    read_frame, write_frame, BatchItem, Request, Response, Status, WireError, WireOptions,
+    read_frame, write_frame, AdviceView, BatchItem, Request, Response, Status, WireError,
+    WireOptions,
 };
 
 /// An epoch-counted, atomically swappable `Arc<EngineSnapshot>` slot —
@@ -249,6 +251,14 @@ fn handle_request(request: Request, state: &ServerState) -> (Response, bool) {
             false,
         ),
         Request::Shutdown => (Response::ShuttingDown, true),
+        Request::Advise {
+            queries,
+            budget,
+            seed,
+        } => (
+            handle_advise(&queries, budget, seed, state).unwrap_or_else(error_response),
+            false,
+        ),
     }
 }
 
@@ -386,6 +396,44 @@ fn handle_swap_doc(path: &str, state: &ServerState) -> Result<Response, QueryErr
     Ok(swapped_response(state, epoch))
 }
 
+/// Run the view advisor over the resident document. Read-only: the
+/// advisor builds its probe/scoring engines from a *clone* of the
+/// pinned snapshot's document, so the serving state (and the writer
+/// engine) is never touched and queries keep flowing while the advisor
+/// runs.
+fn handle_advise(
+    queries: &[String],
+    budget: u64,
+    seed: u64,
+    state: &ServerState,
+) -> Result<Response, QueryError> {
+    let snap = state.cell.load();
+    let workload = Workload::from_sources(queries.iter().map(String::as_str))?;
+    let config = AdvisorConfig {
+        budget: usize::try_from(budget).unwrap_or(usize::MAX),
+        seed,
+        jobs: state.config.jobs.max(1),
+        engine: snap.config().clone(),
+        ..AdvisorConfig::default()
+    };
+    let proposal = Advisor::new(config).advise(snap.doc(), &workload)?;
+    Ok(Response::Advice {
+        views: proposal
+            .views
+            .iter()
+            .map(|v| AdviceView {
+                xpath: v.xpath.clone(),
+                bytes: v.bytes as u64,
+                weight: v.weight,
+            })
+            .collect(),
+        answered_weight: proposal.score.answered_weight,
+        total_weight: proposal.score.total_weight,
+        intersect_weight: proposal.score.intersect_weight,
+        total_bytes: proposal.score.bytes as u64,
+    })
+}
+
 /// A blocking client for the serve protocol: one TCP connection, one
 /// request/response exchange per [`Client::call`].
 pub struct Client {
@@ -439,6 +487,22 @@ impl Client {
         write_frame(&mut self.writer, payload)?;
         let reply = read_frame(&mut self.reader)?.ok_or(WireError::Truncated)?;
         Response::decode(&reply)
+    }
+
+    /// Ask the server's view advisor for a proposal: which views to
+    /// materialize for `queries` (duplicates fold into frequencies)
+    /// under a total byte `budget`.
+    pub fn advise(
+        &mut self,
+        queries: Vec<String>,
+        budget: u64,
+        seed: u64,
+    ) -> Result<Response, WireError> {
+        self.call(&Request::Advise {
+            queries,
+            budget,
+            seed,
+        })
     }
 }
 

@@ -237,6 +237,19 @@ pub enum Request {
     },
     /// Admin: stop accepting connections and exit the serve loop.
     Shutdown,
+    /// Run the view advisor over the server's resident document: propose
+    /// a view set for the given workload under a byte budget. Tag
+    /// appended after the original seven (pure addition — older clients
+    /// interoperate, they just never send it).
+    Advise {
+        /// Workload queries (duplicates fold into frequencies
+        /// server-side).
+        queries: Vec<String>,
+        /// Total materialized-byte budget for the proposed set.
+        budget: u64,
+        /// Advisor seed (generalization moves).
+        seed: u64,
+    },
 }
 
 /// A server → client message.
@@ -305,6 +318,32 @@ pub enum Response {
     },
     /// Reply to [`Request::Shutdown`]: the server stops after this frame.
     ShuttingDown,
+    /// Reply to [`Request::Advise`]: the wire rendering of a
+    /// [`Proposal`](crate::Proposal).
+    Advice {
+        /// Proposed views, heaviest first.
+        views: Vec<AdviceView>,
+        /// Frequency-weighted workload queries the set answers.
+        answered_weight: u64,
+        /// Total workload weight (the denominator).
+        total_weight: u64,
+        /// Of `answered_weight`, the weight only the intersection
+        /// fallback rescued.
+        intersect_weight: u64,
+        /// Measured materialized bytes of the proposed set.
+        total_bytes: u64,
+    },
+}
+
+/// One proposed view inside a [`Response::Advice`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdviceView {
+    /// The view definition as XPath source.
+    pub xpath: String,
+    /// Measured materialized bytes over the server's document.
+    pub bytes: u64,
+    /// Workload weight the view contains on its own.
+    pub weight: u64,
 }
 
 /// One query's outcome inside a [`Response::Batch`].
@@ -325,6 +364,7 @@ const REQ_STATS: u8 = 0x04;
 const REQ_ADD_VIEW: u8 = 0x05;
 const REQ_SWAP_DOC: u8 = 0x06;
 const REQ_SHUTDOWN: u8 = 0x07;
+const REQ_ADVISE: u8 = 0x08;
 
 const RESP_PONG: u8 = 0x81;
 const RESP_ANSWER: u8 = 0x82;
@@ -333,6 +373,7 @@ const RESP_STATS: u8 = 0x84;
 const RESP_SWAPPED: u8 = 0x85;
 const RESP_ERROR: u8 = 0x86;
 const RESP_SHUTTING_DOWN: u8 = 0x87;
+const RESP_ADVICE: u8 = 0x88;
 
 fn strategy_to_u8(s: Strategy) -> u8 {
     match s {
@@ -485,6 +526,19 @@ impl Request {
                 put_str(&mut out, path);
             }
             Request::Shutdown => put_u8(&mut out, REQ_SHUTDOWN),
+            Request::Advise {
+                queries,
+                budget,
+                seed,
+            } => {
+                put_u8(&mut out, REQ_ADVISE);
+                put_u32(&mut out, queries.len() as u32);
+                for q in queries {
+                    put_str(&mut out, q);
+                }
+                put_u64(&mut out, *budget);
+                put_u64(&mut out, *seed);
+            }
         }
         out
     }
@@ -507,6 +561,11 @@ impl Request {
             REQ_ADD_VIEW => Request::AddView { xpath: r.str()? },
             REQ_SWAP_DOC => Request::SwapDoc { path: r.str()? },
             REQ_SHUTDOWN => Request::Shutdown,
+            REQ_ADVISE => Request::Advise {
+                queries: r.strings()?,
+                budget: r.u64()?,
+                seed: r.u64()?,
+            },
             tag => return Err(WireError::BadTag(tag)),
         };
         r.finish()?;
@@ -590,6 +649,25 @@ impl Response {
                 put_str(&mut out, message);
             }
             Response::ShuttingDown => put_u8(&mut out, RESP_SHUTTING_DOWN),
+            Response::Advice {
+                views,
+                answered_weight,
+                total_weight,
+                intersect_weight,
+                total_bytes,
+            } => {
+                put_u8(&mut out, RESP_ADVICE);
+                put_u32(&mut out, views.len() as u32);
+                for v in views {
+                    put_str(&mut out, &v.xpath);
+                    put_u64(&mut out, v.bytes);
+                    put_u64(&mut out, v.weight);
+                }
+                put_u64(&mut out, *answered_weight);
+                put_u64(&mut out, *total_weight);
+                put_u64(&mut out, *intersect_weight);
+                put_u64(&mut out, *total_bytes);
+            }
         }
         out
     }
@@ -644,6 +722,28 @@ impl Response {
                 message: r.str()?,
             },
             RESP_SHUTTING_DOWN => Response::ShuttingDown,
+            RESP_ADVICE => {
+                let n = r.u32()? as usize;
+                if n > payload.len() / 20 {
+                    // Each view costs ≥ 20 bytes (length prefix + two u64s).
+                    return Err(WireError::Truncated);
+                }
+                let mut views = Vec::with_capacity(n);
+                for _ in 0..n {
+                    views.push(AdviceView {
+                        xpath: r.str()?,
+                        bytes: r.u64()?,
+                        weight: r.u64()?,
+                    });
+                }
+                Response::Advice {
+                    views,
+                    answered_weight: r.u64()?,
+                    total_weight: r.u64()?,
+                    intersect_weight: r.u64()?,
+                    total_bytes: r.u64()?,
+                }
+            }
             tag => return Err(WireError::BadTag(tag)),
         };
         r.finish()?;
@@ -732,6 +832,16 @@ mod tests {
             options: WireOptions::strategy(Strategy::Cb),
             jobs: 8,
         });
+        roundtrip_request(Request::Advise {
+            queries: vec!["//a[b]/c".into(), "//a[b]/c".into(), "//d".into()],
+            budget: 1 << 20,
+            seed: 42,
+        });
+        roundtrip_request(Request::Advise {
+            queries: vec![],
+            budget: u64::MAX,
+            seed: 0,
+        });
     }
 
     #[test]
@@ -780,6 +890,31 @@ mod tests {
                 message: format!("{status}"),
             });
         }
+        roundtrip_response(Response::Advice {
+            views: vec![
+                AdviceView {
+                    xpath: "//a[b]/c".into(),
+                    bytes: 4096,
+                    weight: 17,
+                },
+                AdviceView {
+                    xpath: "//πφ/δ".into(),
+                    bytes: 0,
+                    weight: 1,
+                },
+            ],
+            answered_weight: 18,
+            total_weight: 20,
+            intersect_weight: 3,
+            total_bytes: 4096,
+        });
+        roundtrip_response(Response::Advice {
+            views: vec![],
+            answered_weight: 0,
+            total_weight: 0,
+            intersect_weight: 0,
+            total_bytes: 0,
+        });
     }
 
     #[test]
@@ -832,6 +967,48 @@ mod tests {
         put_u32(&mut payload, u32::MAX);
         put_u32(&mut payload, 0);
         assert_eq!(Request::decode(&payload), Err(WireError::Truncated));
+
+        // An advice response claiming 2^32-1 views in a tiny payload.
+        let mut payload = vec![RESP_ADVICE];
+        put_u32(&mut payload, u32::MAX);
+        assert_eq!(Response::decode(&payload), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn truncated_advise_frames_error_cleanly() {
+        let full = Request::Advise {
+            queries: vec!["//a[b]/c".into(), "//d".into()],
+            budget: 1 << 17,
+            seed: 7,
+        }
+        .encode();
+        for cut in 0..full.len() {
+            assert_eq!(
+                Request::decode(&full[..cut]),
+                Err(WireError::Truncated),
+                "cut at {cut}"
+            );
+        }
+
+        let full = Response::Advice {
+            views: vec![AdviceView {
+                xpath: "//a[b]/c".into(),
+                bytes: 128,
+                weight: 3,
+            }],
+            answered_weight: 3,
+            total_weight: 4,
+            intersect_weight: 0,
+            total_bytes: 128,
+        }
+        .encode();
+        for cut in 1..full.len() {
+            assert_eq!(
+                Response::decode(&full[..cut]),
+                Err(WireError::Truncated),
+                "cut at {cut}"
+            );
+        }
     }
 
     #[test]

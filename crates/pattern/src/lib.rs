@@ -15,7 +15,9 @@
 //! * **evaluation** engines over documents: naive, node-index assisted
 //!   (`BN`), path-index assisted (`BF`), and a Dewey-code holistic twig join
 //!   ([`eval`], [`holistic`]),
-//! * a YFilter-style random **query generator** ([`generator`]).
+//! * a YFilter-style random **query generator** ([`generator`]),
+//! * structural **similarity** and deterministic workload clustering
+//!   ([`similarity`]).
 
 pub mod containment;
 pub mod decompose;
@@ -29,6 +31,7 @@ pub mod parse;
 pub mod paths;
 pub mod pattern;
 pub mod region_eval;
+pub mod similarity;
 
 pub use containment::{
     contains, contains_complete, equivalent, equivalent_complete, intersection_contains,
@@ -50,3 +53,4 @@ pub use parse::{parse_pattern, parse_pattern_in, parse_pattern_with, PatternPars
 pub use paths::{path_contains, path_contains_anchored, PathPattern, PathSymbol, Step};
 pub use pattern::{AttrPred, Axis, PLabel, PNode, PNodeId, TreePattern};
 pub use region_eval::eval_region;
+pub use similarity::{cluster, similarity};

@@ -1,0 +1,199 @@
+//! Structural similarity between tree patterns, for workload clustering.
+//!
+//! The view advisor groups a query workload by *shape* before it
+//! generalizes each group into a candidate view (the query-clustering
+//! approach of Mahboubi et al. applied to this system's pattern algebra).
+//! Similarity is computed over the patterns' decompositions `D(Q)`: each
+//! root-to-leaf path is normalized and read as its `STR(P)` symbol string
+//! (exactly what VFILTER consumes), and two patterns are compared by a
+//! weighted Jaccard over the multiset of
+//!
+//! * path symbols (unigrams),
+//! * adjacent symbol pairs (bigrams), and
+//! * whole path signatures,
+//!
+//! so patterns sharing labels score above zero, patterns sharing label
+//! *sequences* score higher, and structurally identical patterns score
+//! exactly 1. Everything is deterministic — no hashing, no randomness —
+//! which the advisor's reproducibility guarantee (same workload + seed ⇒
+//! same proposal) leans on.
+
+use std::collections::BTreeMap;
+
+use crate::decompose::decompose;
+use crate::normalize::normalize;
+use crate::paths::PathSymbol;
+use crate::pattern::TreePattern;
+
+/// Encode one `STR(P)` symbol as a small integer. Labels start at 3 so
+/// `Star`/`Hash` never collide with a label index.
+fn sym_code(s: PathSymbol) -> u64 {
+    match s {
+        PathSymbol::Star => 1,
+        PathSymbol::Hash => 2,
+        PathSymbol::Lab(l) => 3 + l.index() as u64,
+    }
+}
+
+/// The feature multiset of a pattern: feature key → occurrence count.
+/// Keys are small integer vectors (`[1, s]` unigram, `[2, s1, s2]`
+/// bigram, `[3, s…]` whole path), ordered so iteration is deterministic.
+fn features(p: &TreePattern) -> BTreeMap<Vec<u64>, u64> {
+    let mut out: BTreeMap<Vec<u64>, u64> = BTreeMap::new();
+    let mut bump = |k: Vec<u64>| *out.entry(k).or_insert(0) += 1;
+    for path in &decompose(p).paths {
+        let syms: Vec<u64> = normalize(path)
+            .symbols()
+            .iter()
+            .map(|&s| sym_code(s))
+            .collect();
+        for &s in &syms {
+            bump(vec![1, s]);
+        }
+        for w in syms.windows(2) {
+            bump(vec![2, w[0], w[1]]);
+        }
+        let mut whole = Vec::with_capacity(syms.len() + 1);
+        whole.push(3);
+        whole.extend_from_slice(&syms);
+        bump(whole);
+    }
+    out
+}
+
+/// Structural similarity of two tree patterns in `[0, 1]`.
+///
+/// Weighted Jaccard over the feature multisets: `Σ min(cA, cB) / Σ
+/// max(cA, cB)`. Structurally identical patterns (same shape after
+/// per-path normalization) score exactly `1.0`; patterns sharing no
+/// label, wildcard, or `//`-step score `0.0`. Symmetric and
+/// deterministic.
+pub fn similarity(a: &TreePattern, b: &TreePattern) -> f64 {
+    let fa = features(a);
+    let fb = features(b);
+    let mut inter = 0u64;
+    let mut union = 0u64;
+    for (k, &ca) in &fa {
+        let cb = fb.get(k).copied().unwrap_or(0);
+        inter += ca.min(cb);
+        union += ca.max(cb);
+    }
+    for (k, &cb) in &fb {
+        if !fa.contains_key(k) {
+            union += cb;
+        }
+    }
+    if union == 0 {
+        return 1.0; // two empty feature sets are vacuously identical
+    }
+    inter as f64 / union as f64
+}
+
+/// Deterministic leader clustering of `patterns` by [`similarity`].
+///
+/// Patterns are scanned in input order; each joins the first existing
+/// cluster whose *leader* (the cluster's first member) is at least
+/// `threshold`-similar, otherwise it founds a new cluster. Returns the
+/// clusters as index lists into `patterns`, in founding order — the same
+/// input always produces the same clustering, regardless of thread count
+/// or allocation order.
+pub fn cluster(patterns: &[TreePattern], threshold: f64) -> Vec<Vec<usize>> {
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    for (i, p) in patterns.iter().enumerate() {
+        let joined = clusters
+            .iter_mut()
+            .find(|c| similarity(&patterns[c[0]], p) >= threshold);
+        match joined {
+            Some(c) => c.push(i),
+            None => clusters.push(vec![i]),
+        }
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_pattern_with;
+    use xvr_xml::LabelTable;
+
+    fn pat(src: &str, labels: &mut LabelTable) -> TreePattern {
+        parse_pattern_with(src, labels).unwrap()
+    }
+
+    #[test]
+    fn identical_patterns_score_one() {
+        let mut l = LabelTable::new();
+        for src in ["/a/b/c", "//s[t]/p", "//a[@id]//b[c][d]/e"] {
+            let p = pat(src, &mut l);
+            let q = pat(src, &mut l);
+            assert_eq!(similarity(&p, &q), 1.0, "{src}");
+        }
+    }
+
+    #[test]
+    fn disjoint_labels_score_zero() {
+        let mut l = LabelTable::new();
+        let a = pat("/a/b/c", &mut l);
+        let b = pat("/x/y/z", &mut l);
+        assert_eq!(similarity(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn shared_prefix_scores_between() {
+        let mut l = LabelTable::new();
+        let a = pat("/a/b/c", &mut l);
+        let b = pat("/a/b/d", &mut l);
+        let c = pat("/a/x/y", &mut l);
+        let ab = similarity(&a, &b);
+        let ac = similarity(&a, &c);
+        assert!(ab > ac, "closer shape must score higher: {ab} vs {ac}");
+        assert!(ab < 1.0 && ab > 0.0);
+        assert!(ac < 1.0 && ac > 0.0);
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let mut l = LabelTable::new();
+        let pats = [
+            pat("//s[t]/p", &mut l),
+            pat("//s[p]/f", &mut l),
+            pat("/a//b[c]/d", &mut l),
+            pat("//*[x]", &mut l),
+        ];
+        for a in &pats {
+            for b in &pats {
+                assert_eq!(similarity(a, b), similarity(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn branch_structure_matters_less_than_labels() {
+        // A branch rearrangement keeps most features; a relabel kills them.
+        let mut l = LabelTable::new();
+        let base = pat("//s[t][f]/p", &mut l);
+        let rearranged = pat("//s[f]/p", &mut l);
+        let relabeled = pat("//q[r][w]/v", &mut l);
+        assert!(similarity(&base, &rearranged) > similarity(&base, &relabeled));
+    }
+
+    #[test]
+    fn clustering_groups_like_shapes_deterministically() {
+        let mut l = LabelTable::new();
+        let pats = vec![
+            pat("/a/b/c", &mut l),
+            pat("/a/b/d", &mut l),
+            pat("/x/y/z", &mut l),
+            pat("/a/b/c", &mut l),
+            pat("/x/y/w", &mut l),
+        ];
+        let got = cluster(&pats, 0.3);
+        assert_eq!(got, vec![vec![0, 1, 3], vec![2, 4]]);
+        // Rerunning is bit-identical.
+        assert_eq!(cluster(&pats, 0.3), got);
+        // Threshold 0 folds everything into one cluster; above 1 none join.
+        assert_eq!(cluster(&pats, 0.0).len(), 1);
+        assert_eq!(cluster(&pats, 1.1).len(), pats.len());
+    }
+}

@@ -167,11 +167,7 @@ impl FragmentSet {
     /// the trees themselves.
     pub fn from_parts(codes: Vec<DeweyCode>, trees: Vec<XmlTree>, truncated: bool) -> FragmentSet {
         assert_eq!(codes.len(), trees.len());
-        let mut pairs: Vec<(Vec<u8>, XmlTree)> = codes
-            .iter()
-            .map(encode_code)
-            .zip(trees)
-            .collect();
+        let mut pairs: Vec<(Vec<u8>, XmlTree)> = codes.iter().map(encode_code).zip(trees).collect();
         pairs.sort_by(|a, b| flat_cmp(&a.0, &b.0));
         let mut set = FragmentSet {
             trees: Vec::with_capacity(pairs.len()),
@@ -346,7 +342,10 @@ mod tests {
         let roots = p_nodes(&doc);
         let (set, stats) = FragmentSet::materialize_with_stats(&doc, &roots, 0);
         assert!(set.is_empty());
-        assert_eq!(stats.extractions, 0, "rejected fragments must not be cloned");
+        assert_eq!(
+            stats.extractions, 0,
+            "rejected fragments must not be cloned"
+        );
         assert_eq!(stats.admitted, 0);
         assert_eq!(stats.rejected, 1, "sizing stops at the first refusal");
         assert_eq!(stats.candidates, roots.len());
@@ -488,11 +487,7 @@ mod tests {
         check(&set);
         assert_eq!(set.len(), 4);
         assert!(set.total_bytes() < before);
-        let rebuilt = FragmentSet::from_parts(
-            set.codes().collect(),
-            set.trees().to_vec(),
-            false,
-        );
+        let rebuilt = FragmentSet::from_parts(set.codes().collect(), set.trees().to_vec(), false);
         check(&rebuilt);
         assert_eq!(rebuilt.total_bytes(), set.total_bytes());
     }

@@ -299,7 +299,8 @@ impl Cursor<'_> {
         let lcp = read_uvarint(bytes, &mut self.pos) as usize;
         let suffix_len = read_uvarint(bytes, &mut self.pos) as usize;
         self.buf.truncate(lcp);
-        self.buf.extend_from_slice(&bytes[self.pos..self.pos + suffix_len]);
+        self.buf
+            .extend_from_slice(&bytes[self.pos..self.pos + suffix_len]);
         self.pos += suffix_len;
         self.idx += 1;
         Some(&self.buf)

@@ -441,10 +441,7 @@ mod tests {
     #[test]
     fn utf8_text_survives() {
         let doc = parse_document("<a>héllo wörld ❤</a>").unwrap();
-        assert_eq!(
-            doc.tree.text(doc.tree.root()),
-            Some("héllo wörld ❤")
-        );
+        assert_eq!(doc.tree.text(doc.tree.root()), Some("héllo wörld ❤"));
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Integration tests of the view advisor: HVI coverage feeding the set
+//! ranking, end-to-end proposals on the paper's workload, and
+//! determinism of the proposal across parallelism settings.
+
+use xvr_bench::{paper_document, test_queries};
+use xvr_core::{Advisor, AdvisorConfig, Workload};
+use xvr_xml::parse_document;
+
+/// The canonical intersection coverage-gain document (see
+/// `intersection_rewriting.rs`): only the first `b` carries both an `x`
+/// and a `y`, so `/a/b[x][y]//c` is answerable from `/a/b[x]//c` ∩
+/// `/a/b[y]//c` and from no single one of them.
+const GAIN_DOC: &str = "<a>\
+     <b><x/><y/><d><c>1</c></d><c>2</c></b>\
+     <b><x/><d><c>3</c></d></b>\
+     <b><y/><c>4</c></b>\
+     <b><c>5</c></b>\
+     </a>";
+
+/// HVI coverage feeds the score: a two-member view set that answers the
+/// workload only through the intersection fallback outranks a set that
+/// cannot answer at all, and the rescued weight is attributed to
+/// `intersect_weight` (the per-query `intersect.answered` counter).
+#[test]
+fn intersection_view_set_outranks_a_non_covering_one() {
+    let doc = parse_document(GAIN_DOC).unwrap();
+    let workload = Workload::parse("/a/b[x][y]//c\n/a/b[x][y]//c\n/a/b[x][y]//c\n").unwrap();
+    assert_eq!(workload.total_weight(), 3, "duplicates fold into weight");
+    let advisor = Advisor::new(AdvisorConfig::default());
+
+    let covering = advisor
+        .score_set(&doc, &workload, &["/a/b[x]//c".into(), "/a/b[y]//c".into()])
+        .unwrap();
+    assert_eq!(covering.answered_weight, 3);
+    assert_eq!(
+        covering.intersect_weight, 3,
+        "every answer came through the intersection fallback"
+    );
+    assert!(covering.measured_qps > 0.0);
+
+    let starved = advisor
+        .score_set(&doc, &workload, &["/a/b[x]//c".into()])
+        .unwrap();
+    assert_eq!(
+        starved.answered_weight, 0,
+        "one member alone cannot certify both predicates"
+    );
+
+    // The ranking consequence: more answered weight wins.
+    assert!(covering.answered_weight > starved.answered_weight);
+    assert!(covering.coverage() > starved.coverage());
+}
+
+/// End-to-end on the paper's document and Table III workload: the
+/// advisor proposes a set that fully covers the workload, within budget.
+#[test]
+fn advisor_covers_the_paper_workload() {
+    let doc = paper_document(0.002, 0x5eed);
+    let sources: Vec<String> = test_queries().iter().map(|q| q.xpath.to_string()).collect();
+    let workload = Workload::from_sources(sources.iter().map(String::as_str)).unwrap();
+    let budget = 64 << 20;
+    let proposal = Advisor::new(AdvisorConfig {
+        budget,
+        ..AdvisorConfig::default()
+    })
+    .advise(&doc, &workload)
+    .unwrap();
+    assert!(!proposal.views.is_empty());
+    assert_eq!(
+        proposal.score.answered_weight,
+        workload.total_weight(),
+        "the self-views of the workload always cover it: {}",
+        proposal.fingerprint()
+    );
+    assert!(proposal.score.bytes <= budget, "budget violated");
+    // Heaviest-first ordering of the chosen set.
+    for pair in proposal.views.windows(2) {
+        assert!(pair[0].weight >= pair[1].weight);
+    }
+}
+
+/// Same document, workload, seed, and budget ⇒ the same proposal
+/// fingerprint whether the throughput replay runs on one thread or an
+/// oversubscribed pool. Wall-clock (`measured_qps`) is the only field
+/// allowed to differ.
+#[test]
+fn proposal_is_deterministic_at_any_parallelism() {
+    let doc = paper_document(0.002, 0x5eed);
+    let sources: Vec<String> = test_queries().iter().map(|q| q.xpath.to_string()).collect();
+    let workload = Workload::from_sources(sources.iter().map(String::as_str)).unwrap();
+    let fingerprint = |jobs: usize| {
+        Advisor::new(AdvisorConfig {
+            budget: 64 << 20,
+            jobs,
+            ..AdvisorConfig::default()
+        })
+        .advise(&doc, &workload)
+        .unwrap()
+        .fingerprint()
+    };
+    let serial = fingerprint(1);
+    assert_eq!(serial, fingerprint(16));
+    assert_eq!(serial, fingerprint(1), "repeat runs agree with themselves");
+}

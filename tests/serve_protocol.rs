@@ -66,6 +66,11 @@ fn mutated_encodings_fail_cleanly() {
             path: "data/xmark_001.xml".into(),
         },
         Request::Shutdown,
+        Request::Advise {
+            queries: test_queries().iter().map(|q| q.xpath.to_string()).collect(),
+            budget: 1 << 20,
+            seed: 42,
+        },
     ];
     let mut rng = StdRng::seed_from_u64(99);
     for request in &requests {
@@ -342,6 +347,82 @@ fn server_request_response_cycle() {
         }
         other => panic!("expected stats, got {other:?}"),
     }
+
+    assert!(matches!(
+        client.call(&Request::Shutdown).unwrap(),
+        Response::ShuttingDown
+    ));
+    handle.join().unwrap().unwrap();
+}
+
+/// The advisor over the wire: an `Advise` request against the resident
+/// document returns a proposal that covers the workload, and the
+/// connection keeps serving queries afterwards (the advisor is
+/// read-only — no epoch bump). Bad inputs map to `Input` errors.
+#[test]
+fn server_advises_over_the_wire() {
+    let (engine, sources) = planted_engine(0.002);
+    let server = Server::bind("127.0.0.1:0", engine, sources, ServerConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect_retry(&addr, Duration::from_secs(5)).unwrap();
+    let queries: Vec<String> = test_queries().iter().map(|q| q.xpath.to_string()).collect();
+    let resp = client.advise(queries.clone(), 64 << 20, 42).unwrap();
+    match resp {
+        Response::Advice {
+            views,
+            answered_weight,
+            total_weight,
+            total_bytes,
+            ..
+        } => {
+            assert!(!views.is_empty(), "a covering set exists for the workload");
+            assert_eq!(total_weight, queries.len() as u64);
+            assert_eq!(answered_weight, total_weight, "workload fully covered");
+            assert!(total_bytes <= 64 << 20, "budget respected");
+            for v in &views {
+                assert!(!v.xpath.is_empty());
+            }
+        }
+        other => panic!("expected advice, got {other:?}"),
+    }
+
+    // An empty workload is the caller's mistake, not a crash.
+    let resp = client.advise(Vec::new(), 64 << 20, 42).unwrap();
+    assert!(
+        matches!(
+            resp,
+            Response::Error {
+                status: Status::Input,
+                ..
+            }
+        ),
+        "{resp:?}"
+    );
+    // So is an unparsable workload query.
+    let resp = client.advise(vec!["///".into()], 64 << 20, 42).unwrap();
+    assert!(
+        matches!(
+            resp,
+            Response::Error {
+                status: Status::Input,
+                ..
+            }
+        ),
+        "{resp:?}"
+    );
+
+    // The advisor is read-only: no snapshot swap, and queries still flow.
+    let resp = client.call(&Request::Stats).unwrap();
+    match resp {
+        Response::Stats { epoch, .. } => assert_eq!(epoch, 0),
+        other => panic!("expected stats, got {other:?}"),
+    }
+    assert!(matches!(
+        client.call(&Request::Ping).unwrap(),
+        Response::Pong
+    ));
 
     assert!(matches!(
         client.call(&Request::Shutdown).unwrap(),
